@@ -1,0 +1,30 @@
+// Command btbtrace prints the paper's worked examples (Tables I-IV):
+// step-by-step BTB behaviour for the loop "A B A GOTO" under switch
+// dispatch, threaded code, replication and superinstructions.
+package main
+
+import (
+	"fmt"
+
+	"vmopt/internal/harness"
+)
+
+func main() {
+	st, tt, sm, tm := harness.TableI()
+	fmt.Println(st)
+	fmt.Println(tt)
+	fmt.Printf("switch: %d mispredictions per iteration; threaded: %d\n\n", sm, tm)
+
+	t2, m2 := harness.TableII()
+	fmt.Println(t2)
+	fmt.Printf("with two replicas of A: %d mispredictions per iteration\n\n", m2)
+
+	o3, m3, om, mm := harness.TableIII()
+	fmt.Println(o3)
+	fmt.Println(m3)
+	fmt.Printf("bad replication: %d -> %d mispredictions per iteration\n\n", om, mm)
+
+	t4, m4 := harness.TableIV()
+	fmt.Println(t4)
+	fmt.Printf("with superinstruction B_A: %d mispredictions per iteration\n", m4)
+}

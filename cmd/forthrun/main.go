@@ -1,0 +1,81 @@
+// Command forthrun compiles and runs a Forth program under any
+// dispatch technique on any machine model, printing the program
+// output and the simulated hardware counters.
+//
+// Usage:
+//
+//	forthrun -e ': sq dup * ; 7 sq .'
+//	forthrun -tech "across bb" -machine pentium4-northwood prog.fs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/forth"
+	"vmopt/internal/forthvm"
+)
+
+func main() {
+	expr := flag.String("e", "", "program text (instead of a file argument)")
+	tech := flag.String("tech", "plain", "dispatch technique (paper name, e.g. 'across bb')")
+	machine := flag.String("machine", "celeron-800", "machine model")
+	maxSteps := flag.Uint64("maxsteps", 1_000_000_000, "VM instruction limit")
+	flag.Parse()
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "forthrun: need -e 'code' or a source file")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	t, err := core.TechniqueByName(*tech)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := cpu.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := forth.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	vm := prog.NewVM(4096)
+	var leaders []int
+	for _, xt := range prog.Words {
+		leaders = append(leaders, xt)
+	}
+	plan, err := core.BuildPlan(vm.Code(), forthvm.ISA(), core.Config{
+		Technique: t, ExtraLeaders: leaders,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sim := cpu.NewSim(m)
+	c, err := core.Run(vm, plan, sim, *maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	if len(vm.Out) > 0 {
+		fmt.Printf("output: %s\n", vm.Out)
+	}
+	fmt.Printf("technique: %s on %s\n", t, m.Name)
+	fmt.Printf("counters:  %s\n", c)
+	fmt.Printf("VM instructions: %d, simulated time: %.6fs\n", c.VMInstructions, sim.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "forthrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command javarun assembles and runs a jasm program under any
+// dispatch technique on any machine model, printing the program
+// output and the simulated hardware counters.
+//
+// Usage:
+//
+//	javarun -tech "dynamic super" prog.jasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/jvm"
+)
+
+func main() {
+	tech := flag.String("tech", "plain", "dispatch technique (paper name)")
+	machine := flag.String("machine", "pentium4-northwood", "machine model")
+	maxSteps := flag.Uint64("maxsteps", 1_000_000_000, "VM instruction limit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "javarun: need a .jasm source file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	t, err := core.TechniqueByName(*tech)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := cpu.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := jvm.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	vm := jvm.NewVM(prog)
+	plan, err := core.BuildPlan(vm.Code(), jvm.ISA(), core.Config{
+		Technique: t, ExtraLeaders: prog.EntryPoints(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sim := cpu.NewSim(m)
+	c, err := core.Run(vm, plan, sim, *maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	if len(vm.Out) > 0 {
+		fmt.Printf("output: %s\n", vm.Out)
+	}
+	fmt.Printf("technique: %s on %s\n", t, m.Name)
+	fmt.Printf("counters:  %s\n", c)
+	fmt.Printf("VM instructions: %d, simulated time: %.6fs\n", c.VMInstructions, sim.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "javarun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command vmbench regenerates the tables and figures of the paper's
+// evaluation section from the simulation substrate.
+//
+// Usage:
+//
+//	vmbench                 # regenerate everything
+//	vmbench -exp fig8       # one experiment
+//	vmbench -scalediv 10    # reduced workload scale (faster)
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7
+// table8 table9 table10 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+// fig15 fig16 rates fractions predictors, the ablations parse
+// selection btbsize penalty caseblock lengths hardware history, and all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vmopt/internal/harness"
+	"vmopt/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (e.g. fig8, table9, all)")
+	scaleDiv := flag.Int("scalediv", 1, "divide workload scales by this factor")
+	flag.Parse()
+
+	s := harness.NewSuite()
+	s.ScaleDiv = *scaleDiv
+
+	if err := run(os.Stdout, s, strings.ToLower(*exp)); err != nil {
+		fmt.Fprintln(os.Stderr, "vmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, s *harness.Suite, exp string) error {
+	type experiment struct {
+		name string
+		fn   func() error
+	}
+	show := func(t *harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t)
+		return nil
+	}
+	exps := []experiment{
+		{"table1", func() error {
+			st, tt, sm, tm := harness.TableI()
+			fmt.Fprintln(w, st)
+			fmt.Fprintln(w, tt)
+			fmt.Fprintf(w, "switch mispredictions/iteration: %d; threaded: %d\n\n", sm, tm)
+			return nil
+		}},
+		{"table2", func() error {
+			t, m := harness.TableII()
+			fmt.Fprintln(w, t)
+			fmt.Fprintf(w, "mispredictions/iteration: %d\n\n", m)
+			return nil
+		}},
+		{"table3", func() error {
+			ot, mt, om, mm := harness.TableIII()
+			fmt.Fprintln(w, ot)
+			fmt.Fprintln(w, mt)
+			fmt.Fprintf(w, "original: %d mispredictions/iteration; bad replication: %d\n\n", om, mm)
+			return nil
+		}},
+		{"table4", func() error {
+			t, m := harness.TableIV()
+			fmt.Fprintln(w, t)
+			fmt.Fprintf(w, "mispredictions/iteration: %d\n\n", m)
+			return nil
+		}},
+		{"table5", func() error { t, err := s.TableV(); return show(t, err) }},
+		{"table6", func() error { return show(harness.TableVI(), nil) }},
+		{"table7", func() error { return show(harness.TableVII(), nil) }},
+		{"table8", func() error { t, err := s.TableVIII(); return show(t, err) }},
+		{"table9", func() error { t, _, err := s.TableIX(); return show(t, err) }},
+		{"table10", func() error { t, _, err := s.TableX(); return show(t, err) }},
+		{"fig7", func() error { _, t, err := s.Figure7(); return show(t, err) }},
+		{"fig8", func() error { _, t, err := s.Figure8(); return show(t, err) }},
+		{"fig9", func() error { _, t, err := s.Figure9(); return show(t, err) }},
+		{"fig10", func() error { _, t, err := s.Figure10(); return show(t, err) }},
+		{"fig11", func() error { _, t, err := s.Figure11(); return show(t, err) }},
+		{"fig12", func() error { _, t, err := s.Figure12(); return show(t, err) }},
+		{"fig13", func() error { _, t, err := s.Figure13(); return show(t, err) }},
+		{"fig14", func() error { _, t, err := s.Figure14(); return show(t, err) }},
+		{"fig15", func() error { _, t, err := s.Figure15(); return show(t, err) }},
+		{"fig16", func() error { _, t, err := s.Figure16(); return show(t, err) }},
+		{"rates", func() error { _, _, t, err := s.MispredictRates(); return show(t, err) }},
+		{"fractions", func() error { _, _, t, err := s.BranchFractions(); return show(t, err) }},
+		{"predictors", func() error { t, _, err := s.PredictorComparison(); return show(t, err) }},
+		{"parse", func() error { t, _, err := s.GreedyVsOptimal(); return show(t, err) }},
+		{"selection", func() error { t, _, err := s.RoundRobinVsRandom(); return show(t, err) }},
+		{"btbsize", func() error {
+			w, err := workload.ByName("gray")
+			if err != nil {
+				return err
+			}
+			t, _, err := s.BTBSizeSweep(w)
+			return show(t, err)
+		}},
+		{"penalty", func() error { t, _, err := s.PenaltySweep(); return show(t, err) }},
+		{"caseblock", func() error { t, _, err := s.CaseBlockExperiment(); return show(t, err) }},
+		{"lengths", func() error { t, _, err := s.SuperLengths(); return show(t, err) }},
+		{"hardware", func() error { t, _, err := s.HardwareVsSoftware(); return show(t, err) }},
+		{"history", func() error {
+			w, err := workload.ByName("gray")
+			if err != nil {
+				return err
+			}
+			t, _, err := s.TwoLevelHistorySweep(w)
+			return show(t, err)
+		}},
+	}
+
+	if exp == "all" {
+		for _, e := range exps {
+			if err := e.fn(); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range exps {
+		if e.name == exp {
+			return e.fn()
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

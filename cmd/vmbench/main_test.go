@@ -1,0 +1,28 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"vmopt/internal/harness"
+)
+
+// TestRunKnownExperiments smoke-tests the cheap experiments through
+// the dispatcher (the expensive figures are covered by the harness
+// package's own tests).
+func TestRunKnownExperiments(t *testing.T) {
+	s := harness.NewSuite()
+	s.ScaleDiv = 40
+	for _, exp := range []string{"table1", "table2", "table3", "table4", "table6", "table7"} {
+		if err := run(io.Discard, s, exp); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	s := harness.NewSuite()
+	if err := run(io.Discard, s, "fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

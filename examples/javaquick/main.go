@@ -1,0 +1,84 @@
+// Java quickening walkthrough: assemble a small object-oriented jasm
+// program, watch getfield/invokevirtual rewrite themselves into quick
+// variants on first execution, and see how the dynamic-superinstruction
+// gaps get patched (paper Section 5.4).
+package main
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/jvm"
+)
+
+const src = `
+class Counter
+  field n
+end
+
+method Counter.bump virtual args 1 locals 1
+  iload_0
+  iload_0
+  getfield Counter.n
+  iconst 1
+  iadd
+  putfield Counter.n
+  return
+end
+
+method Main.main static args 0 locals 2
+  new Counter
+  istore_0
+  iconst 0
+  istore_1
+loop:
+  iload_1
+  iconst 100
+  if_icmpge done
+  iload_0
+  invokevirtual bump
+  iinc 1 1
+  goto loop
+done:
+  iload_0
+  getfield Counter.n
+  iprint
+  return
+end
+`
+
+func main() {
+	prog := jvm.MustAssemble(src)
+	vm := jvm.NewVM(prog)
+
+	quickable := countQuickable(vm.Code())
+	fmt.Printf("before execution: %d quickable instructions\n", quickable)
+
+	plan := core.MustBuildPlan(vm.Code(), jvm.ISA(), core.Config{
+		Technique: core.TDynamicSuper, ExtraLeaders: prog.EntryPoints(),
+	})
+	sim := cpu.NewSim(cpu.Pentium4Northwood)
+	c, err := core.Run(vm, plan, sim, 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("after execution:  %d quickable instructions (all rewritten)\n",
+		countQuickable(vm.Code()))
+	fmt.Printf("program output:   %s\n", vm.Out)
+	fmt.Printf("counters:         %s\n", c)
+	fmt.Println("\nEvery getfield/putfield/new/invokevirtual resolved itself on first")
+	fmt.Println("execution and was patched into the generated superinstruction gap;")
+	fmt.Println("the steady-state loop then runs from contiguous quick code.")
+}
+
+func countQuickable(code []core.Inst) int {
+	n := 0
+	for _, in := range code {
+		if jvm.ISA().Meta(in.Op).Quickable {
+			n++
+		}
+	}
+	return n
+}

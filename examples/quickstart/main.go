@@ -1,0 +1,51 @@
+// Quickstart: compile a small Forth program, run it under plain
+// threaded code and under dynamic superinstructions with replication
+// across basic blocks, and compare the simulated branch-prediction
+// behaviour — the paper's headline effect in thirty lines.
+package main
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/forth"
+	"vmopt/internal/forthvm"
+)
+
+// Several words reusing the same VM instructions, so the BTB sees
+// each opcode's dispatch branch jump to changing successors — the
+// paper's misprediction mechanism (Section 3).
+const src = `
+	variable sum
+	: step1  dup * sum +! ;
+	: step2  dup dup * * sum +! ;
+	: step3  1+ dup * sum +! ;
+	: run    400 0 do i step1 i step2 i step3 loop ;
+	run  sum @ .
+`
+
+func main() {
+	for _, tech := range []core.Technique{core.TPlain, core.TAcrossBB} {
+		prog := forth.MustCompile(src)
+		vm := prog.NewVM(64)
+
+		var leaders []int
+		for _, xt := range prog.Words {
+			leaders = append(leaders, xt)
+		}
+		plan := core.MustBuildPlan(vm.Code(), forthvm.ISA(), core.Config{
+			Technique: tech, ExtraLeaders: leaders,
+		})
+
+		sim := cpu.NewSim(cpu.Pentium4Northwood)
+		c, err := core.Run(vm, plan, sim, 10_000_000)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-20s output=%q\n", tech.String()+":", vm.Out)
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Println("\nThe across-bb variant executes the same program with far fewer")
+	fmt.Println("indirect branches and near-zero mispredictions (paper Section 5.2).")
+}

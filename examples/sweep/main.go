@@ -1,0 +1,51 @@
+// Static-mix sweep walkthrough: regenerate the paper's Figure 14 —
+// bench-gc cycles as the static instruction budget is split between
+// replicas and superinstructions — and draw the plateau as an ASCII
+// chart: each line is one total budget, each column a mix point.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"vmopt/internal/harness"
+)
+
+func main() {
+	s := harness.NewSuite()
+	s.ScaleDiv = 4 // keep the example snappy
+
+	d, _, err := s.Figure14()
+	if err != nil {
+		panic(err)
+	}
+
+	// Normalize against the no-extra-instructions baseline.
+	base := d.C[0][0].Cycles
+	fmt.Printf("bench-gc on the Celeron-800: cycles relative to plain threaded code\n")
+	fmt.Printf("(rows: total extra VM instructions; columns: %% superinstructions)\n\n")
+	fmt.Printf("%6s ", "")
+	for _, pct := range d.Percents {
+		fmt.Printf("%4d%% ", pct)
+	}
+	fmt.Println()
+	for _, total := range d.Totals {
+		fmt.Printf("%6d ", total)
+		for _, pct := range d.Percents {
+			rel := d.C[total][pct].Cycles / base
+			fmt.Printf("%5.2f ", rel)
+		}
+		// A crude bar of the row's best point.
+		best := 1.0
+		for _, pct := range d.Percents {
+			if r := d.C[total][pct].Cycles / base; r < best {
+				best = r
+			}
+		}
+		bar := int((1 - best) * 40)
+		fmt.Printf(" |%s\n", strings.Repeat("#", bar))
+	}
+	fmt.Println("\nMore static instructions help until the BTB stops mispredicting;")
+	fmt.Println("away from the 0% and 100% extremes the exact mix barely matters —")
+	fmt.Println("the paper's Figure 14 plateau.")
+}

@@ -1,0 +1,131 @@
+package btb
+
+import "fmt"
+
+// Ideal is an unbounded BTB: one entry per branch, no capacity or
+// conflict misses (paper Section 2.2, "an idealised BTB contains one
+// entry for each branch and predicts that the branch jumps to the same
+// target as the last time it was executed").
+type Ideal struct {
+	entries map[uint64]uint64
+}
+
+// NewIdeal returns an idealized, unbounded BTB.
+func NewIdeal() *Ideal {
+	return &Ideal{entries: make(map[uint64]uint64)}
+}
+
+// Name implements Predictor.
+func (b *Ideal) Name() string { return "btb-ideal" }
+
+// Access implements Predictor. A branch seen for the first time counts
+// as mispredicted (there is no prediction to be correct).
+func (b *Ideal) Access(branch, _, target uint64) bool {
+	prev, seen := b.entries[branch]
+	b.entries[branch] = target
+	return seen && prev == target
+}
+
+// Reset implements Predictor.
+func (b *Ideal) Reset() { b.entries = make(map[uint64]uint64) }
+
+// Lookup returns the current prediction for a branch, if any. It does
+// not modify predictor state; tests and the trace tool use it.
+func (b *Ideal) Lookup(branch uint64) (uint64, bool) {
+	t, ok := b.entries[branch]
+	return t, ok
+}
+
+type entry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// SetAssoc is a finite set-associative BTB with LRU replacement,
+// modeling the capacity and conflict misses of real hardware (e.g.
+// 512 entries on the Celeron/P3, 4096 on the Pentium 4).
+type SetAssoc struct {
+	sets  int
+	ways  int
+	shift uint
+	// data[set] is ordered most-recently-used first.
+	data [][]entry
+	name string
+}
+
+// NewSetAssoc returns a BTB with the given total entry count and
+// associativity. entries must be a multiple of ways and the set count
+// a power of two.
+func NewSetAssoc(entries, ways int) *SetAssoc {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("btb: bad geometry entries=%d ways=%d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("btb: set count %d not a power of two", sets))
+	}
+	b := &SetAssoc{
+		sets: sets,
+		ways: ways,
+		// Branch addresses are byte addresses; drop the low 2 bits
+		// so adjacent branches spread across sets like real BTBs.
+		shift: 2,
+		name:  fmt.Sprintf("btb-%dx%d", entries/ways, ways),
+	}
+	b.Reset()
+	return b
+}
+
+// Name implements Predictor.
+func (b *SetAssoc) Name() string { return b.name }
+
+// Entries returns the total capacity in entries.
+func (b *SetAssoc) Entries() int { return b.sets * b.ways }
+
+func (b *SetAssoc) setFor(branch uint64) int {
+	return int((branch >> b.shift) & uint64(b.sets-1))
+}
+
+// Access implements Predictor. A miss in the table (capacity/conflict)
+// counts as a misprediction, as on real hardware where an unknown
+// branch falls back to a static (wrong) prediction.
+func (b *SetAssoc) Access(branch, _, target uint64) bool {
+	set := b.data[b.setFor(branch)]
+	tag := branch >> b.shift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			correct := set[i].target == target
+			set[i].target = target
+			// Move to front (most recently used).
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return correct
+		}
+	}
+	// Miss: install at MRU position, evicting LRU.
+	copy(set[1:], set[:len(set)-1])
+	set[0] = entry{tag: tag, target: target, valid: true}
+	return false
+}
+
+// Reset implements Predictor.
+func (b *SetAssoc) Reset() {
+	b.data = make([][]entry, b.sets)
+	for i := range b.data {
+		b.data[i] = make([]entry, b.ways)
+	}
+}
+
+// Lookup returns the current prediction without updating state.
+func (b *SetAssoc) Lookup(branch uint64) (uint64, bool) {
+	set := b.data[b.setFor(branch)]
+	tag := branch >> b.shift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}

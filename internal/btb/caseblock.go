@@ -1,0 +1,50 @@
+package btb
+
+import "fmt"
+
+// CaseBlock is the case block table of Kaeli and Emma (paper Section
+// 8): a history-based predictor specifically for switch statements,
+// indexed by the switch operand (for a VM interpreter, the opcode of
+// the VM instruction being dispatched) rather than only by the branch
+// address. For a switch-based interpreter this gives almost perfect
+// prediction, because the target of the dispatch switch is a pure
+// function of the opcode.
+type CaseBlock struct {
+	sets int
+	data []caseEntry
+	name string
+}
+
+type caseEntry struct {
+	key    uint64
+	target uint64
+	valid  bool
+}
+
+// NewCaseBlock returns a case block table with the given entry count
+// (rounded requirement: power of two), direct mapped on
+// hash(branch, operand).
+func NewCaseBlock(entries int) *CaseBlock {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("btb: case block entries %d not a power of two", entries))
+	}
+	b := &CaseBlock{sets: entries, name: fmt.Sprintf("caseblock-%d", entries)}
+	b.Reset()
+	return b
+}
+
+// Name implements Predictor.
+func (b *CaseBlock) Name() string { return b.name }
+
+// Access implements Predictor; hint carries the switch operand.
+func (b *CaseBlock) Access(branch, hint, target uint64) bool {
+	key := branch>>2 ^ hint*0x9e3779b97f4a7c15
+	idx := key & uint64(b.sets-1)
+	e := &b.data[idx]
+	correct := e.valid && e.key == key && e.target == target
+	*e = caseEntry{key: key, target: target, valid: true}
+	return correct
+}
+
+// Reset implements Predictor.
+func (b *CaseBlock) Reset() { b.data = make([]caseEntry, b.sets) }

@@ -1,0 +1,61 @@
+// Package btb implements indirect branch predictors.
+//
+// The central model is the branch target buffer (BTB, paper Section
+// 2.2): a table indexed by branch address that predicts each indirect
+// branch jumps to the same target as on its previous execution. The
+// package also provides the variants the paper discusses: a BTB with
+// two-bit hysteresis counters, a two-level history-based indirect
+// predictor (Driesen and Hölzle; the Pentium M style predictor from
+// Section 8), and the case-block table of Kaeli and Emma, which keys
+// predictions on the switch operand.
+package btb
+
+// Predictor is an indirect branch predictor.
+//
+// Access performs one predict-and-update step for an executed indirect
+// branch: branch is the address of the branch instruction, hint is an
+// auxiliary key available to operand-indexed predictors (the VM opcode
+// for a switch-style dispatch; BTB-style predictors ignore it), and
+// target is the actual branch destination. It reports whether the
+// predictor had predicted the target correctly before updating.
+type Predictor interface {
+	// Name identifies the predictor configuration for reports.
+	Name() string
+	// Access predicts the branch, updates predictor state with the
+	// actual target, and reports whether the prediction was correct.
+	Access(branch, hint, target uint64) bool
+	// Reset clears all predictor state.
+	Reset()
+}
+
+// Stats wraps a Predictor and counts accesses and mispredictions.
+type Stats struct {
+	P            Predictor
+	Accesses     uint64
+	Mispredicted uint64
+}
+
+// Access forwards to the wrapped predictor and accumulates counts.
+func (s *Stats) Access(branch, hint, target uint64) bool {
+	s.Accesses++
+	ok := s.P.Access(branch, hint, target)
+	if !ok {
+		s.Mispredicted++
+	}
+	return ok
+}
+
+// Rate returns the misprediction rate in [0,1].
+func (s *Stats) Rate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Mispredicted) / float64(s.Accesses)
+}
+
+// Reset clears both the counters and the underlying predictor.
+func (s *Stats) Reset() {
+	s.Accesses = 0
+	s.Mispredicted = 0
+	s.P.Reset()
+}

@@ -1,0 +1,79 @@
+package btb
+
+import "fmt"
+
+// TwoBit is a BTB whose entries carry a two-bit saturating hysteresis
+// counter: the stored target is only replaced after two consecutive
+// mispredictions. The paper (Section 3) reports this variant gives
+// slightly better results for threaded code (50%-61% mispredictions
+// versus 57%-63% for a plain BTB).
+type TwoBit struct {
+	sets  int
+	ways  int
+	shift uint
+	data  [][]twoBitEntry
+	name  string
+}
+
+type twoBitEntry struct {
+	tag     uint64
+	target  uint64
+	counter uint8 // 0..3; >=2 means "strongly" keep the target
+	valid   bool
+}
+
+// NewTwoBit returns a two-bit-counter BTB with the given geometry.
+func NewTwoBit(entries, ways int) *TwoBit {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("btb: bad geometry entries=%d ways=%d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("btb: set count %d not a power of two", sets))
+	}
+	b := &TwoBit{sets: sets, ways: ways, shift: 2,
+		name: fmt.Sprintf("btb2bc-%dx%d", sets, ways)}
+	b.Reset()
+	return b
+}
+
+// Name implements Predictor.
+func (b *TwoBit) Name() string { return b.name }
+
+// Access implements Predictor.
+func (b *TwoBit) Access(branch, _, target uint64) bool {
+	set := b.data[int((branch>>b.shift)&uint64(b.sets-1))]
+	tag := branch >> b.shift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			correct := set[i].target == target
+			if correct {
+				if set[i].counter < 3 {
+					set[i].counter++
+				}
+			} else {
+				if set[i].counter > 0 {
+					set[i].counter--
+				} else {
+					set[i].target = target
+					set[i].counter = 1
+				}
+			}
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return correct
+		}
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = twoBitEntry{tag: tag, target: target, counter: 1, valid: true}
+	return false
+}
+
+// Reset implements Predictor.
+func (b *TwoBit) Reset() {
+	b.data = make([][]twoBitEntry, b.sets)
+	for i := range b.data {
+		b.data[i] = make([]twoBitEntry, b.ways)
+	}
+}

@@ -1,0 +1,63 @@
+package btb
+
+import "fmt"
+
+// TwoLevel is a history-based two-level indirect branch predictor in
+// the style of Driesen and Hölzle, the mechanism behind the Pentium M
+// indirect predictor the paper discusses in Section 8. It combines the
+// targets of the most recently executed indirect branches with the
+// branch address to index a target table. With sufficient history it
+// correctly predicts most dispatch branches of a threaded-code
+// interpreter, which is why the paper notes such hardware would make
+// the software techniques less necessary.
+type TwoLevel struct {
+	tableBits int
+	history   uint64
+	histLen   int
+	table     []uint64
+	tagged    []bool
+	name      string
+}
+
+// NewTwoLevel returns a two-level predictor with 2^tableBits entries
+// and a path history of histLen previous targets.
+func NewTwoLevel(tableBits, histLen int) *TwoLevel {
+	if tableBits <= 0 || tableBits > 24 || histLen <= 0 {
+		panic(fmt.Sprintf("btb: bad two-level geometry bits=%d hist=%d", tableBits, histLen))
+	}
+	b := &TwoLevel{tableBits: tableBits, histLen: histLen,
+		name: fmt.Sprintf("twolevel-%db-h%d", tableBits, histLen)}
+	b.Reset()
+	return b
+}
+
+// Name implements Predictor.
+func (b *TwoLevel) Name() string { return b.name }
+
+func (b *TwoLevel) index(branch uint64) uint64 {
+	mask := uint64(1)<<b.tableBits - 1
+	return (b.history ^ (branch >> 2)) & mask
+}
+
+// Access implements Predictor.
+func (b *TwoLevel) Access(branch, _, target uint64) bool {
+	idx := b.index(branch)
+	correct := b.tagged[idx] && b.table[idx] == target
+	b.table[idx] = target
+	b.tagged[idx] = true
+	// Fold the new target into the path history: shift by a few bits
+	// per branch so histLen targets fit in the index.
+	shift := uint(b.tableBits / b.histLen)
+	if shift == 0 {
+		shift = 1
+	}
+	b.history = (b.history<<shift ^ (target >> 2)) & (uint64(1)<<b.tableBits - 1)
+	return correct
+}
+
+// Reset implements Predictor.
+func (b *TwoLevel) Reset() {
+	b.table = make([]uint64, 1<<b.tableBits)
+	b.tagged = make([]bool, 1<<b.tableBits)
+	b.history = 0
+}

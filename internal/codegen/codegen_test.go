@@ -1,0 +1,142 @@
+package codegen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBump(t *testing.T) {
+	a := NewAllocator(0x1000, 1)
+	p1 := a.Alloc(10)
+	p2 := a.Alloc(6)
+	if p1 != 0x1000 || p2 != 0x100a {
+		t.Errorf("allocs = %#x, %#x; want 0x1000, 0x100a", p1, p2)
+	}
+	if a.Used() != 16 {
+		t.Errorf("Used = %d, want 16", a.Used())
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := NewAllocator(0x1000, 16)
+	a.Alloc(10)
+	p2 := a.Alloc(4)
+	if p2 != 0x1010 {
+		t.Errorf("aligned alloc = %#x, want 0x1010", p2)
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	a := NewAllocator(0, 1)
+	p1 := a.Alloc(0)
+	p2 := a.Alloc(0)
+	if p1 != p2 {
+		t.Errorf("zero-size allocs should coincide: %#x vs %#x", p1, p2)
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad alignment should panic")
+			}
+		}()
+		NewAllocator(0, 3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size should panic")
+			}
+		}()
+		NewAllocator(0, 1).Alloc(-1)
+	}()
+}
+
+func TestImageDeterministic(t *testing.T) {
+	a := Image(7, 16, true, 0x1000)
+	b := Image(7, 16, true, 0x9000)
+	if !bytesEqual(a, b) {
+		t.Error("relocatable image should not depend on address")
+	}
+	c := Image(8, 16, true, 0x1000)
+	if bytesEqual(a, c) {
+		t.Error("different opcodes should produce different images")
+	}
+}
+
+func TestImageNonRelocatableVaries(t *testing.T) {
+	a := Image(7, 16, false, 0x1000)
+	b := Image(7, 16, false, 0x9000)
+	if bytesEqual(a, b) {
+		t.Error("non-relocatable image should vary with address")
+	}
+}
+
+func TestDetectRelocatableMatchesGroundTruth(t *testing.T) {
+	sizes := []int{8, 12, 4, 30, 16}
+	reloc := []bool{true, false, true, false, true}
+	got := DetectRelocatable(sizes, reloc)
+	for op := range reloc {
+		if got[op] != reloc[op] {
+			t.Errorf("op %d: detected %v, want %v", op, got[op], reloc[op])
+		}
+	}
+}
+
+func TestDetectRelocatableMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths should panic")
+		}
+	}()
+	DetectRelocatable([]int{4}, []bool{true, false})
+}
+
+// Property: detection equals ground truth for any geometry with
+// size >= 4.
+func TestDetectRelocatableProperty(t *testing.T) {
+	f := func(szs []uint8, rel []bool) bool {
+		n := len(szs)
+		if len(rel) < n {
+			n = len(rel)
+		}
+		sizes := make([]int, n)
+		reloc := make([]bool, n)
+		for k := 0; k < n; k++ {
+			sizes[k] = int(szs[k]%60) + 4
+			reloc[k] = rel[k]
+		}
+		got := DetectRelocatable(sizes, reloc)
+		for k := range got {
+			if got[k] != reloc[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocations never overlap.
+func TestAllocNoOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewAllocator(0x4000, 4)
+		prevEnd := uint64(0)
+		for _, s := range sizes {
+			sz := int(s)%100 + 1
+			addr := a.Alloc(sz)
+			if addr < prevEnd {
+				return false
+			}
+			prevEnd = addr + uint64(sz)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vmopt/internal/core"
+	"vmopt/internal/forth"
+	"vmopt/internal/forthvm"
+)
+
+func TestLeadersSimple(t *testing.T) {
+	// 0: lit, 1: zbranch 4, 2: lit, 3: halt, 4: lit, 5: halt
+	code := []core.Inst{
+		{Op: forthvm.OpLit, Arg: 1},
+		{Op: forthvm.OpZBranch, Arg: 4},
+		{Op: forthvm.OpLit, Arg: 2},
+		{Op: forthvm.OpHalt},
+		{Op: forthvm.OpLit, Arg: 3},
+		{Op: forthvm.OpHalt},
+	}
+	got := core.Leaders(code, forthvm.ISA(), nil)
+	want := []bool{true, false, true, false, true, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Leaders = %v, want %v", got, want)
+	}
+}
+
+func TestLeadersExtra(t *testing.T) {
+	code := []core.Inst{
+		{Op: forthvm.OpLit}, {Op: forthvm.OpLit}, {Op: forthvm.OpHalt},
+	}
+	got := core.Leaders(code, forthvm.ISA(), []int{1, 99, -5})
+	want := []bool{true, true, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Leaders with extras = %v, want %v", got, want)
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	code := []core.Inst{
+		{Op: forthvm.OpLit, Arg: 1},     // 0
+		{Op: forthvm.OpZBranch, Arg: 4}, // 1 ends block
+		{Op: forthvm.OpLit, Arg: 2},     // 2
+		{Op: forthvm.OpHalt},            // 3 ends block
+		{Op: forthvm.OpLit, Arg: 3},     // 4
+		{Op: forthvm.OpHalt},            // 5
+	}
+	got := core.Blocks(code, forthvm.ISA(), nil)
+	want := []core.Block{{Start: 0, End: 2}, {Start: 2, End: 4}, {Start: 4, End: 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Blocks = %v, want %v", got, want)
+	}
+}
+
+func TestBlocksCoverAllPositions(t *testing.T) {
+	p := forth.MustCompile(`
+		: f dup 0< if negate then ;
+		variable sum
+		10 0 do i f sum +! loop
+		sum @ .`)
+	blocks := core.Blocks(p.Code, forthvm.ISA(), nil)
+	covered := 0
+	prevEnd := 0
+	for _, b := range blocks {
+		if b.Start != prevEnd {
+			t.Fatalf("gap or overlap at block %+v (prev end %d)", b, prevEnd)
+		}
+		if b.End <= b.Start {
+			t.Fatalf("empty block %+v", b)
+		}
+		covered += b.End - b.Start
+		prevEnd = b.End
+	}
+	if covered != len(p.Code) {
+		t.Errorf("blocks cover %d of %d positions", covered, len(p.Code))
+	}
+}
+
+func TestRunsExcludeControl(t *testing.T) {
+	p := forth.MustCompile(": f 1 2 + 3 * ; f .")
+	isa := forthvm.ISA()
+	for _, r := range core.Runs(p.Code, isa, nil) {
+		for pos := r.Start; pos < r.End; pos++ {
+			m := isa.Meta(p.Code[pos].Op)
+			if m.Control() {
+				t.Errorf("run %+v contains control op %s at %d", r, m.Name, pos)
+			}
+		}
+	}
+}
+
+func TestRunsWithinBlocks(t *testing.T) {
+	p := forth.MustCompile(`
+		: g dup * ;
+		: f 1 2 + g 4 5 + g + ;
+		f .`)
+	isa := forthvm.ISA()
+	blocks := core.Blocks(p.Code, isa, nil)
+	owner := core.BlockOf(len(p.Code), blocks)
+	for _, r := range core.Runs(p.Code, isa, nil) {
+		if owner[r.Start] != owner[r.End-1] {
+			t.Errorf("run %+v crosses block boundary", r)
+		}
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	blocks := []core.Block{{Start: 0, End: 2}, {Start: 2, End: 5}}
+	got := core.BlockOf(5, blocks)
+	want := []int{0, 0, 1, 1, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BlockOf = %v, want %v", got, want)
+	}
+}
+
+func TestOps(t *testing.T) {
+	code := []core.Inst{{Op: 3}, {Op: 5}, {Op: 7}}
+	got := core.Ops(code, core.Block{Start: 1, End: 3})
+	if !reflect.DeepEqual(got, []uint32{5, 7}) {
+		t.Errorf("Ops = %v", got)
+	}
+}
+
+func TestEmptyCode(t *testing.T) {
+	if l := core.Leaders(nil, forthvm.ISA(), nil); len(l) != 0 {
+		t.Errorf("Leaders on empty = %v", l)
+	}
+	if b := core.Blocks(nil, forthvm.ISA(), nil); b != nil {
+		t.Errorf("Blocks on empty = %v", b)
+	}
+}

@@ -1,0 +1,245 @@
+package core_test
+
+import (
+	"testing"
+
+	"vmopt/internal/core"
+	"vmopt/internal/forth"
+	"vmopt/internal/forthvm"
+	"vmopt/internal/superinst"
+)
+
+const planSrc = `
+	variable acc
+	: f1 dup * acc +! ;
+	: f2 dup dup * * acc +! ;
+	: go 30 0 do i f1 i f2 loop ;
+	go acc @ .
+`
+
+func buildFor(t *testing.T, tech core.Technique) (*core.Plan, []core.Inst) {
+	t.Helper()
+	p := forth.MustCompile(planSrc)
+	var leaders []int
+	for _, xt := range p.Words {
+		leaders = append(leaders, xt)
+	}
+	plan, err := core.BuildPlan(p.Code, forthvm.ISA(), core.Config{
+		Technique: tech, ExtraLeaders: leaders,
+	})
+	if err != nil {
+		t.Fatalf("BuildPlan(%v): %v", tech, err)
+	}
+	return plan, p.Code
+}
+
+// TestPlainSharesPerOpcode: under threaded code, all instances of an
+// opcode execute from the same address and dispatch from the same
+// branch.
+func TestPlainSharesPerOpcode(t *testing.T) {
+	plan, code := buildFor(t, core.TPlain)
+	byOp := map[uint32]uint64{}
+	for pos, in := range code {
+		if prev, ok := byOp[in.Op]; ok {
+			if plan.Addr(pos) != prev {
+				t.Fatalf("opcode %d has two addresses", in.Op)
+			}
+		} else {
+			byOp[in.Op] = plan.Addr(pos)
+		}
+	}
+}
+
+// TestDynamicReplUniqueAddresses: every relocatable instance gets its
+// own copy; distinct instances never share a dispatch branch.
+func TestDynamicReplUniqueAddresses(t *testing.T) {
+	plan, code := buildFor(t, core.TDynamicRepl)
+	isa := forthvm.ISA()
+	seenAddr := map[uint64]int{}
+	seenBr := map[uint64]int{}
+	for pos, in := range code {
+		m := isa.Meta(in.Op)
+		if !m.Relocatable || m.Quickable {
+			continue
+		}
+		if prev, dup := seenAddr[plan.Addr(pos)]; dup {
+			t.Fatalf("positions %d and %d share a dynamic copy", prev, pos)
+		}
+		seenAddr[plan.Addr(pos)] = pos
+		if prev, dup := seenBr[plan.BranchAddr(pos)]; dup {
+			t.Fatalf("positions %d and %d share a dispatch branch", prev, pos)
+		}
+		seenBr[plan.BranchAddr(pos)] = pos
+	}
+}
+
+// TestSwitchSharesOneBranch: all positions dispatch through the single
+// switch branch.
+func TestSwitchSharesOneBranch(t *testing.T) {
+	plan, code := buildFor(t, core.TSwitch)
+	br := plan.BranchAddr(0)
+	for pos := range code {
+		if plan.BranchAddr(pos) != br {
+			t.Fatalf("position %d uses a different switch branch", pos)
+		}
+	}
+	w, b := plan.DispatchCost()
+	if w <= 3 || b <= 8 {
+		t.Errorf("switch dispatch cost (%d instrs, %d bytes) should exceed threaded's", w, b)
+	}
+}
+
+// TestDynamicSuperDedupsIdenticalBlocks: two identical straight-line
+// blocks share one fragment under TDynamicSuper and get separate
+// copies under TDynamicBoth.
+func TestDynamicSuperDedup(t *testing.T) {
+	// Two identical basic blocks: "lit lit + drop" twice, separated
+	// by a branch target so they are distinct blocks.
+	code := []core.Inst{
+		{Op: forthvm.OpLit, Arg: 1},     // 0 block A
+		{Op: forthvm.OpLit, Arg: 2},     // 1
+		{Op: forthvm.OpAdd},             // 2
+		{Op: forthvm.OpZBranch, Arg: 5}, // 3 ends block A
+		{Op: forthvm.OpNop},             // 4 (own block)
+		{Op: forthvm.OpLit, Arg: 1},     // 5 block B (identical ops to A)
+		{Op: forthvm.OpLit, Arg: 2},     // 6
+		{Op: forthvm.OpAdd},             // 7
+		{Op: forthvm.OpZBranch, Arg: 9}, // 8 ends block B
+		{Op: forthvm.OpHalt},            // 9
+	}
+	dedup := core.MustBuildPlan(code, forthvm.ISA(), core.Config{Technique: core.TDynamicSuper})
+	both := core.MustBuildPlan(code, forthvm.ISA(), core.Config{Technique: core.TDynamicBoth})
+	if dedup.Addr(0) != dedup.Addr(5) {
+		t.Error("identical blocks should share a fragment under dynamic super")
+	}
+	if both.Addr(0) == both.Addr(5) {
+		t.Error("dynamic both must not share fragments between block instances")
+	}
+	if dedup.DynamicCodeBytes() >= both.DynamicCodeBytes() {
+		t.Errorf("dedup code (%d) should be below per-instance code (%d)",
+			dedup.DynamicCodeBytes(), both.DynamicCodeBytes())
+	}
+}
+
+// TestAcrossBBNoSequentialDispatch: under across-bb, no relocatable
+// fall-through boundary dispatches (except into shared code).
+func TestAcrossBBNoSequentialDispatch(t *testing.T) {
+	plan, code := buildFor(t, core.TAcrossBB)
+	isa := forthvm.ISA()
+	for pos := 0; pos < len(code)-1; pos++ {
+		m := isa.Meta(code[pos].Op)
+		next := isa.Meta(code[pos+1].Op)
+		if !m.Relocatable || !next.Relocatable {
+			continue
+		}
+		if plan.SeqDispatch(pos) {
+			t.Errorf("across bb: relocatable junction %d->%d dispatches (%s -> %s)",
+				pos, pos+1, m.Name, next.Name)
+		}
+	}
+}
+
+// TestPlainAlwaysDispatches: the baseline dispatches at every
+// sequential boundary.
+func TestPlainAlwaysDispatches(t *testing.T) {
+	plan, code := buildFor(t, core.TPlain)
+	for pos := 0; pos < len(code)-1; pos++ {
+		if !plan.SeqDispatch(pos) {
+			t.Errorf("plain: junction %d does not dispatch", pos)
+		}
+	}
+}
+
+// TestStaticSuperSharedFragments: all occurrences of the same
+// superinstruction share one routine (it is part of the interpreter
+// binary).
+func TestStaticSuperSharedFragments(t *testing.T) {
+	// Code with the sequence [lit add] twice in straight line.
+	code := []core.Inst{
+		{Op: forthvm.OpLit, Arg: 1},
+		{Op: forthvm.OpLit, Arg: 2},
+		{Op: forthvm.OpAdd},
+		{Op: forthvm.OpLit, Arg: 3},
+		{Op: forthvm.OpAdd},
+		{Op: forthvm.OpHalt},
+	}
+	table := superinst.MustNewTable([][]uint32{{forthvm.OpLit, forthvm.OpAdd}})
+	plan := core.MustBuildPlan(code, forthvm.ISA(), core.Config{
+		Technique: core.TStaticSuper, Supers: table,
+	})
+	// Positions 1 and 3 start super occurrences; with one copy they
+	// share the routine address.
+	if plan.Addr(1) != plan.Addr(3) {
+		t.Error("static super occurrences should share the routine")
+	}
+	// Interior boundary of the super does not dispatch.
+	if plan.SeqDispatch(1) || plan.SeqDispatch(3) {
+		t.Error("interior junctions of static supers must not dispatch")
+	}
+	if !plan.SeqDispatch(2) || !plan.SeqDispatch(4) {
+		t.Error("superinstruction ends must dispatch")
+	}
+	// Work at the non-first component is reduced.
+	addWork := forthvm.ISA().Meta(forthvm.OpAdd).Work
+	if plan.Work(2) >= addWork {
+		t.Errorf("junction optimization missing: component work %d >= %d", plan.Work(2), addWork)
+	}
+}
+
+// TestStaticReplRoundRobinSpreads: consecutive occurrences of the
+// same opcode get different copies.
+func TestStaticReplRoundRobin(t *testing.T) {
+	code := []core.Inst{
+		{Op: forthvm.OpDup}, {Op: forthvm.OpDup}, {Op: forthvm.OpDup},
+		{Op: forthvm.OpHalt},
+	}
+	extra := make([]int, forthvm.ISA().NumOps())
+	extra[forthvm.OpDup] = 2 // three copies total
+	plan := core.MustBuildPlan(code, forthvm.ISA(), core.Config{
+		Technique: core.TStaticRepl, ReplicaExtra: extra,
+	})
+	a, b, c := plan.Addr(0), plan.Addr(1), plan.Addr(2)
+	if a == b || b == c || a == c {
+		t.Errorf("round-robin gave duplicate copies: %#x %#x %#x", a, b, c)
+	}
+}
+
+// TestSeqBranchConsistency: whenever a sequential boundary
+// dispatches, its branch address is nonzero.
+func TestSeqBranchConsistency(t *testing.T) {
+	for _, tech := range core.Techniques() {
+		cfg := core.Config{Technique: tech}
+		if tech == core.TStaticSuper || tech == core.TStaticBoth ||
+			tech == core.TWithStaticSuper || tech == core.TWithStaticSuperAcross {
+			cfg.Supers = superinst.MustNewTable([][]uint32{{forthvm.OpLit, forthvm.OpAdd}})
+		}
+		p := forth.MustCompile(planSrc)
+		plan, err := core.BuildPlan(p.Code, forthvm.ISA(), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		for pos := 0; pos < len(p.Code)-1; pos++ {
+			if plan.SeqDispatch(pos) && plan.Addr(pos) != 0 {
+				// A dispatching boundary needs a valid branch.
+				if plan.BranchAddr(pos) == 0 {
+					t.Errorf("%v: position %d dispatches with zero branch address", tech, pos)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyRelocatability: both shipped ISAs pass the paper's
+// padding-comparison check. (The failure path — a routine whose
+// bytes differ between the two placements despite being declared
+// relocatable — cannot arise from codegen.Image, which derives the
+// bytes from the same flag; the mismatch mechanics are covered by
+// the codegen package's own tests against hand-built images.)
+func TestVerifyRelocatability(t *testing.T) {
+	if err := core.VerifyRelocatability(forthvm.ISA()); err != nil {
+		t.Errorf("forth ISA: %v", err)
+	}
+	if err := core.VerifyRelocatability(quickISA{}); err != nil {
+		t.Errorf("quick test ISA: %v", err)
+	}
+}

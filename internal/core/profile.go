@@ -1,0 +1,50 @@
+package core
+
+import "fmt"
+
+// ProfileData is the result of a training run (paper Section 7.1: the
+// static variants select replicas and superinstructions from the most
+// frequently executed VM instructions and sequences of a training
+// benchmark).
+type ProfileData struct {
+	// OpFreq[op] counts executed instances of each opcode.
+	OpFreq []uint64
+	// PosFreq[pos] counts executions of each VM code position.
+	PosFreq []uint64
+	// Steps is the total executed VM instruction count.
+	Steps uint64
+}
+
+// Profile executes proc (semantics only, no micro-architecture
+// simulation) and collects execution frequencies.
+func Profile(proc Process, maxSteps uint64) (*ProfileData, error) {
+	code := proc.Code()
+	d := &ProfileData{
+		OpFreq:  make([]uint64, proc.ISA().NumOps()),
+		PosFreq: make([]uint64, len(code)),
+	}
+	for !proc.Done() {
+		if d.Steps >= maxSteps {
+			return d, fmt.Errorf("core: profile exceeded %d steps", maxSteps)
+		}
+		pos := proc.PC()
+		if _, err := proc.Step(); err != nil {
+			return d, err
+		}
+		d.Steps++
+		d.PosFreq[pos]++
+		d.OpFreq[code[pos].Op]++
+	}
+	return d, nil
+}
+
+// RunWeights returns, for each run, its execution count (the count of
+// its first position): the weights used when collecting training
+// sequences for superinstruction selection.
+func (d *ProfileData) RunWeights(runs []Block) []uint64 {
+	out := make([]uint64, len(runs))
+	for k, r := range runs {
+		out[k] = d.PosFreq[r.Start]
+	}
+	return out
+}

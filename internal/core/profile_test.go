@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+
+	"vmopt/internal/core"
+	"vmopt/internal/forth"
+	"vmopt/internal/forthvm"
+)
+
+func TestProfileCountsMatchExecution(t *testing.T) {
+	p := forth.MustCompile("variable s 10 0 do i s +! loop s @ .")
+	vm := p.NewVM(64)
+	d, err := core.Profile(vm, 1_000_000)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if d.Steps == 0 {
+		t.Fatal("no steps profiled")
+	}
+	var sumOp, sumPos uint64
+	for _, c := range d.OpFreq {
+		sumOp += c
+	}
+	for _, c := range d.PosFreq {
+		sumPos += c
+	}
+	if sumOp != d.Steps || sumPos != d.Steps {
+		t.Errorf("frequency sums %d/%d != steps %d", sumOp, sumPos, d.Steps)
+	}
+	// The loop body executes 10 times: i and +! have count >= 10.
+	if d.OpFreq[forthvm.OpI] < 10 {
+		t.Errorf("i executed %d times, want >= 10", d.OpFreq[forthvm.OpI])
+	}
+	if d.OpFreq[forthvm.OpPlusStore] < 10 {
+		t.Errorf("+! executed %d times, want >= 10", d.OpFreq[forthvm.OpPlusStore])
+	}
+}
+
+func TestProfileStepLimit(t *testing.T) {
+	p := forth.MustCompile("begin 1 drop again")
+	vm := p.NewVM(16)
+	if _, err := core.Profile(vm, 500); err == nil {
+		t.Error("Profile should fail on runaway programs")
+	}
+}
+
+func TestRunWeights(t *testing.T) {
+	p := forth.MustCompile("variable s 20 0 do i s +! loop s @ .")
+	vm := p.NewVM(64)
+	d, err := core.Profile(vm, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := core.Runs(p.Code, forthvm.ISA(), nil)
+	w := d.RunWeights(runs)
+	if len(w) != len(runs) {
+		t.Fatalf("weights %d != runs %d", len(w), len(runs))
+	}
+	// At least one run (the loop body) executes ~20 times.
+	hot := false
+	for _, x := range w {
+		if x >= 20 {
+			hot = true
+		}
+	}
+	if !hot {
+		t.Errorf("no hot run found in weights %v", w)
+	}
+}
+
+func TestProfileCountsQuickOps(t *testing.T) {
+	vm := &quickVM{code: append([]core.Inst(nil), quickLoop...)}
+	d, err := core.Profile(vm, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quickable executed once as qGet... but Profile records the
+	// live opcode after the step, so all 20 iterations count as the
+	// quick version (which is what replica selection wants).
+	if d.OpFreq[qGetQ] != 20 {
+		t.Errorf("quick op count = %d, want 20", d.OpFreq[qGetQ])
+	}
+}

@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"testing"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/forthvm"
+	"vmopt/internal/superinst"
+)
+
+// shadowProgram builds VM code where a static superinstruction covers
+// a basic-block boundary and a loop branch targets its middle:
+//
+//	0: lit n        (counter)
+//	1: lit 0        <- super starts here...
+//	2: add
+//	3: lit 1        <- ...loop target (side entry, leader)
+//	4: add          <- super continues across the leader
+//	5: lit -2
+//	6: add          ; net -1 per iteration
+//	7: dup          ; keep the counter for the test
+//	8: zbranch 10   ; exit when counter == 0
+//	9: branch 3     ; loop back into the middle of the covered run
+//	10: halt
+func shadowProgram(n int64) []core.Inst {
+	return []core.Inst{
+		{Op: forthvm.OpLit, Arg: n},
+		{Op: forthvm.OpLit, Arg: 0},
+		{Op: forthvm.OpAdd},
+		{Op: forthvm.OpLit, Arg: 1},
+		{Op: forthvm.OpAdd},
+		{Op: forthvm.OpLit, Arg: -2},
+		{Op: forthvm.OpAdd},
+		{Op: forthvm.OpDup},
+		{Op: forthvm.OpZBranch, Arg: 10},
+		{Op: forthvm.OpBranch, Arg: 3},
+		{Op: forthvm.OpHalt},
+	}
+}
+
+// shadowTable covers lit/add pairs and longer chains so the parse can
+// cross the leader at position 3.
+func shadowTable() *superinst.Table {
+	return superinst.MustNewTable([][]uint32{
+		{forthvm.OpLit, forthvm.OpAdd},
+		{forthvm.OpLit, forthvm.OpAdd, forthvm.OpLit, forthvm.OpAdd},
+	})
+}
+
+// TestSideEntryDetected: with supers across basic blocks, the loop
+// target inside a covered piece is flagged as a side entry; the
+// within-block variant never flags one.
+func TestSideEntryDetected(t *testing.T) {
+	code := shadowProgram(5)
+	across := core.MustBuildPlan(code, forthvm.ISA(), core.Config{
+		Technique: core.TWithStaticSuperAcross, Supers: shadowTable(),
+	})
+	found := false
+	for pos := range code {
+		if across.SideEntry(pos) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no side entry detected; the parse should cross the leader at position 3")
+	}
+
+	within := core.MustBuildPlan(code, forthvm.ISA(), core.Config{
+		Technique: core.TWithStaticSuper, Supers: shadowTable(),
+	})
+	for pos := range code {
+		if within.SideEntry(pos) {
+			t.Errorf("within-block variant flagged side entry at %d", pos)
+		}
+	}
+}
+
+// TestShadowModeCostsDispatches: executing through the side entry
+// falls back to non-replicated code, which dispatches on every
+// boundary — so the across-supers variant executes more dispatches
+// on this loop than the within-block variant, while computing the
+// same result.
+func TestShadowModeCostsDispatches(t *testing.T) {
+	run := func(tech core.Technique) (uint64, []int64) {
+		code := shadowProgram(50)
+		vm := forthvm.New(append([]core.Inst(nil), code...), 16)
+		plan := core.MustBuildPlan(vm.Code(), forthvm.ISA(), core.Config{
+			Technique: tech, Supers: shadowTable(),
+		})
+		sim := cpu.NewSim(cpu.Pentium4Northwood)
+		c, err := core.Run(vm, plan, sim, 100_000)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		return c.Dispatches, vm.Stack()
+	}
+	dAcross, sAcross := run(core.TWithStaticSuperAcross)
+	dWithin, sWithin := run(core.TWithStaticSuper)
+	if len(sAcross) != len(sWithin) || sAcross[0] != sWithin[0] {
+		t.Fatalf("semantics diverged: %v vs %v", sAcross, sWithin)
+	}
+	if dAcross <= dWithin {
+		t.Errorf("side-entry fallback should cost dispatches: across=%d within=%d",
+			dAcross, dWithin)
+	}
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"vmopt/internal/core"
+)
+
+func TestTechniqueNamesRoundTrip(t *testing.T) {
+	for _, tq := range core.Techniques() {
+		got, err := core.TechniqueByName(tq.String())
+		if err != nil {
+			t.Errorf("TechniqueByName(%q): %v", tq.String(), err)
+			continue
+		}
+		if got != tq {
+			t.Errorf("round trip %v -> %q -> %v", tq, tq.String(), got)
+		}
+	}
+}
+
+func TestTechniqueByNameUnknown(t *testing.T) {
+	if _, err := core.TechniqueByName("jit"); err == nil {
+		t.Error("unknown technique should error")
+	}
+}
+
+func TestTechniqueStringOutOfRange(t *testing.T) {
+	if s := core.Technique(-1).String(); s == "" {
+		t.Error("out-of-range String should be non-empty")
+	}
+}
+
+func TestIsDynamic(t *testing.T) {
+	dynamic := map[core.Technique]bool{
+		core.TDynamicRepl: true, core.TDynamicSuper: true, core.TDynamicBoth: true,
+		core.TAcrossBB: true, core.TWithStaticSuper: true, core.TWithStaticSuperAcross: true,
+	}
+	for _, tq := range core.Techniques() {
+		if got := tq.IsDynamic(); got != dynamic[tq] {
+			t.Errorf("%v.IsDynamic() = %v, want %v", tq, got, dynamic[tq])
+		}
+	}
+}
+
+func TestPaperNames(t *testing.T) {
+	// The names must match the paper's Section 7.1 variant labels.
+	want := map[core.Technique]string{
+		core.TPlain:           "plain",
+		core.TStaticRepl:      "static repl",
+		core.TStaticSuper:     "static super",
+		core.TStaticBoth:      "static both",
+		core.TDynamicRepl:     "dynamic repl",
+		core.TDynamicSuper:    "dynamic super",
+		core.TDynamicBoth:     "dynamic both",
+		core.TAcrossBB:        "across bb",
+		core.TWithStaticSuper: "with static super",
+	}
+	for tq, name := range want {
+		if tq.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(tq), tq.String(), name)
+		}
+	}
+}

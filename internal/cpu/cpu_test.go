@@ -1,0 +1,161 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"vmopt/internal/btb"
+)
+
+func TestMachineByName(t *testing.T) {
+	m, err := MachineByName("celeron-800")
+	if err != nil {
+		t.Fatalf("MachineByName: %v", err)
+	}
+	if m.BTBEntries != 512 {
+		t.Errorf("celeron BTB entries = %d, want 512", m.BTBEntries)
+	}
+	if _, err := MachineByName("pdp-11"); err == nil {
+		t.Error("unknown machine should error")
+	}
+}
+
+func TestMachinesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Machines() {
+		if seen[m.Name] {
+			t.Errorf("duplicate machine name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestNewPredictorKinds(t *testing.T) {
+	if _, ok := Celeron800.NewPredictor().(*btb.SetAssoc); !ok {
+		t.Error("Celeron predictor should be a set-assoc BTB")
+	}
+	if _, ok := PentiumM.NewPredictor().(*btb.TwoLevel); !ok {
+		t.Error("Pentium M predictor should be two-level")
+	}
+	m2 := Celeron800.WithPredictor(PredictBTB2bc)
+	if _, ok := m2.NewPredictor().(*btb.TwoBit); !ok {
+		t.Error("WithPredictor(BTB2bc) should build a two-bit BTB")
+	}
+	if m2.Name == Celeron800.Name {
+		t.Error("WithPredictor should change the name")
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.Work(100)
+	if s.C.Instructions != 100 {
+		t.Errorf("Instructions = %d, want 100", s.C.Instructions)
+	}
+	if math.Abs(s.C.Cycles-100) > 1e-9 {
+		t.Errorf("Cycles = %v, want 100 (CPI=1)", s.C.Cycles)
+	}
+
+	p4 := NewSim(Pentium4Northwood)
+	p4.Work(100)
+	if math.Abs(p4.C.Cycles-70) > 1e-9 {
+		t.Errorf("P4 cycles = %v, want 70 (CPI=0.7)", p4.C.Cycles)
+	}
+}
+
+func TestIndirectPenalty(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.Indirect(0x10, 0, 0x20) // cold -> mispredict: 10 cycles
+	if s.C.Mispredicted != 1 || s.C.IndirectBranches != 1 {
+		t.Fatalf("counters = %+v", s.C)
+	}
+	if math.Abs(s.C.Cycles-10) > 1e-9 {
+		t.Errorf("Cycles = %v, want 10", s.C.Cycles)
+	}
+	s.Indirect(0x10, 0, 0x20) // now predicted: no extra cycles
+	if math.Abs(s.C.Cycles-10) > 1e-9 {
+		t.Errorf("Cycles after hit = %v, want 10", s.C.Cycles)
+	}
+}
+
+func TestDispatchCountsDispatches(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.Dispatch(0x10, 0, 0x20)
+	s.Indirect(0x14, 0, 0x24)
+	if s.C.Dispatches != 1 || s.C.IndirectBranches != 2 {
+		t.Errorf("Dispatches=%d IndirectBranches=%d, want 1 and 2",
+			s.C.Dispatches, s.C.IndirectBranches)
+	}
+}
+
+func TestFetchMissPenalty(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.Fetch(0x1000, 64) // 2 lines cold: 2 misses x 10 cycles
+	if s.C.ICacheMisses != 2 {
+		t.Errorf("ICacheMisses = %d, want 2", s.C.ICacheMisses)
+	}
+	if math.Abs(s.C.MissCycles-20) > 1e-9 || math.Abs(s.C.Cycles-20) > 1e-9 {
+		t.Errorf("MissCycles=%v Cycles=%v, want 20/20", s.C.MissCycles, s.C.Cycles)
+	}
+	s.Fetch(0x1000, 64) // warm
+	if s.C.ICacheMisses != 2 {
+		t.Errorf("warm fetch should not miss, got %d", s.C.ICacheMisses)
+	}
+}
+
+func TestVMInstAndCodeBytes(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.VMInst()
+	s.VMInst()
+	s.AddCodeBytes(190 * 1024)
+	if s.C.VMInstructions != 2 || s.C.CodeBytes != 190*1024 {
+		t.Errorf("counters = %+v", s.C)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.Work(5)
+	s.Indirect(0x10, 0, 0x20)
+	s.Fetch(0x1000, 4)
+	s.Reset()
+	if s.C.Cycles != 0 || s.C.Instructions != 0 || s.IC.Accesses != 0 {
+		t.Errorf("Reset left state: %+v", s.C)
+	}
+	// Predictor must also be cold again.
+	if s.Indirect(0x10, 0, 0x20) {
+		t.Error("predictor should be cold after Reset")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	s := NewSim(Celeron800)
+	s.C.Cycles = 800e6 // one second at 800MHz
+	if got := s.Seconds(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Seconds = %v, want 1", got)
+	}
+	s.Machine.ClockMHz = 0
+	if s.Seconds() != 0 {
+		t.Error("Seconds with zero clock should be 0")
+	}
+}
+
+// TestPentiumMPredictsInterpreterLoop verifies the Section 8 claim:
+// a two-level predictor handles the dispatch pattern that defeats a
+// BTB.
+func TestPentiumMPredictsInterpreterLoop(t *testing.T) {
+	run := func(m Machine) uint64 {
+		s := NewSim(m)
+		// A's dispatch branch alternates between two targets.
+		for i := 0; i < 200; i++ {
+			s.Indirect(0x100, 0, uint64(0x2000+(i%2)*0x100))
+			s.Indirect(0x200, 0, 0x100) // B always returns to A
+		}
+		return s.C.Mispredicted
+	}
+	btbMisp := run(Celeron800)
+	pmMisp := run(PentiumM)
+	if pmMisp*4 > btbMisp {
+		t.Errorf("Pentium M mispredictions = %d, want far below BTB's %d", pmMisp, btbMisp)
+	}
+}

@@ -1,0 +1,201 @@
+// Package cpu defines the simulated machine models and the cycle
+// accounting used by the interpreter simulation.
+//
+// A Machine bundles the micro-architectural parameters the paper's
+// analysis depends on: BTB geometry, I-cache geometry, branch
+// misprediction penalty, I-cache miss penalty and a base CPI. The
+// predefined models correspond to the hardware used in the paper's
+// evaluation (Section 6.2): an 800MHz Celeron with a Pentium 3 core,
+// Pentium 4 Northwood, and the Athlon used for the native-compiler
+// comparison; plus the Prescott-core P4 and the Pentium M (two-level
+// indirect predictor) discussed in Sections 2.2 and 8.
+package cpu
+
+import (
+	"fmt"
+
+	"vmopt/internal/btb"
+	"vmopt/internal/icache"
+)
+
+// PredictorKind selects the indirect branch prediction hardware of a
+// Machine.
+type PredictorKind int
+
+const (
+	// PredictBTB is a plain branch target buffer.
+	PredictBTB PredictorKind = iota
+	// PredictBTB2bc is a BTB with two-bit hysteresis counters.
+	PredictBTB2bc
+	// PredictTwoLevel is a history-based two-level indirect
+	// predictor (Pentium M style).
+	PredictTwoLevel
+	// PredictCaseBlock is the case block table of Kaeli and Emma:
+	// switch-operand-indexed prediction (paper Section 8).
+	PredictCaseBlock
+)
+
+// Machine describes a simulated processor.
+type Machine struct {
+	// Name identifies the model, e.g. "celeron-800".
+	Name string
+
+	// Predictor selects the indirect branch predictor kind.
+	Predictor PredictorKind
+	// BTBEntries and BTBWays give the BTB geometry (ignored for
+	// PredictTwoLevel).
+	BTBEntries int
+	BTBWays    int
+	// HistoryLen and TableBits configure a two-level predictor.
+	HistoryLen int
+	TableBits  int
+
+	// ICacheBytes, ICacheLine and ICacheWays give the L1 I-cache
+	// (or trace cache approximation) geometry.
+	ICacheBytes int
+	ICacheLine  int
+	ICacheWays  int
+
+	// MispredictPenalty is the branch misprediction cost in cycles
+	// (about 10 on P3/Athlon, 20 on Northwood, 30 on Prescott).
+	MispredictPenalty float64
+	// ICacheMissPenalty is the per-miss cost in cycles (27 for the
+	// P4 trace cache per Zhou and Ross; ~10 for P3-era caches).
+	ICacheMissPenalty float64
+	// CPI is the base cycles per (non-stalling) native instruction;
+	// below 1 models superscalar issue.
+	CPI float64
+	// ClockMHz is informational (used to convert cycles to seconds
+	// in reports).
+	ClockMHz float64
+}
+
+// Predefined machine models.
+var (
+	// Celeron800 models the 800MHz Celeron (Pentium 3 core) of
+	// Section 6.2: 512-entry BTB, 16KB I-cache, ~10 cycle penalty.
+	Celeron800 = Machine{
+		Name:      "celeron-800",
+		Predictor: PredictBTB, BTBEntries: 512, BTBWays: 4,
+		ICacheBytes: 16 * 1024, ICacheLine: 32, ICacheWays: 4,
+		MispredictPenalty: 10, ICacheMissPenalty: 10,
+		CPI: 1.0, ClockMHz: 800,
+	}
+
+	// Pentium4Northwood models the Northwood-core Pentium 4:
+	// 4096-entry BTB, 12K-uop trace cache (approximated as a 64KB
+	// cache with a 27-cycle miss penalty), ~20 cycle misprediction
+	// penalty.
+	Pentium4Northwood = Machine{
+		Name:      "pentium4-northwood",
+		Predictor: PredictBTB, BTBEntries: 4096, BTBWays: 4,
+		ICacheBytes: 64 * 1024, ICacheLine: 64, ICacheWays: 8,
+		MispredictPenalty: 20, ICacheMissPenalty: 27,
+		CPI: 0.70, ClockMHz: 2260,
+	}
+
+	// Pentium4Prescott is the Prescott-core P4 with its ~30 cycle
+	// misprediction penalty (Section 2.2).
+	Pentium4Prescott = Machine{
+		Name:      "pentium4-prescott",
+		Predictor: PredictBTB, BTBEntries: 4096, BTBWays: 4,
+		ICacheBytes: 64 * 1024, ICacheLine: 64, ICacheWays: 8,
+		MispredictPenalty: 30, ICacheMissPenalty: 27,
+		CPI: 0.70, ClockMHz: 3000,
+	}
+
+	// Athlon1200 models the Athlon used for the native-code
+	// comparison (Section 7.6).
+	Athlon1200 = Machine{
+		Name:      "athlon-1200",
+		Predictor: PredictBTB, BTBEntries: 2048, BTBWays: 4,
+		ICacheBytes: 64 * 1024, ICacheLine: 64, ICacheWays: 2,
+		MispredictPenalty: 10, ICacheMissPenalty: 12,
+		CPI: 0.90, ClockMHz: 1200,
+	}
+
+	// PentiumM models the Pentium M with its two-level indirect
+	// branch predictor (Sections 2.2 and 8); it predicts most
+	// interpreter dispatch branches correctly even without the
+	// paper's software techniques.
+	PentiumM = Machine{
+		Name:      "pentium-m",
+		Predictor: PredictTwoLevel, TableBits: 14, HistoryLen: 4,
+		ICacheBytes: 32 * 1024, ICacheLine: 64, ICacheWays: 8,
+		MispredictPenalty: 10, ICacheMissPenalty: 12,
+		CPI: 0.85, ClockMHz: 1600,
+	}
+)
+
+// Machines lists all predefined machine models.
+func Machines() []Machine {
+	return []Machine{Celeron800, Pentium4Northwood, Pentium4Prescott, Athlon1200, PentiumM}
+}
+
+// MachineByName returns the predefined machine with the given name.
+func MachineByName(name string) (Machine, error) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("cpu: unknown machine %q", name)
+}
+
+// NewPredictor builds the machine's indirect branch predictor.
+func (m Machine) NewPredictor() btb.Predictor {
+	switch m.Predictor {
+	case PredictBTB:
+		return btb.NewSetAssoc(m.BTBEntries, m.BTBWays)
+	case PredictBTB2bc:
+		return btb.NewTwoBit(m.BTBEntries, m.BTBWays)
+	case PredictTwoLevel:
+		return btb.NewTwoLevel(m.TableBits, m.HistoryLen)
+	case PredictCaseBlock:
+		n := m.BTBEntries
+		if n == 0 {
+			n = 4096
+		}
+		return btb.NewCaseBlock(n)
+	default:
+		panic(fmt.Sprintf("cpu: unknown predictor kind %d", m.Predictor))
+	}
+}
+
+// NewICache builds the machine's instruction cache.
+func (m Machine) NewICache() *icache.Cache {
+	return icache.New(m.ICacheBytes, m.ICacheLine, m.ICacheWays)
+}
+
+// WithPredictor returns a copy of the machine using a different
+// predictor kind (for the predictor-comparison experiments).
+func (m Machine) WithPredictor(k PredictorKind) Machine {
+	m2 := m
+	m2.Predictor = k
+	m2.Name = m.Name + predictorSuffix(k)
+	return m2
+}
+
+func predictorSuffix(k PredictorKind) string {
+	switch k {
+	case PredictBTB:
+		return "+btb"
+	case PredictBTB2bc:
+		return "+btb2bc"
+	case PredictTwoLevel:
+		return "+twolevel"
+	case PredictCaseBlock:
+		return "+caseblock"
+	default:
+		return "+?"
+	}
+}
+
+// WithBTBEntries returns a copy of the machine with a different BTB
+// capacity (for the BTB-size sensitivity experiments).
+func (m Machine) WithBTBEntries(entries int) Machine {
+	m2 := m
+	m2.BTBEntries = entries
+	m2.Name = fmt.Sprintf("%s-btb%d", m.Name, entries)
+	return m2
+}

@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"vmopt/internal/btb"
+	"vmopt/internal/icache"
+	"vmopt/internal/metrics"
+)
+
+// Sim is one simulated processor instance: predictor, I-cache and the
+// accumulated counters. The interpreter core drives it with three
+// event kinds: straight-line work, instruction fetch, and indirect
+// branches.
+type Sim struct {
+	Machine Machine
+	Pred    btb.Predictor
+	IC      *icache.Cache
+	C       metrics.Counters
+}
+
+// NewSim builds a simulator for the machine.
+func NewSim(m Machine) *Sim {
+	return &Sim{Machine: m, Pred: m.NewPredictor(), IC: m.NewICache()}
+}
+
+// Work retires n straight-line native instructions.
+func (s *Sim) Work(n int) {
+	s.C.Instructions += uint64(n)
+	s.C.Cycles += float64(n) * s.Machine.CPI
+}
+
+// Fetch runs the byte range [addr, addr+size) through the I-cache and
+// charges miss penalties.
+func (s *Sim) Fetch(addr uint64, size int) {
+	misses := s.IC.Touch(addr, size)
+	if misses > 0 {
+		s.C.ICacheMisses += uint64(misses)
+		penalty := float64(misses) * s.Machine.ICacheMissPenalty
+		s.C.Cycles += penalty
+		s.C.MissCycles += penalty
+	}
+}
+
+// Indirect executes an indirect branch at address branch jumping to
+// target; hint is the operand key for operand-indexed predictors. It
+// reports whether the branch was predicted correctly.
+func (s *Sim) Indirect(branch, hint, target uint64) bool {
+	s.C.IndirectBranches++
+	ok := s.Pred.Access(branch, hint, target)
+	if !ok {
+		s.C.Mispredicted++
+		s.C.Cycles += s.Machine.MispredictPenalty
+	}
+	return ok
+}
+
+// Dispatch is Indirect plus the dispatch counter (VM instruction
+// dispatches are the indirect branches the paper's techniques target).
+func (s *Sim) Dispatch(branch, hint, target uint64) bool {
+	s.C.Dispatches++
+	return s.Indirect(branch, hint, target)
+}
+
+// VMInst counts one executed VM instruction.
+func (s *Sim) VMInst() { s.C.VMInstructions++ }
+
+// AddCodeBytes records run-time generated code (dynamic techniques).
+func (s *Sim) AddCodeBytes(n uint64) { s.C.CodeBytes += n }
+
+// Reset clears counters, predictor and cache state.
+func (s *Sim) Reset() {
+	s.C = metrics.Counters{}
+	s.Pred.Reset()
+	s.IC.Reset()
+}
+
+// Seconds converts the accumulated cycles to seconds at the machine's
+// clock rate.
+func (s *Sim) Seconds() float64 {
+	if s.Machine.ClockMHz == 0 {
+		return 0
+	}
+	return s.C.Cycles / (s.Machine.ClockMHz * 1e6)
+}

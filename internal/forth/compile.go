@@ -1,0 +1,533 @@
+// Package forth compiles a Forth dialect to Forth VM code.
+//
+// This is the "front-end that compiles the program into an
+// intermediate representation" of paper Section 2.1; the VM code it
+// produces is what the dispatch techniques in internal/core operate
+// on. The dialect covers the classic core: colon definitions,
+// IF/ELSE/THEN, BEGIN/UNTIL/WHILE/REPEAT/AGAIN, DO/LOOP/+LOOP with
+// I/J/LEAVE, RECURSE, EXIT, tick ('), EXECUTE, variables, arrays,
+// constants, string output and comments.
+//
+// Deviations from ANS Forth, chosen to keep the compiler small:
+// memory is cell-addressed (CELLS compiles to nothing), and defining
+// words use prefix forms "VARIABLE name", "ARRAY name n",
+// "CONSTANT name n".
+package forth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vmopt/internal/core"
+	"vmopt/internal/forthvm"
+)
+
+// Program is a compiled Forth program.
+type Program struct {
+	// Code is the VM code; execution starts at Entry (always 0: a
+	// branch to the top-level code).
+	Code []core.Inst
+	// MemCells is the data-space size the program needs.
+	MemCells int
+	// Words maps defined word names to their code positions
+	// (execution tokens).
+	Words map[string]int
+}
+
+// NewVM instantiates a Forth VM process for the program with
+// extraCells of scratch memory beyond the compiled data space.
+func (p *Program) NewVM(extraCells int) *forthvm.VM {
+	return forthvm.New(p.Code, p.MemCells+extraCells)
+}
+
+// compiler holds the state of one compilation.
+type compiler struct {
+	code []core.Inst
+	// main accumulates top-level (outside colon definition) code;
+	// it is appended after all definitions.
+	main []core.Inst
+	// cur is the definition currently being compiled (nil at top
+	// level).
+	cur *[]core.Inst
+
+	words     map[string]int   // word name -> xt
+	constants map[string]int64 // constant name -> value
+	vars      map[string]int64 // variable/array name -> address
+	nextMem   int64
+
+	// curName/curStart track the open colon definition (RECURSE).
+	curName  string
+	curStart int
+
+	ctl []ctlEntry // compile-time control-flow stack
+
+	tokens []string
+	pos    int
+}
+
+type ctlKind int
+
+const (
+	ctlIf ctlKind = iota
+	ctlElse
+	ctlBegin
+	ctlWhile
+	ctlDo
+)
+
+type ctlEntry struct {
+	kind   ctlKind
+	target int   // position to patch or branch back to (relative to cur)
+	leaves []int // LEAVE branch positions to patch (for ctlDo)
+}
+
+// Compile translates Forth source into a Program.
+func Compile(src string) (*Program, error) {
+	c := &compiler{
+		words:     make(map[string]int),
+		constants: make(map[string]int64),
+		vars:      make(map[string]int64),
+		tokens:    tokenize(src),
+	}
+	// Position 0 is a branch to the top-level code, patched at the
+	// end, so programs always start at PC 0.
+	c.code = append(c.code, core.Inst{Op: forthvm.OpBranch})
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	if c.cur != nil {
+		return nil, fmt.Errorf("forth: unterminated definition %q", c.curName)
+	}
+	if len(c.ctl) > 0 {
+		return nil, fmt.Errorf("forth: unterminated control structure")
+	}
+	mainStart := len(c.code)
+	c.code[0].Arg = int64(mainStart)
+	// Top-level branch targets were compiled relative to the start
+	// of the main block; rebase them now that its position is known.
+	for k := range c.main {
+		switch c.main[k].Op {
+		case forthvm.OpBranch, forthvm.OpZBranch, forthvm.OpLoop, forthvm.OpPlusLoop:
+			c.main[k].Arg += int64(mainStart)
+		}
+	}
+	c.code = append(c.code, c.main...)
+	c.code = append(c.code, core.Inst{Op: forthvm.OpHalt})
+	return &Program{Code: c.code, MemCells: int(c.nextMem), Words: c.words}, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and fixed
+// workload sources.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// tokenize splits source into words, stripping \-to-EOL and ( ... )
+// comments and keeping ." ..." strings together.
+func tokenize(src string) []string {
+	var tokens []string
+	lines := strings.Split(src, "\n")
+	for _, line := range lines {
+		if idx := strings.Index(line, "\\"); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		for i := 0; i < len(fields); i++ {
+			f := fields[i]
+			if f == "(" {
+				for i < len(fields) && !strings.HasSuffix(fields[i], ")") {
+					i++
+				}
+				continue
+			}
+			if f == `."` {
+				// Re-join until closing quote.
+				var parts []string
+				i++
+				for i < len(fields) {
+					part := fields[i]
+					if strings.HasSuffix(part, `"`) {
+						parts = append(parts, strings.TrimSuffix(part, `"`))
+						break
+					}
+					parts = append(parts, part)
+					i++
+				}
+				tokens = append(tokens, `."`+strings.Join(parts, " "))
+				continue
+			}
+			tokens = append(tokens, f)
+		}
+	}
+	return tokens
+}
+
+func (c *compiler) next() (string, bool) {
+	if c.pos >= len(c.tokens) {
+		return "", false
+	}
+	t := c.tokens[c.pos]
+	c.pos++
+	return t, true
+}
+
+func (c *compiler) mustNext(after string) (string, error) {
+	t, ok := c.next()
+	if !ok {
+		return "", fmt.Errorf("forth: missing token after %q", after)
+	}
+	return t, nil
+}
+
+// out returns the instruction list currently being compiled into.
+func (c *compiler) out() *[]core.Inst {
+	if c.cur != nil {
+		return c.cur
+	}
+	return &c.main
+}
+
+func (c *compiler) emit(in core.Inst) int {
+	o := c.out()
+	*o = append(*o, in)
+	return len(*o) - 1
+}
+
+func (c *compiler) emitOp(op uint32) int { return c.emit(core.Inst{Op: op}) }
+
+func (c *compiler) emitArg(op uint32, arg int64) int {
+	return c.emit(core.Inst{Op: op, Arg: arg})
+}
+
+// simple maps primitive words to opcodes.
+var simple = map[string]uint32{
+	"+": forthvm.OpAdd, "-": forthvm.OpSub, "*": forthvm.OpMul,
+	"/": forthvm.OpDiv, "mod": forthvm.OpMod,
+	"negate": forthvm.OpNegate, "abs": forthvm.OpAbs,
+	"min": forthvm.OpMin, "max": forthvm.OpMax,
+	"1+": forthvm.OpOnePlus, "1-": forthvm.OpOneMinus,
+	"2*": forthvm.OpTwoStar, "2/": forthvm.OpTwoSlash,
+	"cell+":  forthvm.OpOnePlus,
+	"lshift": forthvm.OpLshift, "rshift": forthvm.OpRshift,
+	"and": forthvm.OpAnd, "or": forthvm.OpOr, "xor": forthvm.OpXor,
+	"invert": forthvm.OpInvert,
+	"=":      forthvm.OpEq, "<>": forthvm.OpNe, "<": forthvm.OpLt,
+	">": forthvm.OpGt, "<=": forthvm.OpLe, ">=": forthvm.OpGe,
+	"0=": forthvm.OpZeroEq, "0<>": forthvm.OpZeroNe, "0<": forthvm.OpZeroLt,
+	"u<":  forthvm.OpULt,
+	"dup": forthvm.OpDup, "drop": forthvm.OpDrop, "swap": forthvm.OpSwap,
+	"over": forthvm.OpOver, "rot": forthvm.OpRot, "nip": forthvm.OpNip,
+	"tuck": forthvm.OpTuck, "2dup": forthvm.OpTwoDup, "2drop": forthvm.OpTwoDrop,
+	"pick": forthvm.OpPick, "?dup": forthvm.OpQDup, "depth": forthvm.OpDepth,
+	">r": forthvm.OpToR, "r>": forthvm.OpRFrom, "r@": forthvm.OpRFetch,
+	"@": forthvm.OpFetch, "!": forthvm.OpStore,
+	"c@": forthvm.OpCFetch, "c!": forthvm.OpCStore, "+!": forthvm.OpPlusStore,
+	"emit": forthvm.OpEmit, ".": forthvm.OpDot,
+	"i": forthvm.OpI, "j": forthvm.OpJ, "unloop": forthvm.OpUnloop,
+	"execute": forthvm.OpExecute,
+	"exit":    forthvm.OpRet,
+	"nop":     forthvm.OpNop,
+	"bye":     forthvm.OpHalt,
+}
+
+func (c *compiler) run() error {
+	for {
+		tok, ok := c.next()
+		if !ok {
+			return nil
+		}
+		if err := c.word(tok); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *compiler) word(tok string) error {
+	lower := strings.ToLower(tok)
+
+	// String output: ."text with spaces" (tokenizer keeps it whole).
+	if strings.HasPrefix(tok, `."`) {
+		for _, ch := range []byte(tok[2:]) {
+			c.emitArg(forthvm.OpLit, int64(ch))
+			c.emitOp(forthvm.OpEmit)
+		}
+		return nil
+	}
+
+	switch lower {
+	case ":":
+		return c.colon()
+	case ";":
+		return c.semicolon()
+	case "if":
+		pos := c.emitArg(forthvm.OpZBranch, -1)
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlIf, target: pos})
+		return nil
+	case "else":
+		if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != ctlIf {
+			return fmt.Errorf("forth: ELSE without IF")
+		}
+		e := c.ctl[len(c.ctl)-1]
+		pos := c.emitArg(forthvm.OpBranch, -1)
+		(*c.out())[e.target].Arg = int64(c.relHere())
+		c.ctl[len(c.ctl)-1] = ctlEntry{kind: ctlElse, target: pos}
+		return nil
+	case "then":
+		if len(c.ctl) == 0 || (c.ctl[len(c.ctl)-1].kind != ctlIf && c.ctl[len(c.ctl)-1].kind != ctlElse) {
+			return fmt.Errorf("forth: THEN without IF")
+		}
+		e := c.ctl[len(c.ctl)-1]
+		c.ctl = c.ctl[:len(c.ctl)-1]
+		(*c.out())[e.target].Arg = int64(c.relHere())
+		return nil
+	case "begin":
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlBegin, target: c.relHere()})
+		return nil
+	case "until":
+		if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != ctlBegin {
+			return fmt.Errorf("forth: UNTIL without BEGIN")
+		}
+		e := c.ctl[len(c.ctl)-1]
+		c.ctl = c.ctl[:len(c.ctl)-1]
+		c.emitArg(forthvm.OpZBranch, int64(e.target))
+		return nil
+	case "again":
+		if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != ctlBegin {
+			return fmt.Errorf("forth: AGAIN without BEGIN")
+		}
+		e := c.ctl[len(c.ctl)-1]
+		c.ctl = c.ctl[:len(c.ctl)-1]
+		c.emitArg(forthvm.OpBranch, int64(e.target))
+		return nil
+	case "while":
+		if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != ctlBegin {
+			return fmt.Errorf("forth: WHILE without BEGIN")
+		}
+		pos := c.emitArg(forthvm.OpZBranch, -1)
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlWhile, target: pos})
+		return nil
+	case "repeat":
+		if len(c.ctl) < 2 || c.ctl[len(c.ctl)-1].kind != ctlWhile ||
+			c.ctl[len(c.ctl)-2].kind != ctlBegin {
+			return fmt.Errorf("forth: REPEAT without BEGIN..WHILE")
+		}
+		w := c.ctl[len(c.ctl)-1]
+		b := c.ctl[len(c.ctl)-2]
+		c.ctl = c.ctl[:len(c.ctl)-2]
+		c.emitArg(forthvm.OpBranch, int64(b.target))
+		(*c.out())[w.target].Arg = int64(c.relHere())
+		return nil
+	case "do":
+		c.emitOp(forthvm.OpDo)
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlDo, target: c.relHere()})
+		return nil
+	case "?do":
+		// Zero-trip guard: skip the whole loop unless start < limit
+		// (ascending-loop semantics; plain DO always runs once).
+		// ( limit start -- ) 2dup <= 0branch enter; 2drop; branch exit
+		c.emitOp(forthvm.OpTwoDup)
+		c.emitOp(forthvm.OpLe)
+		guard := c.emitArg(forthvm.OpZBranch, -1)
+		c.emitOp(forthvm.OpTwoDrop)
+		skip := c.emitArg(forthvm.OpBranch, -1)
+		(*c.out())[guard].Arg = int64(c.relHere())
+		c.emitOp(forthvm.OpDo)
+		// The skip branch resolves with the LEAVEs at LOOP.
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlDo, target: c.relHere(), leaves: []int{skip}})
+		return nil
+	case "loop", "+loop":
+		if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != ctlDo {
+			return fmt.Errorf("forth: %s without DO", strings.ToUpper(lower))
+		}
+		e := c.ctl[len(c.ctl)-1]
+		c.ctl = c.ctl[:len(c.ctl)-1]
+		op := forthvm.OpLoop
+		if lower == "+loop" {
+			op = forthvm.OpPlusLoop
+		}
+		c.emitArg(op, int64(e.target))
+		for _, l := range e.leaves {
+			(*c.out())[l].Arg = int64(c.relHere())
+		}
+		return nil
+	case "leave":
+		for k := len(c.ctl) - 1; k >= 0; k-- {
+			if c.ctl[k].kind == ctlDo {
+				c.emitOp(forthvm.OpUnloop)
+				pos := c.emitArg(forthvm.OpBranch, -1)
+				c.ctl[k].leaves = append(c.ctl[k].leaves, pos)
+				return nil
+			}
+		}
+		return fmt.Errorf("forth: LEAVE outside DO loop")
+	case "recurse":
+		if c.cur == nil {
+			return fmt.Errorf("forth: RECURSE outside definition")
+		}
+		c.emitArg(forthvm.OpCall, int64(c.curStart))
+		return nil
+	case "variable":
+		name, err := c.mustNext("VARIABLE")
+		if err != nil {
+			return err
+		}
+		return c.defineData(name, 1)
+	case "array":
+		name, err := c.mustNext("ARRAY")
+		if err != nil {
+			return err
+		}
+		nTok, err := c.mustNext("ARRAY " + name)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(nTok, 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("forth: ARRAY %s needs a positive size, got %q", name, nTok)
+		}
+		return c.defineData(name, n)
+	case "constant":
+		name, err := c.mustNext("CONSTANT")
+		if err != nil {
+			return err
+		}
+		vTok, err := c.mustNext("CONSTANT " + name)
+		if err != nil {
+			return err
+		}
+		v, err := parseNumber(vTok)
+		if err != nil {
+			return fmt.Errorf("forth: CONSTANT %s needs a number, got %q", name, vTok)
+		}
+		c.constants[strings.ToLower(name)] = v
+		return nil
+	case "'":
+		name, err := c.mustNext("'")
+		if err != nil {
+			return err
+		}
+		xt, ok := c.words[strings.ToLower(name)]
+		if !ok {
+			return fmt.Errorf("forth: ' of unknown word %q", name)
+		}
+		c.emitArg(forthvm.OpLit, int64(xt))
+		return nil
+	case "cells", "chars":
+		return nil // cell-addressed memory: no scaling
+	case "cr":
+		c.emitArg(forthvm.OpLit, '\n')
+		c.emitOp(forthvm.OpEmit)
+		return nil
+	case "space":
+		c.emitArg(forthvm.OpLit, ' ')
+		c.emitOp(forthvm.OpEmit)
+		return nil
+	case "true":
+		c.emitArg(forthvm.OpLit, -1)
+		return nil
+	case "false":
+		c.emitArg(forthvm.OpLit, 0)
+		return nil
+	}
+
+	// Number?
+	if v, err := parseNumber(tok); err == nil {
+		c.emitArg(forthvm.OpLit, v)
+		return nil
+	}
+	// Constant?
+	if v, ok := c.constants[lower]; ok {
+		c.emitArg(forthvm.OpLit, v)
+		return nil
+	}
+	// Variable or array?
+	if addr, ok := c.vars[lower]; ok {
+		c.emitArg(forthvm.OpLit, addr)
+		return nil
+	}
+	// Simple primitive?
+	if op, ok := simple[lower]; ok {
+		c.emitOp(op)
+		return nil
+	}
+	// User word?
+	if xt, ok := c.words[lower]; ok {
+		c.emitArg(forthvm.OpCall, int64(xt))
+		return nil
+	}
+	return fmt.Errorf("forth: unknown word %q", tok)
+}
+
+func (c *compiler) defineData(name string, cells int64) error {
+	lower := strings.ToLower(name)
+	if _, dup := c.vars[lower]; dup {
+		return fmt.Errorf("forth: redefinition of %q", name)
+	}
+	c.vars[lower] = c.nextMem
+	c.nextMem += cells
+	return nil
+}
+
+// parseNumber accepts decimal, hex ($ff or 0xff) and char ('c')
+// literals.
+func parseNumber(tok string) (int64, error) {
+	if len(tok) == 3 && tok[0] == '\'' && tok[2] == '\'' {
+		return int64(tok[1]), nil
+	}
+	if strings.HasPrefix(tok, "$") {
+		return strconv.ParseInt(tok[1:], 16, 64)
+	}
+	return strconv.ParseInt(tok, 0, 64)
+}
+
+// relHere returns the next emit position within the current output
+// list (same coordinate space as emit results and branch targets).
+func (c *compiler) relHere() int { return len(*c.out()) }
+
+func (c *compiler) colon() error {
+	if c.cur != nil {
+		return fmt.Errorf("forth: nested colon definition")
+	}
+	name, err := c.mustNext(":")
+	if err != nil {
+		return err
+	}
+	lower := strings.ToLower(name)
+	if _, dup := c.words[lower]; dup {
+		return fmt.Errorf("forth: redefinition of word %q", name)
+	}
+	body := []core.Inst{}
+	c.cur = &body
+	c.curName = lower
+	c.curStart = len(c.code)
+	c.words[lower] = c.curStart
+	return nil
+}
+
+func (c *compiler) semicolon() error {
+	if c.cur == nil {
+		return fmt.Errorf("forth: ; outside definition")
+	}
+	if len(c.ctl) > 0 {
+		return fmt.Errorf("forth: unterminated control structure in %q", c.curName)
+	}
+	body := *c.cur
+	body = append(body, core.Inst{Op: forthvm.OpRet})
+	// Rebase branch targets from body-relative to absolute.
+	base := int64(c.curStart)
+	for k := range body {
+		switch body[k].Op {
+		case forthvm.OpBranch, forthvm.OpZBranch, forthvm.OpLoop, forthvm.OpPlusLoop:
+			body[k].Arg += base
+		}
+	}
+	c.code = append(c.code, body...)
+	c.cur = nil
+	c.curName = ""
+	return nil
+}

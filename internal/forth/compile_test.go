@@ -1,0 +1,379 @@
+package forth
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vmopt/internal/forthvm"
+)
+
+// runSrc compiles and executes src, returning the final VM.
+func runSrc(t *testing.T, src string) *forthvm.VM {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	v := p.NewVM(256)
+	if err := v.Run(5_000_000); err != nil {
+		t.Fatalf("Run: %v\ncode: %v", err, p.Code)
+	}
+	return v
+}
+
+func wantStack(t *testing.T, v *forthvm.VM, want ...int64) {
+	t.Helper()
+	got := v.Stack()
+	if len(got) != len(want) {
+		t.Fatalf("stack = %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("stack = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArithmeticExpr(t *testing.T) {
+	wantStack(t, runSrc(t, "1 2 + 3 *"), 9)
+}
+
+func TestNumbers(t *testing.T) {
+	wantStack(t, runSrc(t, "$ff 0x10 'A' -7"), 255, 16, 65, -7)
+}
+
+func TestColonDefinition(t *testing.T) {
+	wantStack(t, runSrc(t, ": square dup * ; 7 square"), 49)
+}
+
+func TestNestedCalls(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		: double 2 * ;
+		: quad double double ;
+		5 quad`), 20)
+}
+
+func TestIfElseThen(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{": f if 10 else 20 then ; -1 f", 10},
+		{": f if 10 else 20 then ; 0 f", 20},
+		{": f if 10 then 99 ; 0 f", 99},
+		{": f dup 0< if negate then ; -5 f", 5},
+		{": f dup 0< if negate then ; 5 f", 5},
+	}
+	for _, tt := range tests {
+		v := runSrc(t, tt.src)
+		got := v.Stack()
+		if len(got) == 0 || got[len(got)-1] != tt.want {
+			t.Errorf("%q: stack %v, want top %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestBeginUntil(t *testing.T) {
+	// Count down from 5: loop runs until counter hits 0.
+	wantStack(t, runSrc(t, `
+		variable n
+		5 n !
+		begin n @ 1- dup n ! 0= until
+		n @`), 0)
+}
+
+func TestBeginWhileRepeat(t *testing.T) {
+	// Sum 1..10 with a while loop.
+	wantStack(t, runSrc(t, `
+		variable sum variable k
+		0 sum ! 1 k !
+		begin k @ 10 <= while
+			k @ sum +!
+			k @ 1+ k !
+		repeat
+		sum @`), 55)
+}
+
+func TestDoLoop(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		variable sum 0 sum !
+		10 0 do i sum +! loop
+		sum @`), 45)
+}
+
+func TestDoLoopNested(t *testing.T) {
+	// Multiplication table sum: sum of i*j for i,j in 0..3.
+	wantStack(t, runSrc(t, `
+		variable sum 0 sum !
+		4 0 do 4 0 do i j * sum +! loop loop
+		sum @`), 36)
+}
+
+func TestPlusLoop(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		variable sum 0 sum !
+		20 0 do i sum +! 5 +loop
+		sum @`), 30) // 0+5+10+15
+}
+
+func TestLeave(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		variable sum 0 sum !
+		100 0 do
+			i 5 = if leave then
+			i sum +!
+		loop
+		sum @`), 10) // 0+1+2+3+4
+}
+
+func TestRecurse(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		: fact dup 1 <= if drop 1 else dup 1- recurse * then ;
+		6 fact`), 720)
+}
+
+func TestFibRecursive(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ;
+		10 fib`), 55)
+}
+
+func TestTickExecute(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		: add5 5 + ;
+		10 ' add5 execute`), 15)
+}
+
+func TestVariableAndArray(t *testing.T) {
+	v := runSrc(t, `
+		variable a
+		array buf 10
+		42 a !
+		7 buf 3 + !
+		a @ buf 3 + @`)
+	wantStack(t, v, 42, 7)
+}
+
+func TestConstant(t *testing.T) {
+	wantStack(t, runSrc(t, "constant size 40 size size +"), 80)
+}
+
+func TestStringOutput(t *testing.T) {
+	v := runSrc(t, `." hello world" cr 42 .`)
+	if got := string(v.Out); got != "hello world\n42 " {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		\ a line comment
+		1 ( inline comment ) 2 +   \ trailing comment
+	`), 3)
+}
+
+func TestCellsNoop(t *testing.T) {
+	wantStack(t, runSrc(t, "3 cells"), 3)
+}
+
+func TestTrueFalse(t *testing.T) {
+	wantStack(t, runSrc(t, "true false"), -1, 0)
+}
+
+func TestExitMidWord(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		: f 1 exit 2 ;
+		f`), 1)
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown word", "frobnicate", "unknown word"},
+		{"unterminated def", ": foo 1 2", "unterminated definition"},
+		{"nested colon", ": a : b ;", "nested colon"},
+		{"semicolon outside", "1 ;", "outside definition"},
+		{"else without if", ": f else then ;", "ELSE without IF"},
+		{"then without if", ": f then ;", "THEN without IF"},
+		{"until without begin", ": f until ;", "UNTIL without BEGIN"},
+		{"repeat without while", ": f begin repeat ;", "REPEAT without"},
+		{"loop without do", ": f loop ;", "LOOP without DO"},
+		{"leave outside", ": f leave ;", "LEAVE outside"},
+		{"recurse at top level", "recurse", "RECURSE outside"},
+		{"unterminated if", ": f if ;", "unterminated control"},
+		{"top-level unterminated", "begin 1", "unterminated control"},
+		{"redefined word", ": f ; : f ;", "redefinition"},
+		{"redefined var", "variable x variable x", "redefinition"},
+		{"tick unknown", "' nosuch", "unknown word"},
+		{"bad array size", "array a zero", "positive size"},
+		{"bad constant", "constant c notanumber", "needs a number"},
+		{"missing name", ":", "missing token"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Compile(%q) error = %v, want containing %q", tt.src, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on bad source")
+		}
+	}()
+	MustCompile("no-such-word")
+}
+
+func TestWordsExported(t *testing.T) {
+	p := MustCompile(": a ; : b a ;")
+	if _, ok := p.Words["a"]; !ok {
+		t.Error("word a missing from Words")
+	}
+	if _, ok := p.Words["b"]; !ok {
+		t.Error("word b missing from Words")
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	wantStack(t, runSrc(t, ": Square DUP * ; 3 SQUARE"), 9)
+}
+
+func TestEntryIsZero(t *testing.T) {
+	p := MustCompile(": f 1 ; f")
+	if p.Code[0].Op != forthvm.OpBranch {
+		t.Errorf("code[0] should be a branch to main, got op %d", p.Code[0].Op)
+	}
+}
+
+// Property: compiled literal programs push exactly their numbers.
+func TestLiteralRoundTrip(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) > 50 {
+			xs = xs[:50]
+		}
+		var sb strings.Builder
+		for _, x := range xs {
+			sb.WriteString(" ")
+			sb.WriteString(intToStr(int64(x)))
+		}
+		p, err := Compile(sb.String())
+		if err != nil {
+			return false
+		}
+		v := p.NewVM(16)
+		if err := v.Run(10_000); err != nil {
+			return false
+		}
+		s := v.Stack()
+		if len(s) != len(xs) {
+			return false
+		}
+		for k := range xs {
+			if s[k] != int64(xs[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func intToStr(x int64) string {
+	const digits = "0123456789"
+	if x == 0 {
+		return "0"
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	var b []byte
+	for x > 0 {
+		b = append([]byte{digits[x%10]}, b...)
+		x /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// Property: factorial via recursion matches iterative computation.
+func TestFactorialProperty(t *testing.T) {
+	p := MustCompile(": fact dup 1 <= if drop 1 else dup 1- recurse * then ;")
+	_ = p
+	f := func(n uint8) bool {
+		m := int64(n%12) + 1
+		v := runSrc(t, ": fact dup 1 <= if drop 1 else dup 1- recurse * then ; "+intToStr(m)+" fact")
+		want := int64(1)
+		for k := int64(2); k <= m; k++ {
+			want *= k
+		}
+		s := v.Stack()
+		return len(s) == 1 && s[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuestionDoZeroTrip(t *testing.T) {
+	// limit == start: the body must not execute.
+	wantStack(t, runSrc(t, `
+		variable n 0 n !
+		5 5 ?do 1 n +! loop
+		n @`), 0)
+	// Normal iteration matches DO.
+	wantStack(t, runSrc(t, `
+		variable n 0 n !
+		5 0 ?do 1 n +! loop
+		n @`), 5)
+}
+
+func TestQuestionDoWithPlusLoop(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		variable n 0 n !
+		10 10 ?do i n +! 3 +loop
+		n @`), 0)
+	wantStack(t, runSrc(t, `
+		variable n 0 n !
+		10 0 ?do i n +! 3 +loop
+		n @`), 18) // 0+3+6+9
+}
+
+func TestQuestionDoLeave(t *testing.T) {
+	wantStack(t, runSrc(t, `
+		variable n 0 n !
+		100 0 ?do i 4 = if leave then 1 n +! loop
+		n @`), 4)
+}
+
+func TestSieveOfEratosthenes(t *testing.T) {
+	// pi(8190) = 1027: the loop scans 2..8190, excluding the
+	// Mersenne prime 8191 itself.
+	v := runSrc(t, `
+		array flags 8191
+		variable count
+		0 count !
+		8191 0 do 1 flags i + ! loop
+		8191 2 do
+			flags i + @ if
+				8191 i i + ?do 0 flags i + ! j +loop
+				1 count +!
+			then
+		loop
+		count @ .`)
+	if got := string(v.Out); got != "1027 " {
+		t.Errorf("prime count = %q", got)
+	}
+}

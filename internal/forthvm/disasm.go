@@ -1,0 +1,34 @@
+package forthvm
+
+import (
+	"fmt"
+	"strings"
+
+	"vmopt/internal/core"
+)
+
+// Disassemble renders Forth VM code as one instruction per line, with
+// position numbers and symbolic branch targets.
+func Disassemble(code []core.Inst) string {
+	var b strings.Builder
+	targets := make(map[int]bool)
+	for _, in := range code {
+		m := meta[in.Op]
+		if (m.Branch || m.Call) && m.HasArg {
+			targets[int(in.Arg)] = true
+		}
+	}
+	for pos, in := range code {
+		mark := "  "
+		if targets[pos] {
+			mark = "L:"
+		}
+		m := meta[in.Op]
+		if m.HasArg {
+			fmt.Fprintf(&b, "%s%5d  %-8s %d\n", mark, pos, m.Name, in.Arg)
+		} else {
+			fmt.Fprintf(&b, "%s%5d  %s\n", mark, pos, m.Name)
+		}
+	}
+	return b.String()
+}

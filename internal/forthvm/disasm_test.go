@@ -1,0 +1,40 @@
+package forthvm
+
+import (
+	"strings"
+	"testing"
+
+	"vmopt/internal/core"
+)
+
+func TestDisassemble(t *testing.T) {
+	code := []core.Inst{
+		{Op: OpLit, Arg: 42},
+		{Op: OpZBranch, Arg: 3},
+		{Op: OpDup},
+		{Op: OpHalt},
+	}
+	out := Disassemble(code)
+	for _, want := range []string{"lit", "42", "0branch", "dup", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Branch target position 3 must be marked as a label.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[3], "L:") {
+		t.Errorf("branch target not marked: %q", lines[3])
+	}
+	if strings.HasPrefix(lines[2], "L:") {
+		t.Errorf("non-target marked as label: %q", lines[2])
+	}
+}
+
+func TestDisassembleEmpty(t *testing.T) {
+	if out := Disassemble(nil); out != "" {
+		t.Errorf("empty code disassembly = %q", out)
+	}
+}

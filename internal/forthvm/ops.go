@@ -1,0 +1,208 @@
+// Package forthvm implements a Forth-style stack virtual machine in
+// the mold of Gforth: a flat VM code array, data and return stacks,
+// cell-addressed memory, and an instruction set whose simple
+// operations cost only a few native instructions each — the regime in
+// which dispatch dominates and the paper's techniques matter most.
+package forthvm
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+)
+
+// Opcodes of the Forth VM.
+const (
+	OpNop uint32 = iota
+	OpHalt
+
+	// Literals.
+	OpLit // arg: value to push
+
+	// Data stack manipulation.
+	OpDup
+	OpDrop
+	OpSwap
+	OpOver
+	OpRot
+	OpNip
+	OpTuck
+	OpTwoDup
+	OpTwoDrop
+	OpPick
+	OpQDup
+	OpDepth
+
+	// Return stack.
+	OpToR
+	OpRFrom
+	OpRFetch
+
+	// Arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNegate
+	OpAbs
+	OpMin
+	OpMax
+	OpOnePlus
+	OpOneMinus
+	OpTwoStar
+	OpTwoSlash
+	OpLshift
+	OpRshift
+
+	// Bitwise logic.
+	OpAnd
+	OpOr
+	OpXor
+	OpInvert
+
+	// Comparisons (Forth flags: -1 true, 0 false).
+	OpEq
+	OpNe
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpZeroEq
+	OpZeroNe
+	OpZeroLt
+	OpULt
+
+	// Memory (cell addressed).
+	OpFetch
+	OpStore
+	OpCFetch
+	OpCStore
+	OpPlusStore
+
+	// Control flow.
+	OpBranch  // arg: target position; unconditional
+	OpZBranch // arg: target position; branch if top == 0
+	OpCall    // arg: callee position
+	OpRet
+	OpExecute // pops execution token (code position), calls it
+
+	// Counted loops (compiled from DO ... LOOP).
+	OpDo       // pops start, limit; pushes limit, index on rstack
+	OpLoop     // arg: loop body position; index++ and branch back while index < limit
+	OpPlusLoop // arg: loop body position; pops increment
+	OpI        // push innermost loop index
+	OpJ        // push next-outer loop index
+	OpUnloop   // drop one loop frame from rstack
+
+	// Output.
+	OpEmit // pop, append byte to output
+	OpDot  // pop, append decimal and a space to output
+
+	// NumOps is the opcode-space size.
+	NumOps
+)
+
+// meta is the per-opcode cost and classification table. Work counts
+// approximate x86 native instructions for the work part of each VM
+// instruction (paper Section 2.1: simple VM instructions take as few
+// as 3 native instructions including the 3-instruction dispatch);
+// Bytes approximates x86 encoding size.
+var meta = [NumOps]core.OpMeta{
+	OpNop:     {Name: "nop", Work: 1, Bytes: 1, Relocatable: true},
+	OpHalt:    {Name: "halt", Work: 2, Bytes: 6, Relocatable: true, Stop: true},
+	OpLit:     {Name: "lit", HasArg: true, Work: 2, Bytes: 7, Relocatable: true},
+	OpDup:     {Name: "dup", Work: 2, Bytes: 6, Relocatable: true},
+	OpDrop:    {Name: "drop", Work: 1, Bytes: 3, Relocatable: true},
+	OpSwap:    {Name: "swap", Work: 3, Bytes: 8, Relocatable: true},
+	OpOver:    {Name: "over", Work: 2, Bytes: 7, Relocatable: true},
+	OpRot:     {Name: "rot", Work: 4, Bytes: 11, Relocatable: true},
+	OpNip:     {Name: "nip", Work: 2, Bytes: 6, Relocatable: true},
+	OpTuck:    {Name: "tuck", Work: 3, Bytes: 9, Relocatable: true},
+	OpTwoDup:  {Name: "2dup", Work: 3, Bytes: 9, Relocatable: true},
+	OpTwoDrop: {Name: "2drop", Work: 1, Bytes: 4, Relocatable: true},
+	OpPick:    {Name: "pick", Work: 3, Bytes: 9, Relocatable: true},
+	OpQDup:    {Name: "?dup", Work: 3, Bytes: 9, Relocatable: true},
+	OpDepth:   {Name: "depth", Work: 2, Bytes: 7, Relocatable: true},
+
+	OpToR:    {Name: ">r", Work: 2, Bytes: 6, Relocatable: true},
+	OpRFrom:  {Name: "r>", Work: 2, Bytes: 6, Relocatable: true},
+	OpRFetch: {Name: "r@", Work: 2, Bytes: 6, Relocatable: true},
+
+	OpAdd:      {Name: "+", Work: 2, Bytes: 5, Relocatable: true},
+	OpSub:      {Name: "-", Work: 2, Bytes: 5, Relocatable: true},
+	OpMul:      {Name: "*", Work: 3, Bytes: 7, Relocatable: true},
+	OpDiv:      {Name: "/", Work: 6, Bytes: 16, Relocatable: true},
+	OpMod:      {Name: "mod", Work: 6, Bytes: 16, Relocatable: true},
+	OpNegate:   {Name: "negate", Work: 1, Bytes: 3, Relocatable: true},
+	OpAbs:      {Name: "abs", Work: 3, Bytes: 8, Relocatable: true},
+	OpMin:      {Name: "min", Work: 4, Bytes: 10, Relocatable: true},
+	OpMax:      {Name: "max", Work: 4, Bytes: 10, Relocatable: true},
+	OpOnePlus:  {Name: "1+", Work: 1, Bytes: 3, Relocatable: true},
+	OpOneMinus: {Name: "1-", Work: 1, Bytes: 3, Relocatable: true},
+	OpTwoStar:  {Name: "2*", Work: 1, Bytes: 3, Relocatable: true},
+	OpTwoSlash: {Name: "2/", Work: 1, Bytes: 3, Relocatable: true},
+	OpLshift:   {Name: "lshift", Work: 3, Bytes: 8, Relocatable: true},
+	OpRshift:   {Name: "rshift", Work: 3, Bytes: 8, Relocatable: true},
+
+	OpAnd:    {Name: "and", Work: 2, Bytes: 5, Relocatable: true},
+	OpOr:     {Name: "or", Work: 2, Bytes: 5, Relocatable: true},
+	OpXor:    {Name: "xor", Work: 2, Bytes: 5, Relocatable: true},
+	OpInvert: {Name: "invert", Work: 1, Bytes: 3, Relocatable: true},
+
+	OpEq:     {Name: "=", Work: 4, Bytes: 10, Relocatable: true},
+	OpNe:     {Name: "<>", Work: 4, Bytes: 10, Relocatable: true},
+	OpLt:     {Name: "<", Work: 4, Bytes: 10, Relocatable: true},
+	OpGt:     {Name: ">", Work: 4, Bytes: 10, Relocatable: true},
+	OpLe:     {Name: "<=", Work: 4, Bytes: 10, Relocatable: true},
+	OpGe:     {Name: ">=", Work: 4, Bytes: 10, Relocatable: true},
+	OpZeroEq: {Name: "0=", Work: 3, Bytes: 8, Relocatable: true},
+	OpZeroNe: {Name: "0<>", Work: 3, Bytes: 8, Relocatable: true},
+	OpZeroLt: {Name: "0<", Work: 3, Bytes: 8, Relocatable: true},
+	OpULt:    {Name: "u<", Work: 4, Bytes: 10, Relocatable: true},
+
+	OpFetch:     {Name: "@", Work: 2, Bytes: 6, Relocatable: true},
+	OpStore:     {Name: "!", Work: 3, Bytes: 8, Relocatable: true},
+	OpCFetch:    {Name: "c@", Work: 3, Bytes: 8, Relocatable: true},
+	OpCStore:    {Name: "c!", Work: 4, Bytes: 10, Relocatable: true},
+	OpPlusStore: {Name: "+!", Work: 4, Bytes: 10, Relocatable: true},
+
+	OpBranch:  {Name: "branch", HasArg: true, Work: 2, Bytes: 7, Relocatable: true, Branch: true},
+	OpZBranch: {Name: "0branch", HasArg: true, Work: 4, Bytes: 12, Relocatable: true, Branch: true},
+	OpCall:    {Name: "call", HasArg: true, Work: 4, Bytes: 12, Relocatable: true, Call: true},
+	OpRet:     {Name: "ret", Work: 3, Bytes: 8, Relocatable: true, Return: true},
+	OpExecute: {Name: "execute", Work: 4, Bytes: 10, Relocatable: true, Call: true, Indirect: true},
+
+	OpDo:       {Name: "(do)", Work: 4, Bytes: 11, Relocatable: true},
+	OpLoop:     {Name: "(loop)", HasArg: true, Work: 4, Bytes: 12, Relocatable: true, Branch: true},
+	OpPlusLoop: {Name: "(+loop)", HasArg: true, Work: 6, Bytes: 16, Relocatable: true, Branch: true},
+	OpI:        {Name: "i", Work: 2, Bytes: 6, Relocatable: true},
+	OpJ:        {Name: "j", Work: 2, Bytes: 7, Relocatable: true},
+	OpUnloop:   {Name: "unloop", Work: 1, Bytes: 4, Relocatable: true},
+
+	// Output words call into the runtime; the call makes the code
+	// non-relocatable (paper Section 5.2: PC-relative call out of
+	// the fragment).
+	OpEmit: {Name: "emit", Work: 8, Bytes: 20},
+	OpDot:  {Name: ".", Work: 20, Bytes: 30},
+}
+
+// isa implements core.ISA for the Forth VM.
+type isa struct{}
+
+// ISA returns the Forth VM instruction set description.
+func ISA() core.ISA { return isa{} }
+
+func (isa) Name() string { return "forth" }
+
+func (isa) NumOps() int { return int(NumOps) }
+
+func (isa) Meta(op uint32) core.OpMeta {
+	if op >= NumOps {
+		panic(fmt.Sprintf("forthvm: bad opcode %d", op))
+	}
+	return meta[op]
+}
+
+// OpName returns the mnemonic for an opcode.
+func OpName(op uint32) string { return meta[op].Name }

@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/workload"
+)
+
+// Ablation experiments for the design choices the paper discusses but
+// does not plot: greedy vs optimal superinstruction selection,
+// round-robin vs random replica selection (Section 5.1), BTB size
+// sensitivity (the technical-report simulations of Section 6),
+// misprediction penalty sensitivity (Northwood vs Prescott, Section
+// 2.2), the case block table (Section 8), and executed
+// superinstruction lengths (Section 7.3).
+
+// GreedyVsOptimal compares greedy and optimal static superinstruction
+// parsing on the Forth suite (paper: "almost no difference between
+// the results for greedy and optimal selection").
+func (s *Suite) GreedyVsOptimal() (*Table, map[string][4]float64, error) {
+	t := &Table{
+		ID:    "Ablation: parse",
+		Title: "Static superinstructions: greedy vs optimal parse (P4 cycles)",
+		Header: []string{"benchmark", "greedy cycles", "optimal cycles",
+			"greedy dispatches", "optimal dispatches"},
+	}
+	out := make(map[string][4]float64)
+	g := Variant{Name: "static super", Technique: core.TStaticSuper, NSupers: 400}
+	o := Variant{Name: "static super optimal", Technique: core.TStaticSuper, NSupers: 400, OptimalParse: true}
+	for _, w := range workload.Forth() {
+		cg, err := s.Run(w, g, cpu.Pentium4Northwood)
+		if err != nil {
+			return nil, nil, err
+		}
+		co, err := s.Run(w, o, cpu.Pentium4Northwood)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[w.Name] = [4]float64{cg.Cycles, co.Cycles,
+			float64(cg.Dispatches), float64(co.Dispatches)}
+		t.Rows = append(t.Rows, []string{w.Name,
+			CellN(cg.Cycles), CellN(co.Cycles),
+			CellN(float64(cg.Dispatches)), CellN(float64(co.Dispatches))})
+	}
+	return t, out, nil
+}
+
+// RoundRobinVsRandom compares replica selection policies for static
+// replication (paper Section 5.1: round-robin wins through spatial
+// locality).
+func (s *Suite) RoundRobinVsRandom() (*Table, map[string][2]uint64, error) {
+	t := &Table{
+		ID:     "Ablation: selection",
+		Title:  "Static replication: round-robin vs random copy selection (P4 mispredictions)",
+		Header: []string{"benchmark", "round-robin", "random"},
+	}
+	out := make(map[string][2]uint64)
+	rr := Variant{Name: "static repl", Technique: core.TStaticRepl, NReplicas: 400}
+	rnd := Variant{Name: "static repl random", Technique: core.TStaticRepl, NReplicas: 400,
+		RandomReplicas: true, Seed: 12345}
+	for _, w := range workload.Forth() {
+		c1, err := s.Run(w, rr, cpu.Pentium4Northwood)
+		if err != nil {
+			return nil, nil, err
+		}
+		c2, err := s.Run(w, rnd, cpu.Pentium4Northwood)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[w.Name] = [2]uint64{c1.Mispredicted, c2.Mispredicted}
+		t.Rows = append(t.Rows, []string{w.Name,
+			CellN(float64(c1.Mispredicted)), CellN(float64(c2.Mispredicted))})
+	}
+	return t, out, nil
+}
+
+// BTBSizeSweep measures plain threaded-code misprediction rates as
+// the BTB shrinks (the capacity/conflict-miss regime of the paper's
+// simulator study).
+func (s *Suite) BTBSizeSweep(w *workload.Workload) (*Table, map[int]float64, error) {
+	sizes := []int{32, 64, 128, 256, 512, 1024, 4096}
+	t := &Table{
+		ID:     "Ablation: BTB size",
+		Title:  fmt.Sprintf("Plain threaded misprediction rate vs BTB entries (%s)", w.Name),
+		Header: []string{"BTB entries", "misprediction %"},
+	}
+	out := make(map[int]float64)
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	for _, n := range sizes {
+		m := cpu.Celeron800.WithBTBEntries(n)
+		c, err := s.Run(w, plain, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[n] = c.MispredictRate()
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), Cell(100 * c.MispredictRate())})
+	}
+	return t, out, nil
+}
+
+// PenaltySweep compares the benefit of across-bb on the Northwood
+// (20-cycle penalty) and Prescott (30-cycle penalty) Pentium 4 cores:
+// the deeper pipeline gains more from eliminating mispredictions
+// (Section 2.2).
+func (s *Suite) PenaltySweep() (*Table, map[string][2]float64, error) {
+	t := &Table{
+		ID:     "Ablation: penalty",
+		Title:  "Speedup of across bb over plain: Northwood (20cy) vs Prescott (30cy)",
+		Header: []string{"benchmark", "northwood", "prescott"},
+	}
+	out := make(map[string][2]float64)
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	across := Variant{Name: "across bb", Technique: core.TAcrossBB}
+	for _, w := range workload.Forth() {
+		var sp [2]float64
+		for k, m := range []cpu.Machine{cpu.Pentium4Northwood, cpu.Pentium4Prescott} {
+			base, err := s.Run(w, plain, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			c, err := s.Run(w, across, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			sp[k] = c.SpeedupOver(base)
+		}
+		out[w.Name] = sp
+		t.Rows = append(t.Rows, []string{w.Name, Cell(sp[0]), Cell(sp[1])})
+	}
+	return t, out, nil
+}
+
+// CaseBlockExperiment runs switch dispatch under a case block table
+// (Kaeli & Emma): keyed by the VM opcode, it predicts the shared
+// switch branch almost perfectly (Section 8).
+func (s *Suite) CaseBlockExperiment() (*Table, map[string][2]float64, error) {
+	t := &Table{
+		ID:     "Ablation: case block",
+		Title:  "Switch dispatch misprediction rate: BTB vs case block table",
+		Header: []string{"benchmark", "BTB %", "case block %"},
+	}
+	out := make(map[string][2]float64)
+	sw := Variant{Name: "switch", Technique: core.TSwitch}
+	cb := cpu.Celeron800.WithPredictor(cpu.PredictCaseBlock)
+	for _, w := range workload.Forth() {
+		c1, err := s.Run(w, sw, cpu.Celeron800)
+		if err != nil {
+			return nil, nil, err
+		}
+		c2, err := s.Run(w, sw, cb)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[w.Name] = [2]float64{c1.MispredictRate(), c2.MispredictRate()}
+		t.Rows = append(t.Rows, []string{w.Name,
+			Cell(100 * c1.MispredictRate()), Cell(100 * c2.MispredictRate())})
+	}
+	return t, out, nil
+}
+
+// SuperLengths reports the average executed superinstruction length
+// (VM instructions per dispatch) for static and dynamic
+// superinstructions (paper Section 7.3: about 1.5 static, about 3
+// dynamic for Forth).
+func (s *Suite) SuperLengths() (*Table, map[string][3]float64, error) {
+	t := &Table{
+		ID:     "Ablation: lengths",
+		Title:  "Average VM instructions per dispatch (executed superinstruction length)",
+		Header: []string{"benchmark", "plain", "static super", "dynamic super"},
+	}
+	out := make(map[string][3]float64)
+	vs := []Variant{
+		{Name: "plain", Technique: core.TPlain},
+		{Name: "static super", Technique: core.TStaticSuper, NSupers: 400},
+		{Name: "dynamic super", Technique: core.TDynamicSuper},
+	}
+	for _, w := range workload.Forth() {
+		var lens [3]float64
+		for k, v := range vs {
+			c, err := s.Run(w, v, cpu.Pentium4Northwood)
+			if err != nil {
+				return nil, nil, err
+			}
+			if c.Dispatches > 0 {
+				lens[k] = float64(c.VMInstructions) / float64(c.Dispatches)
+			}
+		}
+		out[w.Name] = lens
+		t.Rows = append(t.Rows, []string{w.Name, Cell(lens[0]), Cell(lens[1]), Cell(lens[2])})
+	}
+	return t, out, nil
+}
+
+// HardwareVsSoftware contrasts the software techniques' benefit on a
+// BTB machine against a machine with a two-level indirect predictor
+// (Pentium M): where the hardware already predicts dispatch branches,
+// replication buys much less (the paper's closing argument in
+// Sections 2.2 and 8).
+func (s *Suite) HardwareVsSoftware() (*Table, map[string][2]float64, error) {
+	t := &Table{
+		ID:     "Ablation: hardware",
+		Title:  "Speedup of across bb over plain: BTB (Celeron) vs two-level (Pentium M)",
+		Header: []string{"benchmark", "celeron-800 (BTB)", "pentium-m (two-level)"},
+	}
+	out := make(map[string][2]float64)
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	across := Variant{Name: "across bb", Technique: core.TAcrossBB}
+	for _, w := range workload.Forth() {
+		var sp [2]float64
+		for k, m := range []cpu.Machine{cpu.Celeron800, cpu.PentiumM} {
+			base, err := s.Run(w, plain, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			c, err := s.Run(w, across, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			sp[k] = c.SpeedupOver(base)
+		}
+		out[w.Name] = sp
+		t.Rows = append(t.Rows, []string{w.Name, Cell(sp[0]), Cell(sp[1])})
+	}
+	return t, out, nil
+}
+
+// TwoLevelHistorySweep measures how much path history the two-level
+// predictor needs to capture interpreter dispatch patterns (the
+// design space of Driesen & Hölzle that Section 8 points to).
+func (s *Suite) TwoLevelHistorySweep(w *workload.Workload) (*Table, map[int]float64, error) {
+	histories := []int{1, 2, 4, 8}
+	t := &Table{
+		ID:     "Ablation: history",
+		Title:  fmt.Sprintf("Two-level predictor misprediction rate vs history length (%s, plain)", w.Name),
+		Header: []string{"history length", "misprediction %"},
+	}
+	out := make(map[int]float64)
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	for _, h := range histories {
+		m := cpu.PentiumM
+		m.HistoryLen = h
+		m.Name = fmt.Sprintf("pentium-m-h%d", h)
+		c, err := s.Run(w, plain, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[h] = c.MispredictRate()
+		t.Rows = append(t.Rows, []string{fmt.Sprint(h), Cell(100 * c.MispredictRate())})
+	}
+	return t, out, nil
+}

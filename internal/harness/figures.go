@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"vmopt/internal/cpu"
+	"vmopt/internal/metrics"
+	"vmopt/internal/workload"
+)
+
+// SpeedupData is the numeric result behind a speedup figure:
+// speedup[bench][variant] over "plain".
+type SpeedupData struct {
+	Benchmarks []string
+	Variants   []string
+	Speedup    map[string]map[string]float64
+	Counters   map[string]map[string]metrics.Counters
+}
+
+// speedups runs the full grid and computes speedups over plain.
+func (s *Suite) speedups(ws []*workload.Workload, vs []Variant, m cpu.Machine) (*SpeedupData, error) {
+	all, err := s.RunAll(ws, vs, m)
+	if err != nil {
+		return nil, err
+	}
+	d := &SpeedupData{
+		Speedup:  make(map[string]map[string]float64),
+		Counters: all,
+	}
+	for _, w := range ws {
+		d.Benchmarks = append(d.Benchmarks, w.Name)
+	}
+	for _, v := range vs {
+		d.Variants = append(d.Variants, v.Name)
+	}
+	for _, b := range d.Benchmarks {
+		base := all[b]["plain"]
+		d.Speedup[b] = make(map[string]float64)
+		for _, v := range d.Variants {
+			d.Speedup[b][v] = all[b][v].SpeedupOver(base)
+		}
+	}
+	return d, nil
+}
+
+// table renders a speedup grid in the paper's figure layout
+// (benchmarks as columns, variants as rows).
+func (d *SpeedupData) table(id, title string) *Table {
+	t := &Table{ID: id, Title: title, Header: append([]string{"variant"}, d.Benchmarks...)}
+	for _, v := range d.Variants {
+		row := []string{v}
+		for _, b := range d.Benchmarks {
+			row = append(row, Cell(d.Speedup[b][v]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure7 reproduces "Speedups of various Gforth interpreter
+// optimizations on a Celeron-800".
+func (s *Suite) Figure7() (*SpeedupData, *Table, error) {
+	d, err := s.speedups(workload.Forth(), ForthVariants(), cpu.Celeron800)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.table("Figure 7", "Gforth speedups over plain, Celeron-800"), nil
+}
+
+// Figure8 reproduces "Speedups of various Gforth interpreter
+// optimizations on a Pentium 4".
+func (s *Suite) Figure8() (*SpeedupData, *Table, error) {
+	d, err := s.speedups(workload.Forth(), ForthVariants(), cpu.Pentium4Northwood)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.table("Figure 8", "Gforth speedups over plain, Pentium 4 (Northwood)"), nil
+}
+
+// Figure9 reproduces "Speedups of various Java interpreter
+// optimizations on a Pentium 4".
+func (s *Suite) Figure9() (*SpeedupData, *Table, error) {
+	d, err := s.speedups(workload.Java(), JavaVariants(), cpu.Pentium4Northwood)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.table("Figure 9", "Java interpreter speedups over plain, Pentium 4 (Northwood)"), nil
+}
+
+// counterFigure renders the Figures 10-13 layout: one column per
+// hardware-counter metric, one row per variant.
+func (s *Suite) counterFigure(id string, w *workload.Workload, vs []Variant, m cpu.Machine) (map[string]metrics.Counters, *Table, error) {
+	res := make(map[string]metrics.Counters)
+	for _, v := range vs {
+		c, err := s.Run(w, v, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		res[v.Name] = c
+	}
+	t := &Table{
+		ID:    id,
+		Title: "Performance counter results for " + w.Name + " on " + m.Name,
+		Header: []string{"variant", "cycles", "instrs", "indirect", "mispredicted",
+			"icache misses", "miss cycles", "code bytes"},
+	}
+	for _, v := range vs {
+		c := res[v.Name]
+		t.Rows = append(t.Rows, []string{
+			v.Name,
+			CellN(c.Cycles),
+			CellN(float64(c.Instructions)),
+			CellN(float64(c.IndirectBranches)),
+			CellN(float64(c.Mispredicted)),
+			CellN(float64(c.ICacheMisses)),
+			CellN(c.MissCycles),
+			CellN(float64(c.CodeBytes)),
+		})
+	}
+	return res, t, nil
+}
+
+// Figure10 reproduces the performance counter results for bench-gc
+// (Gforth) on a Pentium 4.
+func (s *Suite) Figure10() (map[string]metrics.Counters, *Table, error) {
+	return s.counterFigure("Figure 10", workload.BenchGC(), ForthVariants(), cpu.Pentium4Northwood)
+}
+
+// Figure11 reproduces the performance counter results for brew
+// (Gforth) on a Pentium 4.
+func (s *Suite) Figure11() (map[string]metrics.Counters, *Table, error) {
+	return s.counterFigure("Figure 11", workload.Brew(), ForthVariants(), cpu.Pentium4Northwood)
+}
+
+// Figure12 reproduces the performance counter results for mpegaudio
+// (Java) on a Pentium 4.
+func (s *Suite) Figure12() (map[string]metrics.Counters, *Table, error) {
+	return s.counterFigure("Figure 12", workload.MPEG(), JavaVariants(), cpu.Pentium4Northwood)
+}
+
+// Figure13 reproduces the performance counter results for compress
+// (Java) on a Pentium 4.
+func (s *Suite) Figure13() (map[string]metrics.Counters, *Table, error) {
+	return s.counterFigure("Figure 13", workload.Compress(), JavaVariants(), cpu.Pentium4Northwood)
+}

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/workload"
+)
+
+// Comparator models. The paper's Tables V, VIII, IX and X position
+// the interpreter optimizations against systems we cannot run here
+// (Hotspot, Kaffe, bigForth, iForth). Per the reproduction's
+// substitution rule, each comparator is an analytic model calibrated
+// to the per-benchmark ratios the paper reports; our own columns are
+// measured from the simulation. What the reproduction validates is
+// the relative position of our measured numbers against those fixed
+// reference points (e.g. "with static across bb beats the Hotspot
+// interpreter but stays well below the JITs").
+
+// paperTableV maps benchmark -> paper row {our base, Hotspot
+// interpreter, Kaffe interpreter, Hotspot mixed, Kaffe JIT} seconds.
+var paperTableV = map[string][5]float64{
+	"javac":    {30.78, 25.68, 256.49, 6.03, 17.52},
+	"jack":     {17.77, 17.60, 126.33, 4.19, 15.75},
+	"mpeg":     {81.16, 75.69, 644.63, 5.36, 10.79},
+	"jess":     {27.13, 19.29, 247.02, 2.75, 18.02},
+	"db":       {59.70, 46.47, 397.11, 13.67, 21.79},
+	"compress": {93.66, 82.76, 1186.74, 7.05, 7.19},
+	"mtrt":     {28.31, 27.80, 338.38, 1.95, 13.10},
+}
+
+// TableV reproduces "Comparison of running time of our base Java
+// interpreter with various JVMs": our base interpreter's simulated
+// seconds on the JVM machine plus the comparator models scaled by the
+// paper's measured ratios.
+func (s *Suite) TableV() (*Table, error) {
+	t := &Table{
+		ID:    "Table V",
+		Title: "Running time (s) of the base Java interpreter vs modeled JVMs (3GHz P4)",
+		Header: []string{"benchmark", "our interpreter", "Hotspot interp (model)",
+			"Kaffe interp (model)", "Hotspot mixed (model)", "Kaffe JIT (model)"},
+	}
+	m := cpu.Pentium4Northwood
+	m.ClockMHz = 3000 // the JVM machine of Section 6.2
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	for _, w := range workload.Java() {
+		c, err := s.Run(w, plain, m)
+		if err != nil {
+			return nil, err
+		}
+		ours := c.Cycles / (m.ClockMHz * 1e6)
+		ref := paperTableV[w.Name]
+		row := []string{w.Name, fmt.Sprintf("%.3f", ours)}
+		for col := 1; col < 5; col++ {
+			row = append(row, fmt.Sprintf("%.3f", ours*ref[col]/ref[0]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// TableVI reproduces the Gforth benchmark inventory.
+func TableVI() *Table {
+	t := &Table{
+		ID:     "Table VI",
+		Title:  "Benchmark programs used in Gforth (synthetic equivalents)",
+		Header: []string{"program", "description", "default scale"},
+	}
+	for _, w := range workload.Forth() {
+		t.Rows = append(t.Rows, []string{w.Name, w.Desc, fmt.Sprint(w.DefaultScale)})
+	}
+	return t
+}
+
+// TableVII reproduces the SPECjvm98 benchmark inventory.
+func TableVII() *Table {
+	t := &Table{
+		ID:     "Table VII",
+		Title:  "SPECjvm98 Java benchmark programs (synthetic equivalents)",
+		Header: []string{"program", "description", "default scale"},
+	}
+	for _, w := range workload.Java() {
+		t.Rows = append(t.Rows, []string{w.Name, w.Desc, fmt.Sprint(w.DefaultScale)})
+	}
+	return t
+}
+
+// paperTableVIII maps benchmark -> Hotspot mixed-mode peak dynamic
+// memory (MB) from the paper; our columns are measured.
+var paperTableVIII = map[string]float64{
+	"jack": 2.53, "mpeg": 0.32, "compress": 0.34, "javac": 2.63,
+	"jess": 1.14, "db": 0.32, "mtrt": 0.74,
+}
+
+// TableVIII reproduces "Peak dynamic memory requirements (Mb)":
+// run-time generated code of the dynamic techniques versus the
+// modeled Hotspot JIT.
+func (s *Suite) TableVIII() (*Table, error) {
+	t := &Table{
+		ID:    "Table VIII",
+		Title: "Peak dynamic memory requirements (MB)",
+		Header: []string{"benchmark", "Hotspot mixed (model)", "dynamic super",
+			"across bb", "w/static across bb"},
+	}
+	variants := []Variant{
+		{Name: "dynamic super", Technique: core.TDynamicSuper},
+		{Name: "across bb", Technique: core.TAcrossBB},
+		{Name: "w/static super across", Technique: core.TWithStaticSuperAcross, NSupers: 400},
+	}
+	for _, w := range workload.Java() {
+		row := []string{w.Name, fmt.Sprintf("%.2f", paperTableVIII[w.Name])}
+		for _, v := range variants {
+			c, err := s.Run(w, v, cpu.Pentium4Northwood)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", float64(c.CodeBytes)/1e6))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// paperTableIX maps benchmark -> {bigForth, iForth} speedups over
+// plain Gforth on the Athlon (blank entries are benchmarks the paper
+// could not run).
+var paperTableIX = map[string][2]float64{
+	"tscp":      {5.13, 3.51},
+	"brainless": {2.73, 0},
+	"brew":      {0, 0.92},
+}
+
+// TableIX reproduces "Gforth speedups of across bb and two native
+// code compilers over plain" on the Athlon.
+func (s *Suite) TableIX() (*Table, map[string]float64, error) {
+	t := &Table{
+		ID:     "Table IX",
+		Title:  "Speedups over plain Gforth, Athlon-1200",
+		Header: []string{"benchmark", "across bb", "bigForth (model)", "iForth (model)"},
+	}
+	measured := make(map[string]float64)
+	across := Variant{Name: "across bb", Technique: core.TAcrossBB}
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	for _, name := range []string{"tscp", "brainless", "brew"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := s.Run(w, plain, cpu.Athlon1200)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := s.Run(w, across, cpu.Athlon1200)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp := c.SpeedupOver(base)
+		measured[name] = sp
+		ref := paperTableIX[name]
+		cell := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return Cell(v)
+		}
+		t.Rows = append(t.Rows, []string{name, Cell(sp), cell(ref[0]), cell(ref[1])})
+	}
+	return t, measured, nil
+}
+
+// paperTableX maps benchmark -> {Kaffe JIT, Hotspot interpreter,
+// Hotspot mixed} speedups over plain.
+var paperTableX = map[string][3]float64{
+	"jack":     {1.13, 1.01, 4.24},
+	"mpeg":     {7.52, 1.07, 15.14},
+	"compress": {13.02, 1.13, 13.28},
+	"javac":    {1.76, 1.20, 5.11},
+	"jess":     {1.51, 1.41, 9.87},
+	"db":       {2.74, 1.28, 4.37},
+	"mtrt":     {2.16, 1.02, 14.52},
+}
+
+// TableX reproduces "JVM speedups of w/static across bb, two native
+// code compilers and an optimised interpreter over plain".
+func (s *Suite) TableX() (*Table, map[string]float64, error) {
+	t := &Table{
+		ID:    "Table X",
+		Title: "JVM speedups over plain, Pentium 4",
+		Header: []string{"benchmark", "w/static across bb", "Kaffe JIT (model)",
+			"Hotspot interp (model)", "Hotspot mixed (model)"},
+	}
+	measured := make(map[string]float64)
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	wsa := Variant{Name: "w/static super across", Technique: core.TWithStaticSuperAcross, NSupers: 400}
+	var sum float64
+	for _, w := range workload.Java() {
+		base, err := s.Run(w, plain, cpu.Pentium4Northwood)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := s.Run(w, wsa, cpu.Pentium4Northwood)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp := c.SpeedupOver(base)
+		measured[w.Name] = sp
+		sum += sp
+		ref := paperTableX[w.Name]
+		t.Rows = append(t.Rows, []string{w.Name, Cell(sp), Cell(ref[0]), Cell(ref[1]), Cell(ref[2])})
+	}
+	t.Rows = append(t.Rows, []string{"average", Cell(sum / float64(len(workload.Java()))),
+		Cell(4.26), Cell(1.16), Cell(9.50)})
+	return t, measured, nil
+}

@@ -1,0 +1,380 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/metrics"
+	"vmopt/internal/superinst"
+	"vmopt/internal/workload"
+)
+
+// Suite runs benchmark/variant/machine combinations with caching of
+// both results and trained static instruction sets.
+type Suite struct {
+	// ScaleDiv divides each workload's default scale (tests and
+	// parameter sweeps use > 1 to stay fast). 0 or 1 means full
+	// scale.
+	ScaleDiv int
+	// MaxSteps bounds each simulated run.
+	MaxSteps uint64
+
+	mu       sync.Mutex
+	results  map[resultKey]metrics.Counters
+	profiles map[string]*profileData
+}
+
+type resultKey struct {
+	bench   string
+	variant string
+	machine string
+	scale   int
+}
+
+// profileData caches a training run of one workload.
+type profileData struct {
+	prof    *core.ProfileData
+	runs    []core.Block
+	runOps  [][]uint32
+	weights []uint64
+}
+
+// NewSuite returns a Suite at full scale.
+func NewSuite() *Suite {
+	return &Suite{MaxSteps: 200_000_000}
+}
+
+// NewTestSuite returns a reduced-scale suite for unit tests.
+func NewTestSuite() *Suite {
+	return &Suite{ScaleDiv: 10, MaxSteps: 200_000_000}
+}
+
+func (s *Suite) scale(w *workload.Workload) int {
+	d := s.ScaleDiv
+	if d <= 1 {
+		return w.DefaultScale
+	}
+	n := w.DefaultScale / d
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Variant is one interpreter configuration of Section 7.1.
+type Variant struct {
+	// Name is the paper's label.
+	Name string
+	// Technique is the dispatch technique.
+	Technique core.Technique
+	// NSupers and NReplicas are the static instruction budgets.
+	NSupers   int
+	NReplicas int
+	// RandomReplicas selects random instead of round-robin copy
+	// selection (the Section 5.1 ablation).
+	RandomReplicas bool
+	// OptimalParse uses the dynamic-programming superinstruction
+	// parse instead of greedy maximum munch (Section 5.1).
+	OptimalParse bool
+	// Seed seeds random replica selection.
+	Seed int64
+}
+
+// ForthVariants returns the Gforth interpreter variants of Section
+// 7.1 in paper order.
+func ForthVariants() []Variant {
+	return []Variant{
+		{Name: "plain", Technique: core.TPlain},
+		{Name: "static repl", Technique: core.TStaticRepl, NReplicas: 400},
+		{Name: "static super", Technique: core.TStaticSuper, NSupers: 400},
+		{Name: "static both", Technique: core.TStaticBoth, NSupers: 35, NReplicas: 365},
+		{Name: "dynamic repl", Technique: core.TDynamicRepl},
+		{Name: "dynamic super", Technique: core.TDynamicSuper},
+		{Name: "dynamic both", Technique: core.TDynamicBoth},
+		{Name: "across bb", Technique: core.TAcrossBB},
+		{Name: "with static super", Technique: core.TWithStaticSuper, NSupers: 400},
+	}
+}
+
+// JavaVariants returns the JVM interpreter variants of Section 7.1
+// (no "static both"; adds "w/static super across").
+func JavaVariants() []Variant {
+	return []Variant{
+		{Name: "plain", Technique: core.TPlain},
+		{Name: "static repl", Technique: core.TStaticRepl, NReplicas: 400},
+		{Name: "static super", Technique: core.TStaticSuper, NSupers: 400},
+		{Name: "dynamic repl", Technique: core.TDynamicRepl},
+		{Name: "dynamic super", Technique: core.TDynamicSuper},
+		{Name: "dynamic both", Technique: core.TDynamicBoth},
+		{Name: "across bb", Technique: core.TAcrossBB},
+		{Name: "with static super", Technique: core.TWithStaticSuper, NSupers: 400},
+		{Name: "w/static super across", Technique: core.TWithStaticSuperAcross, NSupers: 400},
+	}
+}
+
+// profile returns the cached training profile of a workload.
+func (s *Suite) profile(w *workload.Workload) (*profileData, error) {
+	s.mu.Lock()
+	if s.profiles == nil {
+		s.profiles = make(map[string]*profileData)
+	}
+	if p, ok := s.profiles[w.Name]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	proc, leaders, err := w.NewProcess(s.scale(w))
+	if err != nil {
+		return nil, err
+	}
+	code := proc.Code()
+	prof, err := core.Profile(proc, s.MaxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("profiling %s: %w", w.Name, err)
+	}
+	// Collect runs from the POST-quickening code: static selection
+	// must target quick instructions (Section 5.4, "we replicate the
+	// quick versions").
+	runs := core.Runs(code, w.ISA(), leaders)
+	p := &profileData{prof: prof, runs: runs}
+	for _, r := range runs {
+		p.runOps = append(p.runOps, core.Ops(code, r))
+	}
+	p.weights = prof.RunWeights(runs)
+
+	s.mu.Lock()
+	s.profiles[w.Name] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// StaticSets is a trained static instruction set: the
+// superinstruction table plus replica allocations.
+type StaticSets struct {
+	Table             *superinst.Table
+	ReplicaExtra      []int
+	SuperReplicaExtra []int
+}
+
+// TrainForth trains the static sets on the brainless benchmark
+// (Section 7.1: "We used the most frequently executed VM instructions
+// and sequences from a training run with the brainless benchmark").
+func (s *Suite) TrainForth(nSupers, nReplicas int) (*StaticSets, error) {
+	p, err := s.profile(workload.Brainless())
+	if err != nil {
+		return nil, err
+	}
+	return s.train([]*profileData{p}, workload.Brainless().ISA().NumOps(),
+		nSupers, nReplicas, 0 /* execution-weighted, no short bias */)
+}
+
+// TrainJavaExcept trains the static sets on all Java benchmarks except
+// the named one (Section 7.1: "for compress, we made our selection by
+// profiling all SPECjvm98 benchmark programs except compress"),
+// favoring shorter sequences.
+func (s *Suite) TrainJavaExcept(excluded string, nSupers, nReplicas int) (*StaticSets, error) {
+	var ps []*profileData
+	var numOps int
+	for _, w := range workload.Java() {
+		if w.Name == excluded {
+			continue
+		}
+		numOps = w.ISA().NumOps()
+		p, err := s.profile(w)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return s.train(ps, numOps, nSupers, nReplicas, 1 /* short bias */)
+}
+
+func (s *Suite) train(ps []*profileData, numOps, nSupers, nReplicas int, bias float64) (*StaticSets, error) {
+	var blocks [][]uint32
+	var weights []uint64
+	opFreq := make([]uint64, numOps)
+	for _, p := range ps {
+		blocks = append(blocks, p.runOps...)
+		if bias > 0 {
+			// Static appearance counts (JVM selection).
+			for range p.runOps {
+				weights = append(weights, 1)
+			}
+		} else {
+			weights = append(weights, p.weights...)
+		}
+		for op, c := range p.prof.OpFreq {
+			opFreq[op] += c
+		}
+	}
+	out := &StaticSets{}
+	if nSupers > 0 {
+		counts := superinst.CollectSequences(blocks, 4, weights)
+		seqs := superinst.SelectTop(counts, nSupers, bias)
+		if len(seqs) > 0 {
+			t, err := superinst.NewTable(seqs)
+			if err != nil {
+				return nil, err
+			}
+			out.Table = t
+		}
+	}
+	if nReplicas > 0 {
+		if out.Table != nil {
+			// Allocate replicas jointly over opcodes and
+			// superinstructions in proportion to frequency
+			// ("static both": replicas of instructions and
+			// superinstructions).
+			superFreq := s.superFreq(out.Table, blocks, weights)
+			joint := append(append([]uint64(nil), opFreq...), superFreq...)
+			alloc := superinst.AllocateReplicas(joint, nReplicas)
+			out.ReplicaExtra = alloc[:numOps]
+			out.SuperReplicaExtra = alloc[numOps:]
+		} else {
+			out.ReplicaExtra = superinst.AllocateReplicas(opFreq, nReplicas)
+		}
+	}
+	return out, nil
+}
+
+// superFreq estimates how often each superinstruction would be used
+// on the training runs (greedy parse occurrence counts).
+func (s *Suite) superFreq(t *superinst.Table, blocks [][]uint32, weights []uint64) []uint64 {
+	freq := make([]uint64, t.NumSupers())
+	for bi, ops := range blocks {
+		w := uint64(1)
+		if weights != nil {
+			w = weights[bi]
+		}
+		for _, piece := range t.GreedyParse(ops) {
+			if piece.Super >= 0 {
+				freq[piece.Super] += w
+			}
+		}
+	}
+	return freq
+}
+
+// configFor builds the core.Config for a variant running workload w.
+func (s *Suite) configFor(w *workload.Workload, v Variant) (core.Config, error) {
+	cfg := core.Config{Technique: v.Technique}
+	needsStatic := v.NSupers > 0 || v.NReplicas > 0
+	if needsStatic {
+		var sets *StaticSets
+		var err error
+		if w.Lang == "forth" {
+			sets, err = s.TrainForth(v.NSupers, v.NReplicas)
+			// The Gforth implementation copies static replicas at
+			// startup, so static schemes show a few KB of generated
+			// code (Section 7.3).
+			cfg.CountStaticCopies = true
+		} else {
+			sets, err = s.TrainJavaExcept(w.Name, v.NSupers, v.NReplicas)
+		}
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Supers = sets.Table
+		cfg.ReplicaExtra = sets.ReplicaExtra
+		if v.Technique == core.TStaticBoth {
+			cfg.SuperReplicaExtra = sets.SuperReplicaExtra
+		}
+	}
+	if v.RandomReplicas {
+		cfg.ReplicaMode = superinst.Random
+		cfg.Seed = v.Seed
+	}
+	cfg.UseOptimalParse = v.OptimalParse
+	return cfg, nil
+}
+
+// Run executes one benchmark under one variant on one machine,
+// caching the result.
+func (s *Suite) Run(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
+	key := resultKey{bench: w.Name, variant: v.Name, machine: m.Name, scale: s.scale(w)}
+	s.mu.Lock()
+	if s.results == nil {
+		s.results = make(map[resultKey]metrics.Counters)
+	}
+	if c, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+
+	cfg, err := s.configFor(w, v)
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	proc, leaders, err := w.NewProcess(s.scale(w))
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	cfg.ExtraLeaders = leaders
+	plan, err := core.BuildPlan(proc.Code(), w.ISA(), cfg)
+	if err != nil {
+		return metrics.Counters{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
+	}
+	sim := cpu.NewSim(m)
+	c, err := core.Run(proc, plan, sim, s.MaxSteps)
+	if err != nil {
+		return metrics.Counters{}, fmt.Errorf("%s/%s on %s: %w", w.Name, v.Name, m.Name, err)
+	}
+
+	s.mu.Lock()
+	s.results[key] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// RunAll runs every (benchmark, variant) pair on a machine and
+// returns counters[bench][variant].
+func (s *Suite) RunAll(ws []*workload.Workload, vs []Variant, m cpu.Machine) (map[string]map[string]metrics.Counters, error) {
+	out := make(map[string]map[string]metrics.Counters)
+	type job struct {
+		w *workload.Workload
+		v Variant
+	}
+	var jobs []job
+	for _, w := range ws {
+		out[w.Name] = make(map[string]metrics.Counters)
+		for _, v := range vs {
+			jobs = append(jobs, job{w, v})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	res := make([]metrics.Counters, len(jobs))
+	sem := make(chan struct{}, 8)
+	for k, j := range jobs {
+		wg.Add(1)
+		go func(k int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res[k], errs[k] = s.Run(j.w, j.v, m)
+		}(k, j)
+	}
+	wg.Wait()
+	for k, j := range jobs {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		out[j.w.Name][j.v.Name] = res[k]
+	}
+	return out, nil
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/metrics"
+	"vmopt/internal/workload"
+)
+
+// SweepData is the numeric result behind Figures 14-16: for each
+// total static instruction budget (line) and each percentage spent on
+// superinstructions (x axis), the counters of one run.
+type SweepData struct {
+	// Totals are the line labels (total extra VM instructions).
+	Totals []int
+	// Percents are the x-axis points (percent superinstructions).
+	Percents []int
+	// C[total][percent] holds the run's counters.
+	C map[int]map[int]metrics.Counters
+}
+
+// sweep runs the static replication/superinstruction balance
+// experiment of Section 7.5 for one workload and machine.
+func (s *Suite) sweep(w *workload.Workload, m cpu.Machine, totals []int) (*SweepData, error) {
+	percents := []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	d := &SweepData{Totals: totals, Percents: percents, C: make(map[int]map[int]metrics.Counters)}
+	for _, total := range totals {
+		d.C[total] = make(map[int]metrics.Counters)
+		for _, pct := range percents {
+			nSupers := total * pct / 100
+			nRepl := total - nSupers
+			v := Variant{
+				Name:      fmt.Sprintf("mix-%d-%d", total, pct),
+				NSupers:   nSupers,
+				NReplicas: nRepl,
+			}
+			switch {
+			case total == 0:
+				v.Technique = core.TPlain
+			case nSupers == 0:
+				v.Technique = core.TStaticRepl
+			case nRepl == 0:
+				v.Technique = core.TStaticSuper
+			default:
+				v.Technique = core.TStaticBoth
+			}
+			c, err := s.Run(w, v, m)
+			if err != nil {
+				return nil, err
+			}
+			d.C[total][pct] = c
+		}
+	}
+	return d, nil
+}
+
+// table renders a sweep metric in the figure layout: one row per
+// total budget, one column per percentage.
+func (d *SweepData) table(id, title string, metric func(metrics.Counters) float64) *Table {
+	t := &Table{ID: id, Title: title, Header: []string{"total\\%super"}}
+	for _, pct := range d.Percents {
+		t.Header = append(t.Header, fmt.Sprintf("%d%%", pct))
+	}
+	for _, total := range d.Totals {
+		row := []string{fmt.Sprint(total)}
+		for _, pct := range d.Percents {
+			row = append(row, CellN(metric(d.C[total][pct])))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure14 reproduces "Timing results for Bench-gc (Gforth) with
+// static replications and superinstructions on a Celeron-800".
+func (s *Suite) Figure14() (*SweepData, *Table, error) {
+	totals := []int{0, 25, 50, 100, 200, 400, 800, 1600}
+	d, err := s.sweep(workload.BenchGC(), cpu.Celeron800, totals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.table("Figure 14",
+		"bench-gc cycles by static replication/superinstruction mix, Celeron-800",
+		func(c metrics.Counters) float64 { return c.Cycles }), nil
+}
+
+// Figure15 reproduces "Timing results for mpegaudio (Java) with
+// static replications and superinstructions on a Pentium 4".
+func (s *Suite) Figure15() (*SweepData, *Table, error) {
+	totals := []int{0, 50, 100, 200, 300, 400}
+	d, err := s.sweep(workload.MPEG(), cpu.Pentium4Northwood, totals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.table("Figure 15",
+		"mpegaudio cycles by static replication/superinstruction mix, Pentium 4",
+		func(c metrics.Counters) float64 { return c.Cycles }), nil
+}
+
+// Figure16 reproduces "Indirect Branch Misprediction results for
+// mpegaudio (Java)" over the same sweep as Figure 15.
+func (s *Suite) Figure16() (*SweepData, *Table, error) {
+	totals := []int{0, 50, 100, 200, 300, 400}
+	d, err := s.sweep(workload.MPEG(), cpu.Pentium4Northwood, totals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.table("Figure 16",
+		"mpegaudio indirect branch mispredictions by static mix, Pentium 4",
+		func(c metrics.Counters) float64 { return float64(c.Mispredicted) }), nil
+}

@@ -1,0 +1,83 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation from the simulation substrate: it trains the static
+// instruction sets, runs each benchmark under each interpreter
+// variant on each machine model, and renders the results in the
+// paper's layout.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid.
+type Table struct {
+	// ID is the paper's label, e.g. "Figure 8" or "Table IX".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data; Rows[i][0] is the row label.
+	Rows [][]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for k, h := range t.Header {
+		widths[k] = len(h)
+	}
+	for _, row := range t.Rows {
+		for k, cell := range row {
+			if k < len(widths) && len(cell) > widths[k] {
+				widths[k] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for k, cell := range cells {
+			if k > 0 {
+				b.WriteString("  ")
+			}
+			if k < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[k], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Cell formats a float for table output.
+func Cell(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}
+
+// CellN formats a large count compactly.
+func CellN(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+
+	"vmopt/internal/btb"
+)
+
+// The trace tables (Tables I-IV) replay the paper's Section 3-4
+// worked examples on the BTB simulator: a VM code loop "A B A GOTO"
+// under switch dispatch, threaded dispatch, replication and
+// superinstructions, showing per-step BTB entry, prediction and
+// actual target.
+
+// traceStep is one dispatch in a worked example.
+type traceStep struct {
+	label  string // VM program line, e.g. "label: A"
+	entry  string // BTB entry name, e.g. "br-A"
+	branch uint64
+	hint   uint64
+	target uint64
+	tname  string // target name, e.g. "B"
+}
+
+// runTrace replays steps (after a warm-up iteration) on an ideal BTB
+// and renders the paper's trace-table layout. It returns the table
+// and the misprediction count of the traced iteration.
+func runTrace(id, title string, steps []traceStep) (*Table, int) {
+	p := btb.NewIdeal()
+	// Warm-up iteration: establishes the steady-state BTB contents
+	// the paper's examples assume ("It is assumed that the loop has
+	// been executed at least once").
+	for _, st := range steps {
+		p.Access(st.branch, st.hint, st.target)
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"#", "VM program", "BTB entry", "prediction", "actual", "outcome"},
+	}
+	misp := 0
+	names := map[uint64]string{}
+	for _, st := range steps {
+		names[st.target] = st.tname
+	}
+	for k, st := range steps {
+		predTarget, known := p.Lookup(st.branch)
+		pred := "-"
+		if known {
+			if n, ok := names[predTarget]; ok {
+				pred = n
+			} else {
+				pred = fmt.Sprintf("%#x", predTarget)
+			}
+		}
+		ok := p.Access(st.branch, st.hint, st.target)
+		outcome := "hit"
+		if !ok {
+			outcome = "MISS"
+			misp++
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k+1), st.label, st.entry, pred, st.tname, outcome,
+		})
+	}
+	return t, misp
+}
+
+// Example code addresses for the worked examples.
+const (
+	exCodeA  = 0x2000
+	exCodeA1 = 0x2000
+	exCodeA2 = 0x2080
+	exCodeB  = 0x2100
+	exCodeB1 = 0x2100
+	exCodeB2 = 0x2180
+	exCodeG  = 0x2200
+	exBrA    = 0x2040
+	exBrA1   = 0x2040
+	exBrA2   = 0x20c0
+	exBrB    = 0x2140
+	exBrB1   = 0x2140
+	exBrB2   = 0x21c0
+	exBrG    = 0x2240
+	exBrSw   = 0x3000
+	opA      = 1
+	opB      = 2
+	opG      = 3
+)
+
+// TableI reproduces "BTB predictions on a small VM program": the loop
+// A B A GOTO under switch dispatch and threaded dispatch.
+func TableI() (switchTable, threadedTable *Table, switchMisp, threadedMisp int) {
+	sw := []traceStep{
+		{"label: A", "br-switch", exBrSw, opB, exCodeB, "B"},
+		{"B", "br-switch", exBrSw, opA, exCodeA, "A"},
+		{"A", "br-switch", exBrSw, opG, exCodeG, "GOTO"},
+		{"GOTO label", "br-switch", exBrSw, opA, exCodeA, "A"},
+	}
+	th := []traceStep{
+		{"label: A", "br-A", exBrA, opB, exCodeB, "B"},
+		{"B", "br-B", exBrB, opA, exCodeA, "A"},
+		{"A", "br-A", exBrA, opG, exCodeG, "GOTO"},
+		{"GOTO label", "br-GOTO", exBrG, opA, exCodeA, "A"},
+	}
+	st, sm := runTrace("Table I (switch)", "BTB predictions, switch dispatch, loop A B A GOTO", sw)
+	tt, tm := runTrace("Table I (threaded)", "BTB predictions, threaded dispatch, loop A B A GOTO", th)
+	return st, tt, sm, tm
+}
+
+// TableII reproduces "Improving BTB prediction accuracy by
+// replicating VM instructions": two replicas of A remove all
+// mispredictions.
+func TableII() (*Table, int) {
+	steps := []traceStep{
+		{"label: A1", "br-A1", exBrA1, opB, exCodeB, "B"},
+		{"B", "br-B", exBrB, opA, exCodeA2, "A2"},
+		{"A2", "br-A2", exBrA2, opG, exCodeG, "GOTO"},
+		{"GOTO label", "br-GOTO", exBrG, opA, exCodeA1, "A1"},
+	}
+	return runTrace("Table II", "Replication: loop A1 B A2 GOTO, threaded dispatch", steps)
+}
+
+// TableIII reproduces "Increasing mispredictions through bad static
+// replication": the loop A B A B A GOTO where replicating B into
+// B1/B2 makes every A mispredict.
+func TableIII() (original, modified *Table, origMisp, modMisp int) {
+	orig := []traceStep{
+		{"label: A", "br-A", exBrA, opB, exCodeB, "B"},
+		{"B", "br-B", exBrB, opA, exCodeA, "A"},
+		{"A", "br-A", exBrA, opB, exCodeB, "B"},
+		{"B", "br-B", exBrB, opA, exCodeA, "A"},
+		{"A", "br-A", exBrA, opG, exCodeG, "GOTO"},
+		{"GOTO label", "br-GOTO", exBrG, opA, exCodeA, "A"},
+	}
+	mod := []traceStep{
+		{"label: A", "br-A", exBrA, opB, exCodeB1, "B1"},
+		{"B1", "br-B1", exBrB1, opA, exCodeA, "A"},
+		{"A", "br-A", exBrA, opB, exCodeB2, "B2"},
+		{"B2", "br-B2", exBrB2, opA, exCodeA, "A"},
+		{"A", "br-A", exBrA, opG, exCodeG, "GOTO"},
+		{"GOTO label", "br-GOTO", exBrG, opA, exCodeA, "A"},
+	}
+	ot, om := runTrace("Table III (original)", "Loop A B A B A GOTO, single copies", orig)
+	mt, mm := runTrace("Table III (modified)", "Loop A B1 A B2 A GOTO, B badly replicated", mod)
+	return ot, mt, om, mm
+}
+
+// TableIV reproduces "Improving BTB prediction accuracy with
+// superinstructions": combining B A into B_A leaves no
+// mispredictions.
+func TableIV() (*Table, int) {
+	const (
+		exCodeBA = 0x2300
+		exBrBA   = 0x2340
+		opBA     = 4
+	)
+	steps := []traceStep{
+		{"label: A", "br-A", exBrA, opBA, exCodeBA, "B_A"},
+		{"B_A", "br-B_A", exBrBA, opG, exCodeG, "GOTO"},
+		{"GOTO label", "br-GOTO", exBrG, opA, exCodeA, "A"},
+	}
+	return runTrace("Table IV", "Superinstruction B_A: loop A [B_A] GOTO", steps)
+}

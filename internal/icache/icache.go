@@ -1,0 +1,130 @@
+// Package icache implements a set-associative instruction cache
+// simulator with LRU replacement.
+//
+// The paper's code-growth analysis (Section 7.4) hinges on I-cache
+// behaviour: replication-based techniques generate up to megabytes of
+// code, which thrashes the 16KB I-cache of the Celeron but mostly fits
+// the Pentium 4 trace cache. The simulator models a conventional
+// cache; the Pentium 4 trace cache is approximated as a cache with a
+// 27-cycle miss penalty (the estimate of Zhou and Ross the paper
+// adopts).
+package icache
+
+import "fmt"
+
+type line struct {
+	tag   uint64
+	valid bool
+}
+
+// Cache is a set-associative instruction cache with LRU replacement.
+type Cache struct {
+	lineSize  int
+	lineShift uint
+	sets      int
+	ways      int
+	data      [][]line
+
+	// Accesses counts line fetches; Misses counts those that missed.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New returns a cache of totalBytes capacity with the given line size
+// and associativity. All of totalBytes/lineSize/ways must produce a
+// power-of-two set count.
+func New(totalBytes, lineSize, ways int) *Cache {
+	if totalBytes <= 0 || lineSize <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("icache: bad geometry %d/%d/%d", totalBytes, lineSize, ways))
+	}
+	if lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("icache: line size %d not a power of two", lineSize))
+	}
+	lines := totalBytes / lineSize
+	if lines == 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("icache: %d lines not divisible by %d ways", lines, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("icache: set count %d not a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	c := &Cache{lineSize: lineSize, lineShift: shift, sets: sets, ways: ways}
+	c.Reset()
+	return c
+}
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * c.lineSize }
+
+// Touch fetches the byte range [addr, addr+size) through the cache and
+// returns the number of line misses it caused.
+func (c *Cache) Touch(addr uint64, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	misses := 0
+	for l := first; l <= last; l++ {
+		if !c.touchLine(l) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// touchLine fetches one line (by line number) and reports a hit.
+func (c *Cache) touchLine(lineNum uint64) bool {
+	c.Accesses++
+	set := c.data[lineNum&uint64(c.sets-1)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineNum {
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return true
+		}
+	}
+	c.Misses++
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line{tag: lineNum, valid: true}
+	return false
+}
+
+// Contains reports whether the line holding addr is currently cached,
+// without updating LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	lineNum := addr >> c.lineShift
+	set := c.data[lineNum&uint64(c.sets-1)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineNum {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns Misses/Accesses in [0,1].
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears cache contents and counters.
+func (c *Cache) Reset() {
+	c.data = make([][]line, c.sets)
+	for i := range c.data {
+		c.data[i] = make([]line, c.ways)
+	}
+	c.Accesses = 0
+	c.Misses = 0
+}

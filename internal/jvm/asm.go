@@ -1,0 +1,446 @@
+package jvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vmopt/internal/core"
+)
+
+// Assemble parses jasm source into a Program.
+//
+// Syntax (one construct per line; ';' starts a comment):
+//
+//	class Point
+//	  field x
+//	  field y
+//	end
+//
+//	static counter
+//
+//	method Point.dist virtual args 1 locals 2
+//	loop:
+//	  iload_0
+//	  getfield Point.x
+//	  ifeq done
+//	  goto loop
+//	done:
+//	  ireturn
+//	end
+//
+// Operand forms: integers (iconst, iload, ...), "idx delta" for iinc,
+// labels for branches, Class.field for getfield/putfield, static
+// names for getstatic/putstatic, Class for new, Class.method for
+// invokestatic, and a bare method name for invokevirtual. The entry
+// point is the static method whose simple name is "main".
+func Assemble(src string) (*Program, error) {
+	p := &Program{
+		classByName:  make(map[string]*Class),
+		methodByName: make(map[string]*Method),
+	}
+	a := &assembler{prog: p,
+		staticSlot: make(map[string]int),
+		vslots:     make(map[string]int),
+		fieldRefID: make(map[FieldRef]int),
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: declarations (classes, fields, statics, method
+	// signatures) so bodies can reference methods defined later.
+	if err := a.scan(lines); err != nil {
+		return nil, err
+	}
+	// Pass 2: assemble method bodies.
+	if err := a.emit(lines); err != nil {
+		return nil, err
+	}
+
+	p.vslotArgs = make([]int, len(p.VNames))
+	for i := range p.vslotArgs {
+		p.vslotArgs[i] = -1
+	}
+	for _, m := range p.Methods {
+		if m.Virtual {
+			if prev := p.vslotArgs[m.VSlot]; prev >= 0 && prev != m.NumArgs {
+				return nil, fmt.Errorf("jasm: virtual method %q has inconsistent arg counts (%d vs %d)",
+					simpleName(m.Name), prev, m.NumArgs)
+			}
+			p.vslotArgs[m.VSlot] = m.NumArgs
+		}
+		if !m.Virtual && simpleName(m.Name) == "main" && p.Main == nil {
+			p.Main = m
+		}
+	}
+	if p.Main == nil {
+		return nil, fmt.Errorf("jasm: no static method named main")
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	prog       *Program
+	staticSlot map[string]int
+	vslots     map[string]int
+	fieldRefID map[FieldRef]int
+}
+
+func simpleName(qualified string) string {
+	if i := strings.LastIndex(qualified, "."); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+func fields(line string) []string {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.Fields(line)
+}
+
+// scan runs declaration pass 1.
+func (a *assembler) scan(lines []string) error {
+	p := a.prog
+	var curClass *Class
+	inMethod := false
+	for ln, raw := range lines {
+		f := fields(raw)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "class":
+			if inMethod || curClass != nil {
+				return fmt.Errorf("jasm:%d: class inside another construct", ln+1)
+			}
+			if len(f) != 2 {
+				return fmt.Errorf("jasm:%d: class needs a name", ln+1)
+			}
+			if _, dup := p.classByName[f[1]]; dup {
+				return fmt.Errorf("jasm:%d: duplicate class %q", ln+1, f[1])
+			}
+			curClass = &Class{ID: len(p.Classes), Name: f[1], VTable: make(map[int]int)}
+			p.Classes = append(p.Classes, curClass)
+			p.classByName[f[1]] = curClass
+		case "field":
+			if curClass == nil {
+				return fmt.Errorf("jasm:%d: field outside class", ln+1)
+			}
+			if len(f) != 2 {
+				return fmt.Errorf("jasm:%d: field needs a name", ln+1)
+			}
+			if curClass.FieldOffset(f[1]) >= 0 {
+				return fmt.Errorf("jasm:%d: duplicate field %q", ln+1, f[1])
+			}
+			curClass.Fields = append(curClass.Fields, f[1])
+		case "static":
+			if len(f) != 2 {
+				return fmt.Errorf("jasm:%d: static needs a name", ln+1)
+			}
+			if _, dup := a.staticSlot[f[1]]; dup {
+				return fmt.Errorf("jasm:%d: duplicate static %q", ln+1, f[1])
+			}
+			a.staticSlot[f[1]] = len(p.StaticNames)
+			p.StaticNames = append(p.StaticNames, f[1])
+		case "method":
+			if inMethod || curClass != nil {
+				return fmt.Errorf("jasm:%d: method inside another construct", ln+1)
+			}
+			m, err := a.parseMethodHeader(f, ln+1)
+			if err != nil {
+				return err
+			}
+			if _, dup := p.methodByName[m.Name]; dup {
+				return fmt.Errorf("jasm:%d: duplicate method %q", ln+1, m.Name)
+			}
+			m.ID = len(p.Methods)
+			p.Methods = append(p.Methods, m)
+			p.methodByName[m.Name] = m
+			if m.Virtual {
+				if m.Class == nil {
+					return fmt.Errorf("jasm:%d: virtual method %q needs a class", ln+1, m.Name)
+				}
+				m.Class.VTable[m.VSlot] = m.ID
+			}
+			inMethod = true
+		case "end":
+			if inMethod {
+				inMethod = false
+			} else if curClass != nil {
+				curClass = nil
+			} else {
+				return fmt.Errorf("jasm:%d: stray end", ln+1)
+			}
+		default:
+			// Method bodies are handled in pass 2.
+			if !inMethod {
+				return fmt.Errorf("jasm:%d: unexpected %q outside method", ln+1, f[0])
+			}
+		}
+	}
+	if inMethod || curClass != nil {
+		return fmt.Errorf("jasm: unterminated construct at end of input")
+	}
+	return nil
+}
+
+func (a *assembler) parseMethodHeader(f []string, ln int) (*Method, error) {
+	// method Class.name [virtual|static] args N locals M
+	if len(f) < 2 {
+		return nil, fmt.Errorf("jasm:%d: method needs a name", ln)
+	}
+	m := &Method{Name: f[1], VSlot: -1}
+	if i := strings.LastIndex(f[1], "."); i >= 0 {
+		// The qualifier may be a declared class (required for
+		// virtual methods) or a plain namespace like "Main".
+		if cls, ok := a.prog.classByName[f[1][:i]]; ok {
+			m.Class = cls
+		}
+	}
+	rest := f[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "virtual":
+			m.Virtual = true
+			rest = rest[1:]
+		case "static":
+			rest = rest[1:]
+		case "args", "locals":
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("jasm:%d: %s needs a count", ln, rest[0])
+			}
+			n, err := strconv.Atoi(rest[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("jasm:%d: bad %s count %q", ln, rest[0], rest[1])
+			}
+			if rest[0] == "args" {
+				m.NumArgs = n
+			} else {
+				m.NumLocals = n
+			}
+			rest = rest[2:]
+		default:
+			return nil, fmt.Errorf("jasm:%d: unexpected %q in method header", ln, rest[0])
+		}
+	}
+	if m.NumLocals < m.NumArgs {
+		m.NumLocals = m.NumArgs
+	}
+	if m.Virtual {
+		name := simpleName(m.Name)
+		slot, ok := a.vslots[name]
+		if !ok {
+			slot = len(a.prog.VNames)
+			a.vslots[name] = slot
+			a.prog.VNames = append(a.prog.VNames, name)
+		}
+		m.VSlot = slot
+	}
+	return m, nil
+}
+
+// emit runs body pass 2.
+func (a *assembler) emit(lines []string) error {
+	p := a.prog
+	var cur *Method
+	labels := make(map[string]int)
+	type patch struct {
+		pos   int
+		label string
+		line  int
+	}
+	var patches []patch
+	inClass := false
+
+	finishMethod := func() error {
+		for _, pt := range patches {
+			tgt, ok := labels[pt.label]
+			if !ok {
+				return fmt.Errorf("jasm:%d: undefined label %q", pt.line, pt.label)
+			}
+			p.Code[pt.pos].Arg = int64(tgt)
+		}
+		patches = patches[:0]
+		labels = make(map[string]int)
+		cur.End = len(p.Code)
+		cur = nil
+		return nil
+	}
+
+	for ln, raw := range lines {
+		f := fields(raw)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "class":
+			inClass = true
+			continue
+		case "field", "static":
+			continue
+		case "method":
+			cur = p.methodByName[f[1]]
+			cur.Entry = len(p.Code)
+			continue
+		case "end":
+			if inClass {
+				inClass = false
+				continue
+			}
+			if cur != nil {
+				if err := finishMethod(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if cur == nil {
+			continue // already validated by pass 1
+		}
+		// Label?
+		if strings.HasSuffix(f[0], ":") && len(f) == 1 {
+			name := strings.TrimSuffix(f[0], ":")
+			if _, dup := labels[name]; dup {
+				return fmt.Errorf("jasm:%d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(p.Code)
+			continue
+		}
+		in, lbl, err := a.instruction(f, ln+1)
+		if err != nil {
+			return err
+		}
+		if lbl != "" {
+			patches = append(patches, patch{pos: len(p.Code), label: lbl, line: ln + 1})
+		}
+		p.Code = append(p.Code, in)
+	}
+	return nil
+}
+
+// opByName maps mnemonics to opcodes.
+var opByName = func() map[string]uint32 {
+	m := make(map[string]uint32, NumOps)
+	for op := uint32(0); op < NumOps; op++ {
+		m[meta[op].Name] = op
+	}
+	return m
+}()
+
+// instruction assembles one mnemonic line, returning the instruction
+// and a label to patch (branches).
+func (a *assembler) instruction(f []string, ln int) (core.Inst, string, error) {
+	op, ok := opByName[f[0]]
+	if !ok {
+		return core.Inst{}, "", fmt.Errorf("jasm:%d: unknown mnemonic %q", ln, f[0])
+	}
+	m := meta[op]
+	switch op {
+	case OpIinc:
+		if len(f) != 3 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: iinc needs index and delta", ln)
+		}
+		idx, err1 := strconv.Atoi(f[1])
+		delta, err2 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || idx < 0 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: bad iinc operands", ln)
+		}
+		return core.Inst{Op: op, Arg: EncodeIinc(idx, int32(delta))}, "", nil
+
+	case OpIfeq, OpIfne, OpIflt, OpIfge, OpIfgt, OpIfle,
+		OpIfIcmpeq, OpIfIcmpne, OpIfIcmplt, OpIfIcmpge, OpIfIcmpgt, OpIfIcmple, OpGoto:
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: %s needs a label", ln, f[0])
+		}
+		return core.Inst{Op: op}, f[1], nil
+
+	case OpGetfield, OpPutfield:
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: %s needs Class.field", ln, f[0])
+		}
+		i := strings.LastIndex(f[1], ".")
+		if i < 0 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: %s operand %q not Class.field", ln, f[0], f[1])
+		}
+		ref := FieldRef{ClassName: f[1][:i], FieldName: f[1][i+1:]}
+		if _, ok := a.prog.classByName[ref.ClassName]; !ok {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: unknown class %q", ln, ref.ClassName)
+		}
+		id, ok := a.fieldRefID[ref]
+		if !ok {
+			id = len(a.prog.FieldRefs)
+			a.prog.FieldRefs = append(a.prog.FieldRefs, ref)
+			a.fieldRefID[ref] = id
+		}
+		return core.Inst{Op: op, Arg: int64(id)}, "", nil
+
+	case OpGetstatic, OpPutstatic:
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: %s needs a static name", ln, f[0])
+		}
+		slot, ok := a.staticSlot[f[1]]
+		if !ok {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: unknown static %q", ln, f[1])
+		}
+		return core.Inst{Op: op, Arg: int64(slot)}, "", nil
+
+	case OpNew:
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: new needs a class", ln)
+		}
+		c, ok := a.prog.classByName[f[1]]
+		if !ok {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: unknown class %q", ln, f[1])
+		}
+		return core.Inst{Op: op, Arg: int64(c.ID)}, "", nil
+
+	case OpInvokestatic:
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: invokestatic needs Class.method", ln)
+		}
+		m2, ok := a.prog.methodByName[f[1]]
+		if !ok {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: unknown method %q", ln, f[1])
+		}
+		if m2.Virtual {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: %q is virtual; use invokevirtual", ln, f[1])
+		}
+		return core.Inst{Op: op, Arg: int64(m2.ID)}, "", nil
+
+	case OpInvokevirtual:
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: invokevirtual needs a method name", ln)
+		}
+		slot, ok := a.vslots[f[1]]
+		if !ok {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: no virtual method named %q", ln, f[1])
+		}
+		return core.Inst{Op: op, Arg: int64(slot)}, "", nil
+	}
+
+	// Generic numeric or no-operand instructions.
+	if m.HasArg {
+		if len(f) != 2 {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: %s needs an operand", ln, f[0])
+		}
+		n, err := strconv.ParseInt(f[1], 0, 64)
+		if err != nil {
+			return core.Inst{}, "", fmt.Errorf("jasm:%d: bad operand %q", ln, f[1])
+		}
+		return core.Inst{Op: op, Arg: n}, "", nil
+	}
+	if len(f) != 1 {
+		return core.Inst{}, "", fmt.Errorf("jasm:%d: %s takes no operand", ln, f[0])
+	}
+	return core.Inst{Op: op}, "", nil
+}

@@ -1,0 +1,66 @@
+package jvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmopt/internal/core"
+)
+
+// Disassemble renders an assembled program as jasm-like text with
+// method headers and symbolic operands (field names, method names,
+// virtual slot names).
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	methods := append([]*Method(nil), p.Methods...)
+	sort.Slice(methods, func(i, j int) bool { return methods[i].Entry < methods[j].Entry })
+	for _, m := range methods {
+		kind := "static"
+		if m.Virtual {
+			kind = "virtual"
+		}
+		fmt.Fprintf(&b, "method %s %s args %d locals %d  ; entry %d\n",
+			m.Name, kind, m.NumArgs, m.NumLocals, m.Entry)
+		for pos := m.Entry; pos < m.End; pos++ {
+			in := p.Code[pos]
+			fmt.Fprintf(&b, "%5d  %s\n", pos, formatInst(p, in))
+		}
+		b.WriteString("end\n\n")
+	}
+	return b.String()
+}
+
+func formatInst(p *Program, in core.Inst) string {
+	m := meta[in.Op]
+	switch in.Op {
+	case OpIinc:
+		idx, delta := DecodeIinc(in.Arg)
+		return fmt.Sprintf("%-12s %d %d", m.Name, idx, delta)
+	case OpGetfield, OpPutfield:
+		if in.Arg >= 0 && int(in.Arg) < len(p.FieldRefs) {
+			fr := p.FieldRefs[in.Arg]
+			return fmt.Sprintf("%-12s %s.%s", m.Name, fr.ClassName, fr.FieldName)
+		}
+	case OpGetstatic, OpPutstatic, OpGetstaticQ, OpPutstaticQ:
+		if in.Arg >= 0 && int(in.Arg) < len(p.StaticNames) {
+			return fmt.Sprintf("%-12s %s", m.Name, p.StaticNames[in.Arg])
+		}
+	case OpNew, OpNewQuick:
+		if in.Arg >= 0 && int(in.Arg) < len(p.Classes) {
+			return fmt.Sprintf("%-12s %s", m.Name, p.Classes[in.Arg].Name)
+		}
+	case OpInvokestatic, OpInvokestaticQ:
+		if in.Arg >= 0 && int(in.Arg) < len(p.Methods) {
+			return fmt.Sprintf("%-12s %s", m.Name, p.Methods[in.Arg].Name)
+		}
+	case OpInvokevirtual, OpInvokevirtualQ:
+		if in.Arg >= 0 && int(in.Arg) < len(p.VNames) {
+			return fmt.Sprintf("%-12s %s", m.Name, p.VNames[in.Arg])
+		}
+	}
+	if m.HasArg {
+		return fmt.Sprintf("%-12s %d", m.Name, in.Arg)
+	}
+	return m.Name
+}

@@ -1,0 +1,67 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleRoundTripNames(t *testing.T) {
+	p := MustAssemble(shapesSrc)
+	out := Disassemble(p)
+	for _, want := range []string{
+		"method Square.area virtual",
+		"method Main.main static",
+		"getfield     Square.side",
+		"putfield     Rect.w",
+		"invokevirtual area",
+		"new          Square",
+		"iprint",
+		"end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestDisassembleQuickened(t *testing.T) {
+	p := MustAssemble(shapesSrc)
+	v := NewVM(p)
+	if err := v.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Disassembling the pristine program still shows quickable forms.
+	out := Disassemble(p)
+	if !strings.Contains(out, "getfield ") && !strings.Contains(out, "getfield  ") {
+		t.Errorf("pristine program should contain getfield:\n%s", out)
+	}
+	if strings.Contains(out, "getfield_quick") {
+		t.Error("pristine program must not contain quick forms")
+	}
+}
+
+func TestDisassembleIinc(t *testing.T) {
+	p := MustAssemble(`
+method Main.main static args 0 locals 1
+  iinc 0 -3
+  return
+end`)
+	out := Disassemble(p)
+	if !strings.Contains(out, "iinc         0 -3") {
+		t.Errorf("iinc operands not decoded:\n%s", out)
+	}
+}
+
+func TestDisassembleStatics(t *testing.T) {
+	p := MustAssemble(`
+static counter
+method Main.main static args 0 locals 0
+  getstatic counter
+  putstatic counter
+  return
+end`)
+	out := Disassemble(p)
+	if strings.Count(out, "counter") < 2 {
+		t.Errorf("static names not resolved:\n%s", out)
+	}
+}

@@ -1,0 +1,724 @@
+package jvm
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+)
+
+// runSrc assembles and runs src, returning the final VM.
+func runSrc(t *testing.T, src string) *VM {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	v := NewVM(p)
+	if err := v.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 0
+  iconst 6
+  iconst 7
+  imul
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "42 " {
+		t.Errorf("out = %q, want %q", got, "42 ")
+	}
+}
+
+func TestLocalsAndSpecializedLoads(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 5
+  iconst 10
+  istore_0
+  iconst 20
+  istore_1
+  iconst 30
+  istore_2
+  iconst 40
+  istore_3
+  iconst 50
+  istore 4
+  iload_0
+  iload_1
+  iadd
+  iload_2
+  iadd
+  iload_3
+  iadd
+  iload 4
+  iadd
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "150 " {
+		t.Errorf("out = %q, want %q", got, "150 ")
+	}
+}
+
+func TestIinc(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 1
+  iconst 5
+  istore_0
+  iinc 0 7
+  iinc 0 -2
+  iload_0
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "10 " {
+		t.Errorf("out = %q, want %q", got, "10 ")
+	}
+}
+
+func TestLoopSumWithBranches(t *testing.T) {
+	// sum 1..100 with a countdown loop.
+	v := runSrc(t, `
+method Main.main static args 0 locals 2
+  iconst 100
+  istore_0
+  iconst 0
+  istore_1
+loop:
+  iload_0
+  ifeq done
+  iload_1
+  iload_0
+  iadd
+  istore_1
+  iinc 0 -1
+  goto loop
+done:
+  iload_1
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "5050 " {
+		t.Errorf("out = %q, want %q", got, "5050 ")
+	}
+}
+
+func TestCompareBranches(t *testing.T) {
+	tests := []struct {
+		op   string
+		a, b int
+		want string // "T " or "F "
+	}{
+		{"if_icmpeq", 3, 3, "84 "}, {"if_icmpeq", 3, 4, "70 "},
+		{"if_icmpne", 3, 4, "84 "}, {"if_icmplt", 3, 4, "84 "},
+		{"if_icmpge", 4, 4, "84 "}, {"if_icmpgt", 5, 4, "84 "},
+		{"if_icmple", 3, 4, "84 "}, {"if_icmple", 5, 4, "70 "},
+	}
+	for _, tt := range tests {
+		src := `
+method Main.main static args 0 locals 0
+  iconst ` + itoa(tt.a) + `
+  iconst ` + itoa(tt.b) + `
+  ` + tt.op + ` yes
+  iconst 70
+  iprint
+  return
+yes:
+  iconst 84
+  iprint
+  return
+end`
+		v := runSrc(t, src)
+		if got := string(v.Out); got != tt.want {
+			t.Errorf("%s %d %d: out = %q, want %q", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// newTestSim builds a simulator with generous BTB and I-cache.
+func newTestSim() *cpu.Sim {
+	return cpu.NewSim(cpu.Machine{
+		Name:      "jvm-test",
+		Predictor: cpu.PredictBTB, BTBEntries: 1 << 16, BTBWays: 4,
+		ICacheBytes: 1 << 22, ICacheLine: 64, ICacheWays: 8,
+		MispredictPenalty: 20, ICacheMissPenalty: 27,
+		CPI: 1, ClockMHz: 1000,
+	})
+}
+
+func TestStaticCalls(t *testing.T) {
+	v := runSrc(t, `
+method Main.square static args 1 locals 1
+  iload_0
+  iload_0
+  imul
+  ireturn
+end
+
+method Main.main static args 0 locals 0
+  iconst 9
+  invokestatic Main.square
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "81 " {
+		t.Errorf("out = %q, want %q", got, "81 ")
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	v := runSrc(t, `
+method Main.fib static args 1 locals 1
+  iload_0
+  iconst 2
+  if_icmplt base
+  iload_0
+  iconst 1
+  isub
+  invokestatic Main.fib
+  iload_0
+  iconst 2
+  isub
+  invokestatic Main.fib
+  iadd
+  ireturn
+base:
+  iload_0
+  ireturn
+end
+
+method Main.main static args 0 locals 0
+  iconst 15
+  invokestatic Main.fib
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "610 " {
+		t.Errorf("out = %q, want %q", got, "610 ")
+	}
+}
+
+const shapesSrc = `
+class Square
+  field side
+end
+
+class Rect
+  field w
+  field h
+end
+
+method Square.area virtual args 1 locals 1
+  iload_0
+  getfield Square.side
+  iload_0
+  getfield Square.side
+  imul
+  ireturn
+end
+
+method Rect.area virtual args 1 locals 1
+  iload_0
+  getfield Rect.w
+  iload_0
+  getfield Rect.h
+  imul
+  ireturn
+end
+
+method Main.main static args 0 locals 2
+  new Square
+  istore_0
+  iload_0
+  iconst 5
+  putfield Square.side
+  new Rect
+  istore_1
+  iload_1
+  iconst 3
+  putfield Rect.w
+  iload_1
+  iconst 4
+  putfield Rect.h
+  iload_0
+  invokevirtual area
+  iprint
+  iload_1
+  invokevirtual area
+  iprint
+  return
+end`
+
+func TestObjectsAndVirtualDispatch(t *testing.T) {
+	v := runSrc(t, shapesSrc)
+	if got := string(v.Out); got != "25 12 " {
+		t.Errorf("out = %q, want %q", got, "25 12 ")
+	}
+}
+
+func TestQuickeningRewritesCode(t *testing.T) {
+	p := MustAssemble(shapesSrc)
+	v := NewVM(p)
+	// Before: getfield/putfield/new/invokevirtual are quickable.
+	counts := map[uint32]int{}
+	for _, in := range v.Code() {
+		counts[in.Op]++
+	}
+	if counts[OpGetfield] == 0 || counts[OpNew] == 0 || counts[OpInvokevirtual] == 0 {
+		t.Fatal("expected quickable instructions before execution")
+	}
+	if err := v.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for pos, in := range v.Code() {
+		switch in.Op {
+		case OpGetfield, OpPutfield, OpNew, OpInvokevirtual, OpInvokestatic, OpGetstatic, OpPutstatic:
+			t.Errorf("position %d still holds quickable %s after full execution", pos, OpName(in.Op))
+		}
+	}
+	// The pristine program must be untouched.
+	for _, in := range p.Code {
+		switch in.Op {
+		case OpGetfieldQuick, OpPutfieldQuick, OpNewQuick:
+			t.Error("program template was mutated by execution")
+		}
+	}
+}
+
+func TestGetfieldQuickArgIsOffset(t *testing.T) {
+	p := MustAssemble(shapesSrc)
+	v := NewVM(p)
+	if err := v.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	rect, _ := p.ClassByName("Rect")
+	wantH := int64(rect.FieldOffset("h"))
+	found := false
+	for _, in := range v.Code() {
+		if in.Op == OpGetfieldQuick && in.Arg == wantH {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no getfield_quick with the resolved offset of Rect.h")
+	}
+}
+
+func TestStatics(t *testing.T) {
+	v := runSrc(t, `
+static counter
+
+method Main.bump static args 0 locals 0
+  getstatic counter
+  iconst 1
+  iadd
+  putstatic counter
+  return
+end
+
+method Main.main static args 0 locals 0
+  invokestatic Main.bump
+  invokestatic Main.bump
+  invokestatic Main.bump
+  getstatic counter
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "3 " {
+		t.Errorf("out = %q, want %q", got, "3 ")
+	}
+}
+
+func TestArrays(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 2
+  iconst 10
+  newarray
+  istore_0
+  iconst 0
+  istore_1
+loop:
+  iload_1
+  iconst 10
+  if_icmpge done
+  iload_0
+  iload_1
+  iload_1
+  iload_1
+  imul
+  iastore
+  iinc 1 1
+  goto loop
+done:
+  iload_0
+  iconst 7
+  iaload
+  iprint
+  iload_0
+  arraylength
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "49 10 " {
+		t.Errorf("out = %q, want %q", got, "49 10 ")
+	}
+}
+
+func TestByteArrayMasks(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 1
+  iconst 4
+  newarray
+  istore_0
+  iload_0
+  iconst 0
+  iconst 511
+  bastore
+  iload_0
+  iconst 0
+  baload
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "255 " {
+		t.Errorf("out = %q, want %q", got, "255 ")
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 0
+  iconst 1
+  iconst 2
+  swap
+  isub      ; 2 - 1 = 1
+  iprint
+  iconst 5
+  dup
+  iadd      ; 10
+  iprint
+  iconst 8
+  iconst 9
+  pop
+  iprint    ; 8
+  iconst 3
+  iconst 4
+  dup_x1    ; 4 3 4
+  iadd      ; 4 7
+  iadd      ; 11
+  iprint
+  return
+end`)
+	if got := string(v.Out); got != "1 10 8 11 " {
+		t.Errorf("out = %q", got)
+	}
+}
+
+func TestCprint(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 0
+  iconst 104
+  cprint
+  iconst 105
+  cprint
+  return
+end`)
+	if got := string(v.Out); got != "hi" {
+		t.Errorf("out = %q, want %q", got, "hi")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"div by zero", `
+method Main.main static args 0 locals 0
+  iconst 1
+  iconst 0
+  idiv
+  return
+end`, ErrDivByZero},
+		{"null getfield", `
+class C
+  field x
+end
+method Main.main static args 0 locals 0
+  iconst 0
+  getfield C.x
+  return
+end`, ErrNullPointer},
+		{"bounds", `
+method Main.main static args 0 locals 1
+  iconst 3
+  newarray
+  istore_0
+  iload_0
+  iconst 5
+  iaload
+  return
+end`, ErrBounds},
+		{"negative array", `
+method Main.main static args 0 locals 0
+  iconst -1
+  newarray
+  return
+end`, ErrBounds},
+		{"underflow", `
+method Main.main static args 0 locals 0
+  iadd
+  return
+end`, ErrStackUnderflow},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := MustAssemble(tt.src)
+			v := NewVM(p)
+			err := v.Run(100_000)
+			if err == nil || !errors.Is(err, tt.want) {
+				t.Errorf("Run = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestInfiniteRecursionOverflows(t *testing.T) {
+	p := MustAssemble(`
+method Main.r static args 0 locals 0
+  invokestatic Main.r
+  return
+end
+method Main.main static args 0 locals 0
+  invokestatic Main.r
+  return
+end`)
+	v := NewVM(p)
+	err := v.Run(10_000_000)
+	if err == nil || !errors.Is(err, ErrFrameOverflow) {
+		t.Errorf("Run = %v, want frame overflow", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no main", "method Main.f static args 0 locals 0\n return\nend", "no static method named main"},
+		{"unknown mnemonic", "method Main.main static args 0 locals 0\n frob\n return\nend", "unknown mnemonic"},
+		{"undefined label", "method Main.main static args 0 locals 0\n goto nowhere\n return\nend", "undefined label"},
+		{"dup label", "method Main.main static args 0 locals 0\nx:\nx:\n return\nend", "duplicate label"},
+		{"unknown class", "method Main.main static args 0 locals 0\n new Foo\n return\nend", "unknown class"},
+		{"unknown method", "method Main.main static args 0 locals 0\n invokestatic Main.f\n return\nend", "unknown method"},
+		{"unknown static", "method Main.main static args 0 locals 0\n getstatic nope\n return\nend", "unknown static"},
+		{"stray end", "end", "stray end"},
+		{"field outside class", "field x", "field outside class"},
+		{"dup class", "class A\nend\nclass A\nend\nmethod Main.main static args 0 locals 0\n return\nend", "duplicate class"},
+		{"dup method", "method Main.main static args 0 locals 0\n return\nend\nmethod Main.main static args 0 locals 0\n return\nend", "duplicate method"},
+		{"dup field", "class A\nfield x\nfield x\nend", "duplicate field"},
+		{"dup static", "static s\nstatic s", "duplicate static"},
+		{"unterminated", "method Main.main static args 0 locals 0", "unterminated"},
+		{"virtual needs class", "method lone virtual args 1 locals 1\n return\nend", "needs a class"},
+		{"bad operand count", "method Main.main static args 0 locals 0\n iconst\n return\nend", "needs an operand"},
+		{"operand on plain op", "method Main.main static args 0 locals 0\n iadd 3\n return\nend", "takes no operand"},
+		{"invokevirtual unknown", "method Main.main static args 0 locals 0\n invokevirtual nothing\n return\nend", "no virtual method"},
+		{"invokestatic on virtual", `class C
+end
+method C.v virtual args 1 locals 1
+ return
+end
+method Main.main static args 0 locals 0
+ invokestatic C.v
+ return
+end`, "use invokevirtual"},
+		{"inconsistent vslot args", `class A
+end
+class B
+end
+method A.f virtual args 1 locals 1
+ return
+end
+method B.f virtual args 2 locals 2
+ return
+end
+method Main.main static args 0 locals 0
+ return
+end`, "inconsistent arg counts"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Assemble error = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	v := runSrc(t, "method Main.main static args 0 locals 0\n return\nend")
+	if _, err := v.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Step after halt = %v", err)
+	}
+}
+
+func TestMainWithIreturn(t *testing.T) {
+	v := runSrc(t, `
+method Main.main static args 0 locals 0
+  iconst 42
+  ireturn
+end`)
+	s := v.Stack()
+	if len(s) != 1 || s[0] != 42 {
+		t.Errorf("main return value stack = %v", s)
+	}
+}
+
+func TestEntryPoints(t *testing.T) {
+	p := MustAssemble(shapesSrc)
+	eps := p.EntryPoints()
+	if len(eps) != len(p.Methods) {
+		t.Fatalf("entry points %d != methods %d", len(eps), len(p.Methods))
+	}
+	for k, m := range p.Methods {
+		if eps[k] != m.Entry {
+			t.Errorf("entry point %d = %d, want %d", k, eps[k], m.Entry)
+		}
+	}
+}
+
+func TestISAMetaConsistency(t *testing.T) {
+	is := ISA()
+	if is.Name() != "jvm" {
+		t.Errorf("ISA name = %q", is.Name())
+	}
+	for op := uint32(0); op < uint32(is.NumOps()); op++ {
+		m := is.Meta(op)
+		if m.Name == "" || m.Work <= 0 || m.Bytes <= 0 {
+			t.Errorf("opcode %d (%s) has bad meta %+v", op, m.Name, m)
+		}
+		if m.Quickable {
+			q, ok := QuickOf(op)
+			if !ok {
+				t.Errorf("quickable %s has no quick variant", m.Name)
+				continue
+			}
+			qm := is.Meta(q)
+			if qm.Quickable {
+				t.Errorf("quick variant %s must not itself be quickable", qm.Name)
+			}
+			if m.QuickBytesMax < qm.Bytes {
+				t.Errorf("%s QuickBytesMax %d below quick variant size %d",
+					m.Name, m.QuickBytesMax, qm.Bytes)
+			}
+			if m.QuickWork <= 0 {
+				t.Errorf("%s has no quickening cost", m.Name)
+			}
+		}
+	}
+}
+
+func TestMetaPanicsOnBadOpcode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Meta on bad opcode should panic")
+		}
+	}()
+	ISA().Meta(NumOps + 3)
+}
+
+// Property: iinc encode/decode round-trips.
+func TestIincRoundTrip(t *testing.T) {
+	f := func(idx uint16, delta int32) bool {
+		i, d := DecodeIinc(EncodeIinc(int(idx), delta))
+		return i == int(idx) && d == delta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arithmetic matches Go semantics.
+func TestArithMatchesGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		src := `
+method Main.main static args 0 locals 0
+  iconst ` + itoa(int(a)) + `
+  iconst ` + itoa(int(b)) + `
+  iadd
+  iprint
+  iconst ` + itoa(int(a)) + `
+  iconst ` + itoa(int(b)) + `
+  ixor
+  iprint
+  return
+end`
+		v := runSrc(t, src)
+		want := itoa(int(int64(a)+int64(b))) + " " + itoa(int(int64(a)^int64(b))) + " "
+		return string(v.Out) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJVMUnderCoreEngine ties the JVM into the dispatch engine: all
+// techniques produce identical output and quickening works under
+// dynamic code copying.
+func TestJVMUnderCoreEngine(t *testing.T) {
+	for _, tech := range []core.Technique{
+		core.TSwitch, core.TPlain, core.TStaticRepl,
+		core.TDynamicRepl, core.TDynamicSuper, core.TDynamicBoth, core.TAcrossBB,
+	} {
+		p := MustAssemble(shapesSrc)
+		v := NewVM(p)
+		plan, err := core.BuildPlan(v.Code(), ISA(), core.Config{
+			Technique: tech, ExtraLeaders: p.EntryPoints(),
+		})
+		if err != nil {
+			t.Fatalf("%v: BuildPlan: %v", tech, err)
+		}
+		sim := newTestSim()
+		if _, err := core.Run(v, plan, sim, 1_000_000); err != nil {
+			t.Fatalf("%v: Run: %v", tech, err)
+		}
+		if got := string(v.Out); got != "25 12 " {
+			t.Errorf("%v: out = %q", tech, got)
+		}
+	}
+}
+
+// TestJVMRelocatability: the JVM ISA passes the paper's
+// padding-comparison relocatability check used before dynamic code
+// copying.
+func TestJVMRelocatability(t *testing.T) {
+	if err := core.VerifyRelocatability(ISA()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickableNonRelocatable: quickable originals must not be
+// directly copied (they are patched via gaps instead).
+func TestQuickableNonRelocatable(t *testing.T) {
+	is := ISA()
+	for op := uint32(0); op < uint32(is.NumOps()); op++ {
+		m := is.Meta(op)
+		if m.Quickable && m.Relocatable {
+			t.Errorf("%s is quickable and relocatable; dynamic techniques would copy stale code", m.Name)
+		}
+	}
+}

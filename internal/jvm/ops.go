@@ -1,0 +1,261 @@
+// Package jvm implements a Java virtual machine subset sufficient to
+// reproduce the paper's JVM results: a stack bytecode with local
+// variables, objects with fields, virtual and static methods, arrays,
+// and — crucially — "quickable" instructions (getfield, putfield,
+// getstatic, putstatic, new, invokevirtual, invokestatic) that
+// resolve symbolic references on first execution and rewrite
+// themselves into quick variants (paper Section 5.4).
+//
+// Programs are written in a small text assembly ("jasm", see asm.go)
+// and flattened to the core.Inst representation: all method bodies
+// concatenated into one code array, with calls targeting method entry
+// positions.
+package jvm
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+)
+
+// Opcodes of the JVM subset.
+const (
+	OpNop uint32 = iota
+
+	// Constants.
+	OpIconst // arg: value
+
+	// Local variables. The _0.._3 forms mirror the real JVM's
+	// specialized opcodes; they matter for the paper's observation
+	// that a couple of load opcodes dominate indirect branch
+	// targets (Section 7.3).
+	OpIload // arg: index
+	OpIload0
+	OpIload1
+	OpIload2
+	OpIload3
+	OpIstore // arg: index
+	OpIstore0
+	OpIstore1
+	OpIstore2
+	OpIstore3
+	OpIinc // arg: packed (index, delta)
+
+	// Operand stack.
+	OpDup
+	OpDupX1
+	OpPop
+	OpSwap
+
+	// Integer arithmetic.
+	OpIadd
+	OpIsub
+	OpImul
+	OpIdiv
+	OpIrem
+	OpIneg
+	OpIshl
+	OpIshr
+	OpIushr
+	OpIand
+	OpIor
+	OpIxor
+
+	// Branches (arg: target position).
+	OpIfeq
+	OpIfne
+	OpIflt
+	OpIfge
+	OpIfgt
+	OpIfle
+	OpIfIcmpeq
+	OpIfIcmpne
+	OpIfIcmplt
+	OpIfIcmpge
+	OpIfIcmpgt
+	OpIfIcmple
+	OpGoto
+
+	// Arrays.
+	OpNewarray // pops length, pushes ref
+	OpIaload
+	OpIastore
+	OpBaload
+	OpBastore
+	OpArraylength
+
+	// Objects: quickable originals and their quick versions.
+	OpNew           // arg: class id; quickable
+	OpNewQuick      // arg: class id
+	OpGetfield      // arg: field ref id; quickable
+	OpGetfieldQuick // arg: resolved offset
+	OpPutfield      // arg: field ref id; quickable
+	OpPutfieldQuick // arg: resolved offset
+	OpGetstatic     // arg: static ref id; quickable
+	OpGetstaticQ    // arg: resolved static slot
+	OpPutstatic     // arg: static ref id; quickable
+	OpPutstaticQ    // arg: resolved static slot
+
+	// Calls: quickable originals and quick versions.
+	OpInvokestatic  // arg: method id; quickable
+	OpInvokestaticQ // arg: method id
+	OpInvokevirtual // arg: vtable slot; quickable
+	OpInvokevirtualQ
+	OpReturn  // return void
+	OpIreturn // return int
+
+	// Output (models System.out; calls into the runtime, hence
+	// non-relocatable).
+	OpIprint // pop, print decimal + space
+	OpCprint // pop, print as character
+
+	// NumOps is the opcode-space size.
+	NumOps
+)
+
+// EncodeIinc packs a local index and a signed delta into one arg.
+func EncodeIinc(index int, delta int32) int64 {
+	return int64(index)<<32 | int64(uint32(delta))
+}
+
+// DecodeIinc unpacks an iinc argument.
+func DecodeIinc(arg int64) (index int, delta int32) {
+	return int(arg >> 32), int32(uint32(arg))
+}
+
+// meta is the per-opcode cost/classification table. JVM instructions
+// do more work per dispatch than Forth's (Section 7.2.2: the JVM's
+// dispatch-to-real-work ratio is lower), reflected in higher Work
+// values for field access and calls.
+var meta = [NumOps]core.OpMeta{
+	OpNop:    {Name: "nop", Work: 2, Bytes: 4, Relocatable: true},
+	OpIconst: {Name: "iconst", HasArg: true, Work: 6, Bytes: 14, Relocatable: true},
+
+	OpIload:   {Name: "iload", HasArg: true, Work: 8, Bytes: 18, Relocatable: true},
+	OpIload0:  {Name: "iload_0", Work: 7, Bytes: 15, Relocatable: true},
+	OpIload1:  {Name: "iload_1", Work: 7, Bytes: 15, Relocatable: true},
+	OpIload2:  {Name: "iload_2", Work: 7, Bytes: 15, Relocatable: true},
+	OpIload3:  {Name: "iload_3", Work: 7, Bytes: 15, Relocatable: true},
+	OpIstore:  {Name: "istore", HasArg: true, Work: 8, Bytes: 18, Relocatable: true},
+	OpIstore0: {Name: "istore_0", Work: 7, Bytes: 15, Relocatable: true},
+	OpIstore1: {Name: "istore_1", Work: 7, Bytes: 15, Relocatable: true},
+	OpIstore2: {Name: "istore_2", Work: 7, Bytes: 15, Relocatable: true},
+	OpIstore3: {Name: "istore_3", Work: 7, Bytes: 15, Relocatable: true},
+	OpIinc:    {Name: "iinc", HasArg: true, Work: 9, Bytes: 20, Relocatable: true},
+
+	OpDup:   {Name: "dup", Work: 6, Bytes: 13, Relocatable: true},
+	OpDupX1: {Name: "dup_x1", Work: 9, Bytes: 20, Relocatable: true},
+	OpPop:   {Name: "pop", Work: 4, Bytes: 8, Relocatable: true},
+	OpSwap:  {Name: "swap", Work: 8, Bytes: 17, Relocatable: true},
+
+	OpIadd: {Name: "iadd", Work: 8, Bytes: 16, Relocatable: true},
+	OpIsub: {Name: "isub", Work: 8, Bytes: 16, Relocatable: true},
+	OpImul: {Name: "imul", Work: 9, Bytes: 18, Relocatable: true},
+	// Division checks for zero and can throw; the throw path uses
+	// an indirect branch to keep the body relocatable (Section 5.3).
+	OpIdiv:  {Name: "idiv", Work: 16, Bytes: 34, Relocatable: true},
+	OpIrem:  {Name: "irem", Work: 16, Bytes: 34, Relocatable: true},
+	OpIneg:  {Name: "ineg", Work: 6, Bytes: 12, Relocatable: true},
+	OpIshl:  {Name: "ishl", Work: 9, Bytes: 18, Relocatable: true},
+	OpIshr:  {Name: "ishr", Work: 9, Bytes: 18, Relocatable: true},
+	OpIushr: {Name: "iushr", Work: 9, Bytes: 18, Relocatable: true},
+	OpIand:  {Name: "iand", Work: 8, Bytes: 16, Relocatable: true},
+	OpIor:   {Name: "ior", Work: 8, Bytes: 16, Relocatable: true},
+	OpIxor:  {Name: "ixor", Work: 8, Bytes: 16, Relocatable: true},
+
+	OpIfeq:     {Name: "ifeq", HasArg: true, Work: 10, Bytes: 24, Relocatable: true, Branch: true},
+	OpIfne:     {Name: "ifne", HasArg: true, Work: 10, Bytes: 24, Relocatable: true, Branch: true},
+	OpIflt:     {Name: "iflt", HasArg: true, Work: 10, Bytes: 24, Relocatable: true, Branch: true},
+	OpIfge:     {Name: "ifge", HasArg: true, Work: 10, Bytes: 24, Relocatable: true, Branch: true},
+	OpIfgt:     {Name: "ifgt", HasArg: true, Work: 10, Bytes: 24, Relocatable: true, Branch: true},
+	OpIfle:     {Name: "ifle", HasArg: true, Work: 10, Bytes: 24, Relocatable: true, Branch: true},
+	OpIfIcmpeq: {Name: "if_icmpeq", HasArg: true, Work: 11, Bytes: 26, Relocatable: true, Branch: true},
+	OpIfIcmpne: {Name: "if_icmpne", HasArg: true, Work: 11, Bytes: 26, Relocatable: true, Branch: true},
+	OpIfIcmplt: {Name: "if_icmplt", HasArg: true, Work: 11, Bytes: 26, Relocatable: true, Branch: true},
+	OpIfIcmpge: {Name: "if_icmpge", HasArg: true, Work: 11, Bytes: 26, Relocatable: true, Branch: true},
+	OpIfIcmpgt: {Name: "if_icmpgt", HasArg: true, Work: 11, Bytes: 26, Relocatable: true, Branch: true},
+	OpIfIcmple: {Name: "if_icmple", HasArg: true, Work: 11, Bytes: 26, Relocatable: true, Branch: true},
+	OpGoto:     {Name: "goto", HasArg: true, Work: 5, Bytes: 12, Relocatable: true, Branch: true},
+
+	// Array accesses include bounds checks; the throw path is an
+	// indirect branch (relocatable, as above). Allocation calls the
+	// GC and is not relocatable.
+	OpNewarray:    {Name: "newarray", Work: 40, Bytes: 60},
+	OpIaload:      {Name: "iaload", Work: 13, Bytes: 28, Relocatable: true},
+	OpIastore:     {Name: "iastore", Work: 14, Bytes: 30, Relocatable: true},
+	OpBaload:      {Name: "baload", Work: 13, Bytes: 28, Relocatable: true},
+	OpBastore:     {Name: "bastore", Work: 14, Bytes: 30, Relocatable: true},
+	OpArraylength: {Name: "arraylength", Work: 8, Bytes: 17, Relocatable: true},
+
+	OpNew: {Name: "new", HasArg: true, Work: 80, Bytes: 90, Quickable: true,
+		QuickWork: 300, QuickBytesMax: 70},
+	OpNewQuick: {Name: "new_quick", HasArg: true, Work: 35, Bytes: 55},
+	OpGetfield: {Name: "getfield", HasArg: true, Work: 40, Bytes: 60, Quickable: true,
+		QuickWork: 200, QuickBytesMax: 24},
+	OpGetfieldQuick: {Name: "getfield_quick", HasArg: true, Work: 11, Bytes: 24, Relocatable: true},
+	OpPutfield: {Name: "putfield", HasArg: true, Work: 40, Bytes: 60, Quickable: true,
+		QuickWork: 200, QuickBytesMax: 26},
+	OpPutfieldQuick: {Name: "putfield_quick", HasArg: true, Work: 12, Bytes: 26, Relocatable: true},
+	OpGetstatic: {Name: "getstatic", HasArg: true, Work: 35, Bytes: 55, Quickable: true,
+		QuickWork: 180, QuickBytesMax: 21},
+	OpGetstaticQ: {Name: "getstatic_quick", HasArg: true, Work: 9, Bytes: 19, Relocatable: true},
+	OpPutstatic: {Name: "putstatic", HasArg: true, Work: 35, Bytes: 55, Quickable: true,
+		QuickWork: 180, QuickBytesMax: 21},
+	OpPutstaticQ: {Name: "putstatic_quick", HasArg: true, Work: 10, Bytes: 21, Relocatable: true},
+
+	OpInvokestatic: {Name: "invokestatic", HasArg: true, Work: 60, Bytes: 70, Quickable: true,
+		QuickWork: 250, QuickBytesMax: 56, Call: true},
+	OpInvokestaticQ: {Name: "invokestatic_quick", HasArg: true, Work: 26, Bytes: 56,
+		Relocatable: true, Call: true},
+	OpInvokevirtual: {Name: "invokevirtual", HasArg: true, Work: 70, Bytes: 80, Quickable: true,
+		QuickWork: 280, QuickBytesMax: 66, Call: true, Indirect: true},
+	OpInvokevirtualQ: {Name: "invokevirtual_quick", HasArg: true, Work: 32, Bytes: 66,
+		Relocatable: true, Call: true, Indirect: true},
+	OpReturn:  {Name: "return", Work: 17, Bytes: 36, Relocatable: true, Return: true},
+	OpIreturn: {Name: "ireturn", Work: 19, Bytes: 40, Relocatable: true, Return: true},
+
+	OpIprint: {Name: "iprint", Work: 45, Bytes: 70},
+	OpCprint: {Name: "cprint", Work: 20, Bytes: 36},
+}
+
+// isa implements core.ISA for the JVM subset.
+type isa struct{}
+
+// ISA returns the JVM instruction set description.
+func ISA() core.ISA { return isa{} }
+
+func (isa) Name() string { return "jvm" }
+
+func (isa) NumOps() int { return int(NumOps) }
+
+func (isa) Meta(op uint32) core.OpMeta {
+	if op >= NumOps {
+		panic(fmt.Sprintf("jvm: bad opcode %d", op))
+	}
+	return meta[op]
+}
+
+// OpName returns the mnemonic for an opcode.
+func OpName(op uint32) string { return meta[op].Name }
+
+// QuickOf returns the quick variant an opcode rewrites into (and
+// whether it has one).
+func QuickOf(op uint32) (uint32, bool) {
+	switch op {
+	case OpNew:
+		return OpNewQuick, true
+	case OpGetfield:
+		return OpGetfieldQuick, true
+	case OpPutfield:
+		return OpPutfieldQuick, true
+	case OpGetstatic:
+		return OpGetstaticQ, true
+	case OpPutstatic:
+		return OpPutstaticQ, true
+	case OpInvokestatic:
+		return OpInvokestaticQ, true
+	case OpInvokevirtual:
+		return OpInvokevirtualQ, true
+	}
+	return 0, false
+}

@@ -1,0 +1,106 @@
+// Package metrics defines the performance counters the reproduction
+// collects while simulating interpreter execution.
+//
+// The set mirrors the seven hardware-counter metrics reported in
+// Section 7.3 of Casey, Ertl and Gregg: cycles, retired instructions,
+// indirect branches, mispredicted indirect branches, I-cache misses,
+// I-cache miss cycles and dynamically generated code bytes.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters accumulates simulated hardware events for one benchmark run.
+//
+// Cycles and MissCycles are float64 because the cycle model composes
+// fractional per-instruction costs (superscalar CPI < 1); all event
+// counts are exact integers.
+type Counters struct {
+	// Cycles is the total simulated execution time in clock cycles.
+	Cycles float64
+	// Instructions is the number of retired native machine
+	// instructions (paper: "instrs").
+	Instructions uint64
+	// IndirectBranches is the number of executed indirect branches,
+	// i.e. VM instruction dispatches plus indirect VM control flow.
+	IndirectBranches uint64
+	// Mispredicted is the number of indirect branches the branch
+	// predictor got wrong (paper: "mispredicted indirect").
+	Mispredicted uint64
+	// ICacheMisses is the number of instruction fetch misses.
+	ICacheMisses uint64
+	// MissCycles is the cycle cost attributed to I-cache misses
+	// (paper: icache misses x 27 on the Pentium 4 trace cache).
+	MissCycles float64
+	// CodeBytes is the size of code generated at interpreter run time
+	// (zero for purely static techniques).
+	CodeBytes uint64
+
+	// VMInstructions counts executed virtual machine instructions.
+	// Not a hardware counter, but needed for derived statistics such
+	// as native-instructions-per-VM-instruction.
+	VMInstructions uint64
+	// Dispatches counts VM instruction dispatches actually executed
+	// (a subset of IndirectBranches; superinstructions remove some).
+	Dispatches uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Cycles += o.Cycles
+	c.Instructions += o.Instructions
+	c.IndirectBranches += o.IndirectBranches
+	c.Mispredicted += o.Mispredicted
+	c.ICacheMisses += o.ICacheMisses
+	c.MissCycles += o.MissCycles
+	c.CodeBytes += o.CodeBytes
+	c.VMInstructions += o.VMInstructions
+	c.Dispatches += o.Dispatches
+}
+
+// MispredictRate returns mispredicted / indirect branches, in [0,1].
+// It returns 0 when no indirect branches were executed.
+func (c Counters) MispredictRate() float64 {
+	if c.IndirectBranches == 0 {
+		return 0
+	}
+	return float64(c.Mispredicted) / float64(c.IndirectBranches)
+}
+
+// BranchFraction returns the fraction of retired native instructions
+// that are indirect branches (paper Section 7.2.2: 16.5% for Gforth,
+// 6.08% for the JVM benchmarks).
+func (c Counters) BranchFraction() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.IndirectBranches) / float64(c.Instructions)
+}
+
+// SpeedupOver returns base.Cycles / c.Cycles: how much faster this run
+// is than the baseline (values > 1 mean faster).
+func (c Counters) SpeedupOver(base Counters) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return base.Cycles / c.Cycles
+}
+
+// InstrsPerVM returns native instructions per executed VM instruction.
+func (c Counters) InstrsPerVM() float64 {
+	if c.VMInstructions == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.VMInstructions)
+}
+
+// String renders the counters in a compact single-line form.
+func (c Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%.0f instrs=%d ind=%d misp=%d (%.1f%%) ic-miss=%d miss-cyc=%.0f code=%dB",
+		c.Cycles, c.Instructions, c.IndirectBranches, c.Mispredicted,
+		100*c.MispredictRate(), c.ICacheMisses, c.MissCycles, c.CodeBytes)
+	return b.String()
+}

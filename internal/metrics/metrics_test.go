@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd(t *testing.T) {
+	a := Counters{Cycles: 10, Instructions: 5, IndirectBranches: 2, Mispredicted: 1,
+		ICacheMisses: 3, MissCycles: 81, CodeBytes: 100, VMInstructions: 4, Dispatches: 2}
+	b := Counters{Cycles: 1, Instructions: 1, IndirectBranches: 1, Mispredicted: 1,
+		ICacheMisses: 1, MissCycles: 27, CodeBytes: 1, VMInstructions: 1, Dispatches: 1}
+	a.Add(b)
+	want := Counters{Cycles: 11, Instructions: 6, IndirectBranches: 3, Mispredicted: 2,
+		ICacheMisses: 4, MissCycles: 108, CodeBytes: 101, VMInstructions: 5, Dispatches: 3}
+	if a != want {
+		t.Errorf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Counters
+		want float64
+	}{
+		{"zero branches", Counters{}, 0},
+		{"half", Counters{IndirectBranches: 10, Mispredicted: 5}, 0.5},
+		{"all", Counters{IndirectBranches: 4, Mispredicted: 4}, 1},
+		{"none", Counters{IndirectBranches: 4}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.c.MispredictRate(); got != tt.want {
+			t.Errorf("%s: MispredictRate = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestBranchFraction(t *testing.T) {
+	c := Counters{Instructions: 200, IndirectBranches: 33}
+	if got, want := c.BranchFraction(), 0.165; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BranchFraction = %v, want %v", got, want)
+	}
+	if got := (Counters{}).BranchFraction(); got != 0 {
+		t.Errorf("BranchFraction on zero = %v, want 0", got)
+	}
+}
+
+func TestSpeedupOver(t *testing.T) {
+	base := Counters{Cycles: 100}
+	fast := Counters{Cycles: 25}
+	if got := fast.SpeedupOver(base); got != 4 {
+		t.Errorf("SpeedupOver = %v, want 4", got)
+	}
+	if got := (Counters{}).SpeedupOver(base); got != 0 {
+		t.Errorf("SpeedupOver with zero cycles = %v, want 0", got)
+	}
+}
+
+func TestInstrsPerVM(t *testing.T) {
+	c := Counters{Instructions: 30, VMInstructions: 10}
+	if got := c.InstrsPerVM(); got != 3 {
+		t.Errorf("InstrsPerVM = %v, want 3", got)
+	}
+	if got := (Counters{}).InstrsPerVM(); got != 0 {
+		t.Errorf("InstrsPerVM on zero = %v, want 0", got)
+	}
+}
+
+func TestStringContainsFields(t *testing.T) {
+	c := Counters{Cycles: 42, Instructions: 7, IndirectBranches: 3, Mispredicted: 1}
+	s := c.String()
+	for _, want := range []string{"cycles=42", "instrs=7", "ind=3", "misp=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// Property: Add is commutative and associative on the integer fields.
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b Counters) bool {
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x.Instructions == y.Instructions &&
+			x.IndirectBranches == y.IndirectBranches &&
+			x.Mispredicted == y.Mispredicted &&
+			x.ICacheMisses == y.ICacheMisses &&
+			x.CodeBytes == y.CodeBytes &&
+			x.VMInstructions == y.VMInstructions &&
+			x.Dispatches == y.Dispatches
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MispredictRate is always within [0,1] when mispredicted <= branches.
+func TestMispredictRateBounded(t *testing.T) {
+	f := func(branches uint32, misp uint32) bool {
+		b, m := uint64(branches), uint64(misp)
+		if m > b {
+			b, m = m, b
+		}
+		c := Counters{IndirectBranches: b, Mispredicted: m}
+		r := c.MispredictRate()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

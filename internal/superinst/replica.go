@@ -1,0 +1,111 @@
+package superinst
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SelectMode chooses how static replication picks a copy for each
+// occurrence of a VM instruction (paper Section 5.1).
+type SelectMode int
+
+const (
+	// RoundRobin selects the statically least-recently-used copy;
+	// the paper found it clearly better than random due to spatial
+	// locality.
+	RoundRobin SelectMode = iota
+	// Random selects a uniformly random copy.
+	Random
+)
+
+// AllocateReplicas distributes total extra copies over opcodes in
+// proportion to freq (execution or static frequency), using largest
+// remainder apportionment. The result gives the number of EXTRA
+// copies per opcode (the original is always available); opcodes with
+// zero frequency get none.
+func AllocateReplicas(freq []uint64, total int) []int {
+	out := make([]int, len(freq))
+	if total <= 0 {
+		return out
+	}
+	var sum uint64
+	for _, f := range freq {
+		sum += f
+	}
+	if sum == 0 {
+		return out
+	}
+	type rem struct {
+		op   int
+		frac float64
+	}
+	rems := make([]rem, 0, len(freq))
+	assigned := 0
+	for op, f := range freq {
+		if f == 0 {
+			continue
+		}
+		exact := float64(f) * float64(total) / float64(sum)
+		n := int(exact)
+		out[op] = n
+		assigned += n
+		rems = append(rems, rem{op: op, frac: exact - float64(n)})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].op < rems[b].op
+	})
+	for k := 0; assigned < total && k < len(rems); k++ {
+		out[rems[k].op]++
+		assigned++
+	}
+	return out
+}
+
+// Assigner hands out copy indices for instruction occurrences during
+// VM code generation under static replication.
+type Assigner struct {
+	copies []int // total copies per opcode (>= 1)
+	next   []int // round-robin cursor per opcode
+	mode   SelectMode
+	rng    *rand.Rand
+}
+
+// NewAssigner builds an assigner. extra[op] is the number of extra
+// replicas of opcode op (0 = only the original copy exists).
+func NewAssigner(extra []int, mode SelectMode, seed int64) *Assigner {
+	copies := make([]int, len(extra))
+	for op, e := range extra {
+		if e < 0 {
+			panic(fmt.Sprintf("superinst: negative replica count for op %d", op))
+		}
+		copies[op] = e + 1
+	}
+	return &Assigner{
+		copies: copies,
+		next:   make([]int, len(extra)),
+		mode:   mode,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Copies returns the total copy count for an opcode (>= 1).
+func (a *Assigner) Copies(op uint32) int { return a.copies[op] }
+
+// Next returns the copy index in [0, Copies(op)) for the next
+// occurrence of op.
+func (a *Assigner) Next(op uint32) int {
+	n := a.copies[op]
+	if n <= 1 {
+		return 0
+	}
+	if a.mode == Random {
+		return a.rng.Intn(n)
+	}
+	c := a.next[op]
+	a.next[op] = (c + 1) % n
+	return c
+}

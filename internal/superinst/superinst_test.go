@@ -1,0 +1,320 @@
+package superinst
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableRejectsShortAndDup(t *testing.T) {
+	if _, err := NewTable([][]uint32{{1}}); err == nil {
+		t.Error("length-1 sequence should be rejected")
+	}
+	if _, err := NewTable([][]uint32{{1, 2}, {1, 2}}); err == nil {
+		t.Error("duplicate sequence should be rejected")
+	}
+	if _, err := NewTable([][]uint32{{1, 2}, {1, 2, 3}}); err != nil {
+		t.Errorf("prefix sequences should be fine: %v", err)
+	}
+}
+
+func TestMustNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewTable should panic on error")
+		}
+	}()
+	MustNewTable([][]uint32{{1}})
+}
+
+func TestGreedyParseLongestMatch(t *testing.T) {
+	tbl := MustNewTable([][]uint32{{1, 2}, {1, 2, 3}})
+	ps := tbl.GreedyParse([]uint32{1, 2, 3, 4})
+	want := []Piece{{Start: 0, Len: 3, Super: 1}, {Start: 3, Len: 1, Super: -1}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Errorf("GreedyParse = %v, want %v", ps, want)
+	}
+}
+
+func TestGreedyVsOptimal(t *testing.T) {
+	// Classic case where greedy loses: table {AB, BCD}; input A B C D.
+	// Greedy takes AB then C,D = 3 pieces; optimal takes A + BCD = 2.
+	tbl := MustNewTable([][]uint32{{1, 2}, {2, 3, 4}})
+	in := []uint32{1, 2, 3, 4}
+	g := tbl.GreedyParse(in)
+	o := tbl.OptimalParse(in)
+	if len(g) != 3 {
+		t.Errorf("greedy pieces = %d, want 3", len(g))
+	}
+	if len(o) != 2 {
+		t.Errorf("optimal pieces = %d, want 2", len(o))
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	tbl := MustNewTable([][]uint32{{1, 2}, {2, 3}, {3, 1}, {1, 2, 3}, {2, 1, 2}})
+	f := func(raw []uint8) bool {
+		ops := make([]uint32, len(raw))
+		for k, r := range raw {
+			ops[k] = uint32(r%3) + 1
+		}
+		g := tbl.GreedyParse(ops)
+		o := tbl.OptimalParse(ops)
+		return len(o) <= len(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parses exactly tile the input.
+func TestParsesTileInput(t *testing.T) {
+	tbl := MustNewTable([][]uint32{{1, 2}, {2, 2}, {1, 2, 3}})
+	check := func(ps []Piece, n int) bool {
+		at := 0
+		for _, p := range ps {
+			if p.Start != at || p.Len <= 0 {
+				return false
+			}
+			if p.Super == -1 && p.Len != 1 {
+				return false
+			}
+			at += p.Len
+		}
+		return at == n
+	}
+	f := func(raw []uint8) bool {
+		ops := make([]uint32, len(raw))
+		for k, r := range raw {
+			ops[k] = uint32(r % 4)
+		}
+		return check(tbl.GreedyParse(ops), len(ops)) && check(tbl.OptimalParse(ops), len(ops))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: super pieces reference real table sequences matching the
+// input.
+func TestParsePiecesMatchTable(t *testing.T) {
+	tbl := MustNewTable([][]uint32{{5, 6}, {6, 5}, {5, 6, 5}})
+	f := func(raw []uint8) bool {
+		ops := make([]uint32, len(raw))
+		for k, r := range raw {
+			ops[k] = uint32(r%2) + 5
+		}
+		for _, ps := range [][]Piece{tbl.GreedyParse(ops), tbl.OptimalParse(ops)} {
+			for _, p := range ps {
+				if p.Super >= 0 {
+					seq := tbl.Seq(p.Super)
+					if len(seq) != p.Len {
+						return false
+					}
+					for k := range seq {
+						if ops[p.Start+k] != seq[k] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyParse(t *testing.T) {
+	tbl := MustNewTable([][]uint32{{1, 2}})
+	if ps := tbl.GreedyParse(nil); ps != nil {
+		t.Errorf("greedy on empty = %v", ps)
+	}
+	if ps := tbl.OptimalParse(nil); ps != nil {
+		t.Errorf("optimal on empty = %v", ps)
+	}
+}
+
+func TestCollectSequences(t *testing.T) {
+	blocks := [][]uint32{
+		{1, 2, 3},
+		{1, 2},
+		{9},
+	}
+	counts := CollectSequences(blocks, 3, nil)
+	byKey := map[string]uint64{}
+	for _, c := range counts {
+		byKey[seqKey(c.Seq)] = c.Count
+	}
+	if byKey[seqKey([]uint32{1, 2})] != 2 {
+		t.Errorf("count of [1 2] = %d, want 2", byKey[seqKey([]uint32{1, 2})])
+	}
+	if byKey[seqKey([]uint32{2, 3})] != 1 {
+		t.Errorf("count of [2 3] = %d, want 1", byKey[seqKey([]uint32{2, 3})])
+	}
+	if byKey[seqKey([]uint32{1, 2, 3})] != 1 {
+		t.Errorf("count of [1 2 3] = %d, want 1", byKey[seqKey([]uint32{1, 2, 3})])
+	}
+	if _, ok := byKey[seqKey([]uint32{9})]; ok {
+		t.Error("length-1 sequences must not be collected")
+	}
+}
+
+func TestCollectSequencesWeighted(t *testing.T) {
+	blocks := [][]uint32{{1, 2}, {3, 4}}
+	counts := CollectSequences(blocks, 2, []uint64{10, 1})
+	if len(counts) != 2 {
+		t.Fatalf("got %d sequences, want 2", len(counts))
+	}
+	// Sorted by count descending: [1 2] first with weight 10.
+	if !reflect.DeepEqual(counts[0].Seq, []uint32{1, 2}) || counts[0].Count != 10 {
+		t.Errorf("top = %v x%d, want [1 2] x10", counts[0].Seq, counts[0].Count)
+	}
+}
+
+func TestSelectTopShortBias(t *testing.T) {
+	counts := []SeqCount{
+		{Seq: []uint32{1, 2, 3, 4}, Count: 10},
+		{Seq: []uint32{1, 2}, Count: 6},
+	}
+	// Without bias the longer, more frequent sequence wins.
+	top := SelectTop(counts, 1, 0)
+	if len(top[0]) != 4 {
+		t.Errorf("no bias: top = %v, want the length-4 sequence", top[0])
+	}
+	// With strong short bias the shorter one wins (10/4^2 < 6/2^2).
+	top = SelectTop(counts, 1, 2)
+	if len(top[0]) != 2 {
+		t.Errorf("bias 2: top = %v, want the length-2 sequence", top[0])
+	}
+}
+
+func TestSelectTopClampsN(t *testing.T) {
+	counts := []SeqCount{{Seq: []uint32{1, 2}, Count: 1}}
+	if got := SelectTop(counts, 10, 1); len(got) != 1 {
+		t.Errorf("SelectTop clamped = %d sequences, want 1", len(got))
+	}
+}
+
+func TestAllocateReplicasProportional(t *testing.T) {
+	freq := []uint64{0, 100, 300, 0, 100}
+	out := AllocateReplicas(freq, 10)
+	if out[0] != 0 || out[3] != 0 {
+		t.Error("zero-frequency opcodes must get no replicas")
+	}
+	if got := out[1] + out[2] + out[4]; got != 10 {
+		t.Errorf("total allocated = %d, want 10", got)
+	}
+	if out[2] != 6 {
+		t.Errorf("dominant opcode got %d, want 6", out[2])
+	}
+}
+
+func TestAllocateReplicasEdgeCases(t *testing.T) {
+	if out := AllocateReplicas([]uint64{1, 2}, 0); out[0] != 0 || out[1] != 0 {
+		t.Error("zero total should allocate nothing")
+	}
+	if out := AllocateReplicas([]uint64{0, 0}, 10); out[0] != 0 || out[1] != 0 {
+		t.Error("zero frequencies should allocate nothing")
+	}
+}
+
+// Property: allocation sums to total when any frequency is positive.
+func TestAllocateReplicasSum(t *testing.T) {
+	f := func(fr []uint16, total uint8) bool {
+		if len(fr) == 0 {
+			return true
+		}
+		freq := make([]uint64, len(fr))
+		var sum uint64
+		for k, v := range fr {
+			freq[k] = uint64(v)
+			sum += uint64(v)
+		}
+		out := AllocateReplicas(freq, int(total))
+		got := 0
+		for _, n := range out {
+			got += n
+		}
+		if sum == 0 {
+			return got == 0
+		}
+		return got == int(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignerRoundRobin(t *testing.T) {
+	a := NewAssigner([]int{0, 2}, RoundRobin, 1) // op1 has 3 copies
+	if a.Copies(0) != 1 || a.Copies(1) != 3 {
+		t.Fatalf("copies = %d,%d", a.Copies(0), a.Copies(1))
+	}
+	got := []int{a.Next(1), a.Next(1), a.Next(1), a.Next(1)}
+	want := []int{0, 1, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round robin = %v, want %v", got, want)
+	}
+	if a.Next(0) != 0 {
+		t.Error("single-copy opcode must always select copy 0")
+	}
+}
+
+func TestAssignerRandomInRange(t *testing.T) {
+	a := NewAssigner([]int{4}, Random, 42)
+	seen := map[int]bool{}
+	for k := 0; k < 200; k++ {
+		c := a.Next(0)
+		if c < 0 || c >= 5 {
+			t.Fatalf("random copy %d out of range", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("random selection covered only %d copies", len(seen))
+	}
+}
+
+func TestAssignerRandomDeterministicBySeed(t *testing.T) {
+	a := NewAssigner([]int{9}, Random, 7)
+	b := NewAssigner([]int{9}, Random, 7)
+	for k := 0; k < 50; k++ {
+		if a.Next(0) != b.Next(0) {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+}
+
+func TestAssignerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative replica count should panic")
+		}
+	}()
+	NewAssigner([]int{-1}, RoundRobin, 0)
+}
+
+// TestRoundRobinBeatsRandomOnLoop encodes the paper's Section 5.1
+// argument: with 2 replicas of A and the loop A B A GOTO, round-robin
+// guarantees the two occurrences of A get different copies; random
+// sometimes does not.
+func TestRoundRobinBeatsRandomOnLoop(t *testing.T) {
+	rr := NewAssigner([]int{1}, RoundRobin, 0) // 2 copies of op 0
+	c1, c2 := rr.Next(0), rr.Next(0)
+	if c1 == c2 {
+		t.Error("round robin assigned the same copy twice in a row")
+	}
+	// Random with some seed will collide within a few trials.
+	collided := false
+	for seed := int64(0); seed < 20 && !collided; seed++ {
+		r := NewAssigner([]int{1}, Random, seed)
+		if r.Next(0) == r.Next(0) {
+			collided = true
+		}
+	}
+	if !collided {
+		t.Error("random selection never collided in 20 seeds (suspicious)")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import "fmt"
+
+// BenchGC stands in for the paper's "bench-gc" garbage collector
+// benchmark: a mark-sweep collector over a heap of cons cells.
+// Random binary trees are rooted, overwritten and collected.
+// Character: pointer chasing, recursive marking, linear sweeps —
+// memory-heavy words with mid-length basic blocks.
+func BenchGC() *Workload {
+	return &Workload{
+		Name:         "bench-gc",
+		Desc:         "garbage collector",
+		Lang:         "forth",
+		DefaultScale: 120,
+		Source:       benchGCSource,
+	}
+}
+
+func benchGCSource(scale int) string {
+	// Heap of 2000 cells; cell i occupies slots 3i..3i+2 (car, cdr,
+	// mark); references are i+1 so 0 is nil.
+	return lcgForth + fmt.Sprintf(`
+constant ncells 2000
+array heapc 6000
+array roots 8
+variable freelist
+variable live
+variable collected
+variable nfree
+
+: car-addr ( ref -- a ) 1- 3 * ;
+: cdr-addr ( ref -- a ) 1- 3 * 1+ ;
+: mark-addr ( ref -- a ) 1- 3 * 2 + ;
+: car@ ( ref -- v ) car-addr heapc + @ ;
+: cdr@ ( ref -- v ) cdr-addr heapc + @ ;
+
+\ Free list threads through the cdr slots.
+: init-heap ( -- )
+  0 freelist !
+  ncells nfree !
+  ncells 1+ 1 do
+    freelist @ i cdr-addr heapc + !
+    i freelist !
+  loop ;
+
+: mark ( ref -- )
+  dup 0= if drop exit then
+  dup mark-addr heapc + @ if drop exit then
+  1 over mark-addr heapc + !
+  dup car@ recurse
+  cdr@ recurse ;
+
+: sweep ( -- )
+  0 live !
+  0 nfree !
+  0 freelist !
+  ncells 1+ 1 do
+    i mark-addr heapc + @ if
+      1 live +!
+      0 i mark-addr heapc + !
+    else
+      freelist @ i cdr-addr heapc + !
+      i freelist !
+      1 nfree +!
+    then
+  loop ;
+
+: collect ( -- )
+  1 collected +!
+  8 0 do roots i + @ mark loop
+  sweep ;
+
+\ Collection happens only between rounds, when every live cell is
+\ reachable from the roots; allocating mid-construction never
+\ collects, so stack-held subtree references stay valid.
+: ensure-space ( -- ) nfree @ 130 < if collect then ;
+
+: alloc ( car cdr -- ref )
+  freelist @
+  dup cdr@ freelist !
+  -1 nfree +!
+  tuck cdr-addr heapc + !
+  tuck car-addr heapc + ! ;
+
+: tree ( depth -- ref )
+  dup 0= if exit then
+  dup 1- recurse
+  over 1- recurse
+  alloc
+  nip ;
+
+: round ( -- )
+  ensure-space
+  7 tree
+  8 rnd-mod roots + ! ;
+
+: main
+  init-heap
+  1234 seed !
+  0 collected !
+  8 0 do 0 roots i + ! loop
+  %d 0 do round loop
+  collect
+  collected @ .
+  live @ . ;
+main
+`, scale)
+}

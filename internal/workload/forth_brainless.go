@@ -1,0 +1,101 @@
+package workload
+
+import "fmt"
+
+// Brainless stands in for the paper's "brainless" chess benchmark:
+// a second, structurally different game-tree searcher — full minimax
+// over tic-tac-toe positions with a line-table evaluator. Character:
+// table scans inside deep recursion; branchier evaluation than tscp.
+func Brainless() *Workload {
+	return &Workload{
+		Name:         "brainless",
+		Desc:         "chess (minimax with line table)",
+		Lang:         "forth",
+		DefaultScale: 30,
+		Source:       brainlessSource,
+	}
+}
+
+func brainlessSource(scale int) string {
+	return lcgForth + fmt.Sprintf(`
+array board 9
+array lines 24
+variable nodes
+variable draws
+variable xwins
+variable owins
+
+: line! ( a b c idx -- )
+  3 * lines +
+  tuck 2 + !
+  tuck 1 + !
+  ! ;
+
+: init-lines ( -- )
+  0 1 2 0 line!
+  3 4 5 1 line!
+  6 7 8 2 line!
+  0 3 6 3 line!
+  1 4 7 4 line!
+  2 5 8 5 line!
+  0 4 8 6 line!
+  2 4 6 7 line! ;
+
+: cell@ ( k -- v ) board + @ ;
+
+: line-won? ( p idx -- f )
+  3 * lines +
+  dup @ cell@ 2 pick =
+  over 1 + @ cell@ 3 pick = and
+  swap 2 + @ cell@ rot = and ;
+
+: won? ( p -- f )
+  0
+  8 0 do
+    over i line-won? if drop -1 leave then
+  loop
+  nip ;
+
+: full? ( -- f )
+  -1
+  9 0 do i cell@ 0= if drop 0 leave then loop ;
+
+\ Minimax: value for the player p to move (+1 win, 0 draw, -1 loss).
+: minimax ( p -- v )
+  1 nodes +!
+  dup 3 swap - won? if drop -1 exit then
+  full? if drop 0 exit then
+  -2 swap                    \ best p
+  9 0 do
+    i cell@ 0= if
+      dup board i + !        \ place p
+      dup 3 swap - recurse negate
+      0 board i + !          \ undo
+      rot max swap           \ best' p
+    then
+  loop
+  drop ;
+
+: random-opening ( n -- )
+  9 0 do 0 board i + ! loop
+  0 do
+    begin 9 rnd-mod dup cell@ 0= 0= while drop repeat
+    i 2 mod 1+ swap board + !
+  loop ;
+
+: round ( -- )
+  4 random-opening
+  1 minimax
+  dup 0 > if 1 xwins +! then
+  dup 0 < if 1 owins +! then
+  0= if 1 draws +! then ;
+
+: main
+  init-lines
+  555 seed !
+  0 nodes ! 0 draws ! 0 xwins ! 0 owins !
+  %d 0 do round loop
+  xwins @ . owins @ . draws @ . nodes @ . ;
+main
+`, scale)
+}

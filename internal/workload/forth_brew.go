@@ -1,0 +1,114 @@
+package workload
+
+import "fmt"
+
+// Brew stands in for the paper's "brew" evolutionary programming
+// benchmark: a population of bit-string genomes evolves toward a
+// hidden target under mutation and crossover with the current best.
+// Character: bit-twiddling fitness loops over arrays, tournament-free
+// steady-state evolution — long-running nested loops with moderate
+// branching.
+func Brew() *Workload {
+	return &Workload{
+		Name:         "brew",
+		Desc:         "evolutionary programming",
+		Lang:         "forth",
+		DefaultScale: 60,
+		Source:       brewSource,
+	}
+}
+
+func brewSource(scale int) string {
+	return lcgForth + fmt.Sprintf(`
+constant pop 16
+constant glen 16
+array genomes 256
+array targetg 16
+array fits 16
+variable best
+variable bestfit
+variable check
+
+: gene-addr ( ind k -- a ) swap glen * + genomes + ;
+
+\ Count matching bits in the low byte.
+: score8 ( x -- n )
+  255 and 255 xor
+  0 swap
+  8 0 do
+    dup 1 and rot + swap
+    2/
+  loop
+  drop ;
+
+: fitness ( ind -- f )
+  0
+  glen 0 do
+    over i gene-addr @
+    targetg i + @ xor
+    score8 +
+  loop
+  nip ;
+
+: eval-all ( -- )
+  -1 bestfit ! 0 best !
+  pop 0 do
+    i fitness
+    dup fits i + !
+    dup bestfit @ > if
+      bestfit ! i best !
+    else
+      drop
+    then
+  loop ;
+
+: mutate ( ind -- )
+  glen 0 do
+    10 rnd-mod 0= if
+      dup i gene-addr
+      dup @ 1 8 rnd-mod lshift xor
+      swap !
+    then
+  loop
+  drop ;
+
+: crossover ( ind -- )
+  glen 0 do
+    2 rnd-mod if
+      best @ i gene-addr @
+      over i gene-addr !
+    then
+  loop
+  drop ;
+
+: generation ( -- )
+  eval-all
+  pop 0 do
+    i best @ <> if
+      i crossover
+      i mutate
+    then
+  loop ;
+
+: init ( -- )
+  glen 0 do 256 rnd-mod targetg i + ! loop
+  pop 0 do
+    glen 0 do
+      256 rnd-mod j i gene-addr !
+    loop
+  loop ;
+
+: main
+  2024 seed !
+  0 check !
+  init
+  %d 0 do
+    generation
+    bestfit @ check @ + 16777215 and check !
+  loop
+  eval-all
+  bestfit @ .
+  check @ . ;
+main
+`, scale)
+}

@@ -1,0 +1,96 @@
+package workload
+
+import "fmt"
+
+// Cross stands in for the paper's "cross" Forth cross-compiler
+// benchmark: it generates random postfix programs, compiles them into
+// threaded code in a buffer (execution tokens plus inline arguments),
+// then runs them with an inner interpreter built on EXECUTE.
+// Character: a meta-interpreter — the compiled code's dispatch is a
+// computed EXECUTE per target instruction, the profile the paper's
+// techniques care about most.
+func Cross() *Workload {
+	return &Workload{
+		Name:         "cross",
+		Desc:         "Forth cross-compiler",
+		Lang:         "forth",
+		DefaultScale: 400,
+		Source:       crossSource,
+	}
+}
+
+func crossSource(scale int) string {
+	return lcgForth + fmt.Sprintf(`
+array target 4096
+variable tp      \ compile pointer (in entries of 2 cells)
+variable tpos    \ interpreter position
+variable targ    \ current inline argument
+array tstack 256
+variable tsp
+variable check
+variable depth
+
+: tpush ( v -- ) tstack tsp @ + ! 1 tsp +! ;
+: tpop ( -- v ) -1 tsp +! tstack tsp @ + @ ;
+
+\ Target instruction implementations.
+: t-lit  targ @ tpush ;
+: t-add  tpop tpop + 16777215 and tpush ;
+: t-mul  tpop tpop * 16777215 and tpush ;
+: t-dup  tpop dup tpush tpush ;
+: t-xor  tpop tpop xor tpush ;
+
+: compile1 ( xt arg -- )
+  target tp @ 2 * 1+ + !
+  target tp @ 2 * + !
+  1 tp +! ;
+
+\ Generate one valid postfix token and compile it.
+: gen-tok ( -- )
+  depth @ 2 < if
+    ' t-lit 1024 rnd-mod compile1
+    1 depth +!
+  else
+    4 rnd-mod
+    dup 0 = if drop ' t-lit 1024 rnd-mod compile1 1 depth +! exit then
+    dup 1 = if drop ' t-add 0 compile1 -1 depth +! exit then
+    dup 2 = if drop ' t-mul 0 compile1 -1 depth +! exit then
+    dup 3 = if drop ' t-dup 0 compile1 1 depth +! exit then
+    drop
+  then ;
+
+\ Drain the simulated stack to depth 1 with adds.
+: gen-drain ( -- )
+  begin depth @ 1 > while
+    ' t-xor 0 compile1
+    -1 depth +!
+  repeat ;
+
+: compile-prog ( -- )
+  0 tp ! 0 depth !
+  40 0 do gen-tok loop
+  gen-drain ;
+
+\ The inner interpreter: fetch xt and argument, EXECUTE.
+: run-prog ( -- )
+  0 tpos ! 0 tsp !
+  begin tpos @ tp @ < while
+    target tpos @ 2 * + @
+    target tpos @ 2 * 1+ + @ targ !
+    1 tpos +!
+    execute
+  repeat ;
+
+: round ( -- )
+  compile-prog
+  run-prog
+  tpop check @ + 16777215 and check ! ;
+
+: main
+  321 seed !
+  0 check !
+  %d 0 do round loop
+  check @ . ;
+main
+`, scale)
+}

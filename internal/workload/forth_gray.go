@@ -1,0 +1,67 @@
+package workload
+
+import "fmt"
+
+// Gray stands in for the paper's "gray" parser generator benchmark:
+// it repeatedly generates random fully-parenthesized arithmetic
+// expressions from a grammar and parses them back with a recursive
+// descent parser, accumulating a checksum of the evaluated results.
+// Character: deeply recursive descent over token streams — many short
+// words, calls and returns, table-free dispatch on token kinds.
+func Gray() *Workload {
+	return &Workload{
+		Name:         "gray",
+		Desc:         "parser generator",
+		Lang:         "forth",
+		DefaultScale: 1400,
+		Source:       graySource,
+	}
+}
+
+func graySource(scale int) string {
+	return lcgForth + fmt.Sprintf(`
+array buf 65536
+variable bp
+variable rdp
+variable check
+
+: emit-tok ( t -- ) buf bp @ + ! 1 bp +! ;
+: next-tok ( -- t ) buf rdp @ + @ 1 rdp +! ;
+
+\ Token encoding: 0..9 literal, 10 '+', 11 '*', 12 '(', 13 ')'.
+: gen-expr ( depth -- )
+  dup 0= 3 rnd-mod 0= or if
+    drop 10 rnd-mod emit-tok
+  else
+    12 emit-tok
+    dup 1- recurse
+    2 rnd-mod if 10 else 11 then emit-tok
+    1- recurse
+    13 emit-tok
+  then ;
+
+: parse-expr ( -- v )
+  next-tok
+  dup 12 = if
+    drop
+    parse-expr
+    next-tok
+    parse-expr
+    swap 10 = if + else * then
+    16777215 and
+    next-tok drop
+  then ;
+
+: round ( -- )
+  0 bp ! 0 rdp !
+  6 gen-expr
+  parse-expr check @ + 16777215 and check ! ;
+
+: main
+  0 check !
+  42 seed !
+  %d 0 do round loop
+  check @ . ;
+main
+`, scale)
+}

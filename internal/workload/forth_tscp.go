@@ -1,0 +1,56 @@
+package workload
+
+import "fmt"
+
+// TSCP stands in for the paper's "tscp" chess benchmark: exhaustive
+// negamax game-tree search, here over the three-pile subtraction game
+// (take 1-3 stones; taking the last stone wins). Character: deep
+// recursion inside nested loops, compact evaluation — the
+// call/return-dominated profile of a chess searcher.
+func TSCP() *Workload {
+	return &Workload{
+		Name:         "tscp",
+		Desc:         "chess (game-tree search)",
+		Lang:         "forth",
+		DefaultScale: 60,
+		Source:       tscpSource,
+	}
+}
+
+func tscpSource(scale int) string {
+	return lcgForth + fmt.Sprintf(`
+array piles 3
+variable nodes
+variable wins
+
+: moves-exist ( -- f )
+  piles @ piles 1 + @ or piles 2 + @ or 0<> ;
+
+\ Negamax over the subtraction game: value +1 = player to move wins.
+: negamax ( -- v )
+  1 nodes +!
+  moves-exist 0= if -1 exit then
+  -2
+  3 0 do
+    4 1 do
+      piles j + @ i >= if
+        piles j + @ i - piles j + !
+        negamax negate max
+        piles j + @ i + piles j + !
+      then
+    loop
+  loop ;
+
+: round ( -- )
+  3 0 do 4 rnd-mod piles i + ! loop
+  negamax 0 > if 1 wins +! then ;
+
+: main
+  7 seed !
+  0 nodes ! 0 wins !
+  %d 0 do round loop
+  wins @ .
+  nodes @ . ;
+main
+`, scale)
+}

@@ -1,0 +1,66 @@
+package workload
+
+import "fmt"
+
+// VMGen stands in for the paper's "vmgen" interpreter generator
+// benchmark: for a stream of synthetic VM instruction specifications
+// (opcode, inputs, outputs) it emits C-like glue code into an output
+// buffer by expanding byte templates, then checksums the generated
+// text. Character: template expansion — byte stores, short counted
+// loops, table-driven word selection.
+func VMGen() *Workload {
+	return &Workload{
+		Name:         "vmgen",
+		Desc:         "interpreter generator",
+		Lang:         "forth",
+		DefaultScale: 1000,
+		Source:       vmgenSource,
+	}
+}
+
+func vmgenSource(scale int) string {
+	return lcgForth + fmt.Sprintf(`
+array out 65536
+variable op
+variable check
+
+: emitb ( b -- ) 255 and out op @ + c! 1 op +! ;
+
+\ Expand template t as len pseudo-text bytes.
+: template ( t len -- )
+  0 do dup 17 * i 31 * + emitb loop drop ;
+
+: prologue ( opc -- ) 1 8 template 13 * emitb ;
+: pop-arg ( k -- ) 2 6 template emitb ;
+: push-res ( k -- ) 3 6 template emitb ;
+: compute ( opc -- ) dup 4 + 10 template emitb ;
+: epilogue ( -- ) 5 9 template ;
+
+: gen-inst ( opc nin nout -- )
+  >r >r
+  dup prologue
+  r> 0 do i pop-arg loop
+  compute
+  r> 0 do i push-res loop
+  epilogue ;
+
+: checksum ( -- )
+  0
+  op @ 0 do out i + c@ + 16777215 and loop
+  check @ + 16777215 and check ! ;
+
+: round ( opc -- )
+  0 op !
+  3 rnd-mod 1+
+  2 rnd-mod 1+
+  gen-inst
+  checksum ;
+
+: main
+  99 seed !
+  0 check !
+  %d 0 do i round loop
+  check @ . ;
+main
+`, scale)
+}

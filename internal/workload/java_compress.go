@@ -1,0 +1,293 @@
+package workload
+
+import "fmt"
+
+// Compress stands in for SPECjvm98 201_compress (modified Lempel-Ziv
+// compression): LZW coding of a repetitive synthetic byte stream
+// through a hash-table dictionary. Character: the classic compress
+// inner loop — hash probe, dictionary hit/miss branch, code emission
+// — bytes and arrays throughout.
+func Compress() *Workload {
+	return &Workload{
+		Name:         "compress",
+		Desc:         "modified Lempel-Ziv compression",
+		Lang:         "jvm",
+		DefaultScale: 10,
+		Source:       compressSource,
+	}
+}
+
+// CompressReference implements the identical LZW pass in Go; tests
+// compare the workload's output against it.
+func CompressReference(scale int) (emitted int64, check int64) {
+	const n = 4096
+	input := make([]int64, n)
+	seed := int64(987)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	// Repetitive input: short random phrases repeated.
+	phrase := make([]int64, 16)
+	for i := range phrase {
+		phrase[i] = rnd() % 17
+	}
+	for i := 0; i < n; i++ {
+		if rnd()%20 == 0 {
+			phrase[rnd()%16] = rnd() % 17
+		}
+		input[i] = phrase[i%16]
+	}
+
+	emit := func(w int64) {
+		emitted++
+		check = (check + w*31 + emitted) & 16777215
+	}
+	for pass := 0; pass < scale; pass++ {
+		const hs = 8192
+		hkey := make([]int64, hs)
+		hval := make([]int64, hs)
+		nextCode := int64(256)
+		w := input[0]
+		for i := 1; i < n; i++ {
+			c := input[i]
+			key := w*256 + c + 1
+			idx := (key * 2654435761) & (hs - 1)
+			for hkey[idx] != 0 && hkey[idx] != key {
+				idx = (idx + 1) & (hs - 1)
+			}
+			if hkey[idx] == key {
+				w = hval[idx]
+			} else {
+				emit(w)
+				if nextCode < 4096 {
+					hkey[idx] = key
+					hval[idx] = nextCode
+					nextCode++
+				}
+				w = c
+			}
+		}
+		emit(w)
+	}
+	return emitted, check
+}
+
+func compressSource(scale int) string {
+	return fmt.Sprintf(`
+static seed
+static input
+static hkey
+static hval
+static nextcode
+static w
+static emitted
+static check
+
+method Main.rnd static args 0 locals 0
+  getstatic seed
+  iconst 1103515245
+  imul
+  iconst 12345
+  iadd
+  iconst 2147483647
+  iand
+  dup
+  putstatic seed
+  iconst 16
+  ishr
+  ireturn
+end
+
+; Repetitive input: a 16-byte phrase, occasionally mutated, tiled
+; over 4096 bytes.
+method Main.buildInput static args 0 locals 2
+  ; 0: i, 1: phrase ref
+  iconst 4096
+  newarray
+  putstatic input
+  iconst 16
+  newarray
+  istore_1
+  iconst 0
+  istore_0
+ploop:
+  iload_0
+  iconst 16
+  if_icmpge pdone
+  iload_1
+  iload_0
+  invokestatic Main.rnd
+  iconst 17
+  irem
+  iastore
+  iinc 0 1
+  goto ploop
+pdone:
+  iconst 0
+  istore_0
+floop:
+  iload_0
+  iconst 4096
+  if_icmpge fdone
+  invokestatic Main.rnd
+  iconst 20
+  irem
+  ifne fill
+  iload_1
+  invokestatic Main.rnd
+  iconst 16
+  irem
+  invokestatic Main.rnd
+  iconst 17
+  irem
+  iastore
+fill:
+  getstatic input
+  iload_0
+  iload_1
+  iload_0
+  iconst 15
+  iand
+  iaload
+  iastore
+  iinc 0 1
+  goto floop
+fdone:
+  return
+end
+
+method Main.emit static args 1 locals 0
+  getstatic emitted
+  iconst 1
+  iadd
+  putstatic emitted
+  getstatic check
+  iload_0
+  iconst 31
+  imul
+  iadd
+  getstatic emitted
+  iadd
+  iconst 16777215
+  iand
+  putstatic check
+  return
+end
+
+; One LZW pass over the input with a fresh 8192-slot dictionary.
+method Main.pass static args 0 locals 5
+  ; 0: i, 1: c, 2: key, 3: idx, 4: probe
+  iconst 8192
+  newarray
+  putstatic hkey
+  iconst 8192
+  newarray
+  putstatic hval
+  iconst 256
+  putstatic nextcode
+  getstatic input
+  iconst 0
+  iaload
+  putstatic w
+  iconst 1
+  istore_0
+loop:
+  iload_0
+  iconst 4096
+  if_icmpge done
+  getstatic input
+  iload_0
+  iaload
+  istore_1
+  ; key = w*256 + c + 1 (0 marks an empty slot)
+  getstatic w
+  iconst 256
+  imul
+  iload_1
+  iadd
+  iconst 1
+  iadd
+  istore_2
+  ; idx = (key * 2654435761) & 8191
+  iload_2
+  iconst 2654435761
+  imul
+  iconst 8191
+  iand
+  istore_3
+probe:
+  getstatic hkey
+  iload_3
+  iaload
+  istore 4
+  iload 4
+  ifeq miss
+  iload 4
+  iload_2
+  if_icmpeq hit
+  iinc 3 1
+  iload_3
+  iconst 8191
+  iand
+  istore_3
+  goto probe
+hit:
+  getstatic hval
+  iload_3
+  iaload
+  putstatic w
+  goto next
+miss:
+  getstatic w
+  invokestatic Main.emit
+  getstatic nextcode
+  iconst 4096
+  if_icmpge skipadd
+  getstatic hkey
+  iload_3
+  iload_2
+  iastore
+  getstatic hval
+  iload_3
+  getstatic nextcode
+  iastore
+  getstatic nextcode
+  iconst 1
+  iadd
+  putstatic nextcode
+skipadd:
+  iload_1
+  putstatic w
+next:
+  iinc 0 1
+  goto loop
+done:
+  getstatic w
+  invokestatic Main.emit
+  return
+end
+
+method Main.main static args 0 locals 1
+  iconst 987
+  putstatic seed
+  iconst 0
+  putstatic emitted
+  iconst 0
+  putstatic check
+  invokestatic Main.buildInput
+  iconst 0
+  istore_0
+rounds:
+  iload_0
+  iconst %d
+  if_icmpge over
+  invokestatic Main.pass
+  iinc 0 1
+  goto rounds
+over:
+  getstatic emitted
+  iprint
+  getstatic check
+  iprint
+  return
+end
+`, scale)
+}

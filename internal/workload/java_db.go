@@ -1,0 +1,210 @@
+package workload
+
+import "fmt"
+
+// DB stands in for SPECjvm98 209_db: an in-memory database of record
+// objects behind an open-addressing hash index, driven by a
+// pseudo-random stream of put/get/bump operations. Character: hash
+// probing over an array of object references, then getfield/putfield
+// on the found record — pointer-heavy with short, branchy blocks.
+func DB() *Workload {
+	return &Workload{
+		Name:         "db",
+		Desc:         "small database program",
+		Lang:         "jvm",
+		DefaultScale: 25000,
+		Source:       dbSource,
+	}
+}
+
+func dbSource(scale int) string {
+	return fmt.Sprintf(`
+class Rec
+  field key
+  field val
+end
+
+static seed
+static table
+static acc
+static count
+
+method Main.rnd static args 0 locals 0
+  getstatic seed
+  iconst 1103515245
+  imul
+  iconst 12345
+  iadd
+  iconst 2147483647
+  iand
+  dup
+  putstatic seed
+  iconst 16
+  ishr
+  ireturn
+end
+
+; Probe the 2048-slot table for key; returns the slot index holding
+; the key or the first empty slot (the table never fills: at most 512
+; distinct keys).
+method Main.probe static args 1 locals 3
+  ; 0: key, 1: idx, 2: ref
+  iload_0
+  iconst 2654435761
+  imul
+  iconst 2047
+  iand
+  istore_1
+loop:
+  getstatic table
+  iload_1
+  iaload
+  istore_2
+  iload_2
+  ifeq found
+  iload_2
+  getfield Rec.key
+  iload_0
+  if_icmpeq found
+  iinc 1 1
+  iload_1
+  iconst 2047
+  iand
+  istore_1
+  goto loop
+found:
+  iload_1
+  ireturn
+end
+
+; put(key, val): insert a new record or overwrite the existing one.
+method Main.put static args 2 locals 4
+  ; 0: key, 1: val, 2: slot, 3: ref
+  iload_0
+  invokestatic Main.probe
+  istore_2
+  getstatic table
+  iload_2
+  iaload
+  istore_3
+  iload_3
+  ifne update
+  new Rec
+  istore_3
+  iload_3
+  iload_0
+  putfield Rec.key
+  iload_3
+  iload_1
+  putfield Rec.val
+  getstatic table
+  iload_2
+  iload_3
+  iastore
+  getstatic count
+  iconst 1
+  iadd
+  putstatic count
+  return
+update:
+  iload_3
+  iload_1
+  putfield Rec.val
+  return
+end
+
+; get(key): the record's value, or 0 when absent.
+method Main.get static args 1 locals 2
+  iload_0
+  invokestatic Main.probe
+  istore_1
+  getstatic table
+  iload_1
+  iaload
+  dup
+  ifeq missing
+  getfield Rec.val
+  ireturn
+missing:
+  pop
+  iconst 0
+  ireturn
+end
+
+; bump(key): increment the record's value when present.
+method Main.bump static args 1 locals 2
+  iload_0
+  invokestatic Main.probe
+  istore_1
+  getstatic table
+  iload_1
+  iaload
+  dup
+  ifeq missing
+  dup
+  getfield Rec.val
+  iconst 1
+  iadd
+  putfield Rec.val
+  return
+missing:
+  pop
+  return
+end
+
+method Main.main static args 0 locals 3
+  ; 0: i, 1: key, 2: op
+  iconst 1991
+  putstatic seed
+  iconst 2048
+  newarray
+  putstatic table
+  iconst 0
+  istore_0
+oploop:
+  iload_0
+  iconst %d
+  if_icmpge opdone
+  invokestatic Main.rnd
+  iconst 512
+  irem
+  istore_1
+  invokestatic Main.rnd
+  iconst 4
+  irem
+  istore_2
+  iload_2
+  ifne notput
+  iload_1
+  invokestatic Main.rnd
+  iconst 1000
+  irem
+  invokestatic Main.put
+  goto next
+notput:
+  iload_2
+  iconst 1
+  if_icmpne notget
+  getstatic acc
+  iload_1
+  invokestatic Main.get
+  iadd
+  iconst 16777215
+  iand
+  putstatic acc
+  goto next
+notget:
+  iload_1
+  invokestatic Main.bump
+next:
+  iinc 0 1
+  goto oploop
+opdone:
+  getstatic acc
+  iprint
+  getstatic count
+  iprint
+  return
+end
+`, scale)
+}

@@ -1,0 +1,287 @@
+package workload
+
+import "fmt"
+
+// Jack stands in for SPECjvm98 228_jack (a parser generator with
+// lexical analysis): a hand-written DFA lexer tokenizes synthetic
+// program text repeatedly, counting identifiers, numbers, operators
+// and skipped whitespace. Character: a tight scanner loop dispatching
+// on character classes through an object (getfield/putfield heavy,
+// quickening on the hot path).
+func Jack() *Workload {
+	return &Workload{
+		Name:         "jack",
+		Desc:         "parser generator (lexical analysis)",
+		Lang:         "jvm",
+		DefaultScale: 45,
+		Source:       jackSource,
+	}
+}
+
+func jackSource(scale int) string {
+	return fmt.Sprintf(`
+class Lexer
+  field pos
+  field len
+  field buf
+  field idents
+  field numbers
+  field operators
+end
+
+static seed
+static input
+
+method Main.rnd static args 0 locals 0
+  getstatic seed
+  iconst 1103515245
+  imul
+  iconst 12345
+  iadd
+  iconst 2147483647
+  iand
+  dup
+  putstatic seed
+  iconst 16
+  ishr
+  ireturn
+end
+
+; Synthetic program text: letters, digits, spaces and operators.
+method Main.buildInput static args 0 locals 2
+  iconst 1024
+  newarray
+  putstatic input
+  iconst 0
+  istore_0
+floop:
+  iload_0
+  iconst 1024
+  if_icmpge fdone
+  invokestatic Main.rnd
+  iconst 30
+  irem
+  istore_1
+  iload_1
+  iconst 12
+  if_icmpge notletter
+  getstatic input
+  iload_0
+  iconst 97
+  iload_1
+  iadd
+  iastore
+  goto next
+notletter:
+  iload_1
+  iconst 20
+  if_icmpge notdigit
+  getstatic input
+  iload_0
+  iconst 48
+  iload_1
+  iconst 12
+  isub
+  iadd
+  iastore
+  goto next
+notdigit:
+  iload_1
+  iconst 26
+  if_icmpge notspace
+  getstatic input
+  iload_0
+  iconst 32
+  iastore
+  goto next
+notspace:
+  getstatic input
+  iload_0
+  iconst 43
+  iload_1
+  iconst 26
+  isub
+  iadd
+  iastore
+next:
+  iinc 0 1
+  goto floop
+fdone:
+  return
+end
+
+; Character classes: 0 space, 1 letter, 2 digit, 3 operator.
+method Main.classOf static args 1 locals 0
+  iload_0
+  iconst 32
+  if_icmpne notsp
+  iconst 0
+  ireturn
+notsp:
+  iload_0
+  iconst 97
+  if_icmplt op
+  iload_0
+  iconst 123
+  if_icmpge op
+  iconst 1
+  ireturn
+op:
+  iload_0
+  iconst 48
+  if_icmplt isop
+  iload_0
+  iconst 58
+  if_icmpge isop
+  iconst 2
+  ireturn
+isop:
+  iconst 3
+  ireturn
+end
+
+; Scan one token; returns its class or -1 at end of input.
+method Lexer.next virtual args 1 locals 4
+  ; 0: this, 1: c, 2: class, 3: scratch
+skipws:
+  iload_0
+  getfield Lexer.pos
+  iload_0
+  getfield Lexer.len
+  if_icmpge eof
+  getstatic input
+  iload_0
+  getfield Lexer.pos
+  iaload
+  istore_1
+  iload_1
+  invokestatic Main.classOf
+  istore_2
+  iload_2
+  ifne token
+  ; whitespace: advance and continue
+  iload_0
+  iload_0
+  getfield Lexer.pos
+  iconst 1
+  iadd
+  putfield Lexer.pos
+  goto skipws
+token:
+  ; consume the run of same-class characters (letters absorb digits)
+consume:
+  iload_0
+  iload_0
+  getfield Lexer.pos
+  iconst 1
+  iadd
+  putfield Lexer.pos
+  iload_0
+  getfield Lexer.pos
+  iload_0
+  getfield Lexer.len
+  if_icmpge done
+  getstatic input
+  iload_0
+  getfield Lexer.pos
+  iaload
+  invokestatic Main.classOf
+  istore_3
+  ; operators are single characters
+  iload_2
+  iconst 3
+  if_icmpeq done
+  iload_3
+  iload_2
+  if_icmpeq consume
+  ; identifiers absorb trailing digits
+  iload_2
+  iconst 1
+  if_icmpne done
+  iload_3
+  iconst 2
+  if_icmpeq consume
+done:
+  iload_2
+  ireturn
+eof:
+  iconst -1
+  ireturn
+end
+
+method Lexer.scanAll virtual args 1 locals 2
+  iload_0
+  iconst 0
+  putfield Lexer.pos
+loop:
+  iload_0
+  invokevirtual next
+  istore_1
+  iload_1
+  iflt done
+  iload_1
+  iconst 1
+  if_icmpne notid
+  iload_0
+  iload_0
+  getfield Lexer.idents
+  iconst 1
+  iadd
+  putfield Lexer.idents
+  goto loop
+notid:
+  iload_1
+  iconst 2
+  if_icmpne notnum
+  iload_0
+  iload_0
+  getfield Lexer.numbers
+  iconst 1
+  iadd
+  putfield Lexer.numbers
+  goto loop
+notnum:
+  iload_0
+  iload_0
+  getfield Lexer.operators
+  iconst 1
+  iadd
+  putfield Lexer.operators
+  goto loop
+done:
+  return
+end
+
+method Main.main static args 0 locals 2
+  iconst 424242
+  putstatic seed
+  invokestatic Main.buildInput
+  new Lexer
+  istore_0
+  iload_0
+  iconst 1024
+  putfield Lexer.len
+  iconst 0
+  istore_1
+rloop:
+  iload_1
+  iconst %d
+  if_icmpge rdone
+  iload_0
+  invokevirtual scanAll
+  iinc 1 1
+  goto rloop
+rdone:
+  iload_0
+  getfield Lexer.idents
+  iprint
+  iload_0
+  getfield Lexer.numbers
+  iprint
+  iload_0
+  getfield Lexer.operators
+  iprint
+  return
+end
+`, scale)
+}

@@ -1,0 +1,348 @@
+package workload
+
+import "fmt"
+
+// Javac stands in for SPECjvm98 213_javac: the front half of a
+// compiler — an operator-precedence (shunting-yard) translation of
+// pseudo-random infix expressions to postfix, followed by evaluation
+// of the postfix code. Character: two cooperating stack machines
+// with token dispatch — call-heavy with data-dependent branches.
+func Javac() *Workload {
+	return &Workload{
+		Name:         "javac",
+		Desc:         "compiler front end (infix to postfix)",
+		Lang:         "jvm",
+		DefaultScale: 600,
+		Source:       javacSource,
+	}
+}
+
+func javacSource(scale int) string {
+	// Token encoding: 0..255 literal, 256 '+', 257 '*', 258 '(',
+	// 259 ')'.
+	return fmt.Sprintf(`
+static seed
+static toks
+static ntoks
+static post
+static npost
+static opstack
+static nops
+static evstack
+static nev
+static check
+
+method Main.rnd static args 0 locals 0
+  getstatic seed
+  iconst 1103515245
+  imul
+  iconst 12345
+  iadd
+  iconst 2147483647
+  iand
+  dup
+  putstatic seed
+  iconst 16
+  ishr
+  ireturn
+end
+
+method Main.emitTok static args 1 locals 0
+  getstatic toks
+  getstatic ntoks
+  iload_0
+  iastore
+  getstatic ntoks
+  iconst 1
+  iadd
+  putstatic ntoks
+  return
+end
+
+; Generate a parenthesized infix expression of the given depth.
+method Main.genExpr static args 1 locals 0
+  iload_0
+  ifeq leaf
+  invokestatic Main.rnd
+  iconst 3
+  irem
+  ifeq leaf
+  iconst 258
+  invokestatic Main.emitTok
+  iload_0
+  iconst 1
+  isub
+  invokestatic Main.genExpr
+  invokestatic Main.rnd
+  iconst 2
+  irem
+  ifeq plus
+  iconst 257
+  invokestatic Main.emitTok
+  goto emitted
+plus:
+  iconst 256
+  invokestatic Main.emitTok
+emitted:
+  iload_0
+  iconst 1
+  isub
+  invokestatic Main.genExpr
+  iconst 259
+  invokestatic Main.emitTok
+  return
+leaf:
+  invokestatic Main.rnd
+  iconst 256
+  irem
+  invokestatic Main.emitTok
+  return
+end
+
+method Main.prec static args 1 locals 0
+  iload_0
+  iconst 257
+  if_icmpeq high
+  iconst 1
+  ireturn
+high:
+  iconst 2
+  ireturn
+end
+
+method Main.emitPost static args 1 locals 0
+  getstatic post
+  getstatic npost
+  iload_0
+  iastore
+  getstatic npost
+  iconst 1
+  iadd
+  putstatic npost
+  return
+end
+
+method Main.pushOp static args 1 locals 0
+  getstatic opstack
+  getstatic nops
+  iload_0
+  iastore
+  getstatic nops
+  iconst 1
+  iadd
+  putstatic nops
+  return
+end
+
+method Main.popOp static args 0 locals 0
+  getstatic nops
+  iconst 1
+  isub
+  putstatic nops
+  getstatic opstack
+  getstatic nops
+  iaload
+  ireturn
+end
+
+; Shunting-yard translation of the token buffer to postfix.
+method Main.toPostfix static args 0 locals 2
+  ; 0: i, 1: tok
+  iconst 0
+  putstatic npost
+  iconst 0
+  putstatic nops
+  iconst 0
+  istore_0
+loop:
+  iload_0
+  getstatic ntoks
+  if_icmpge drain
+  getstatic toks
+  iload_0
+  iaload
+  istore_1
+  iload_1
+  iconst 256
+  if_icmplt literal
+  iload_1
+  iconst 258
+  if_icmpeq lparen
+  iload_1
+  iconst 259
+  if_icmpeq rparen
+  ; operator: pop while top has >= precedence
+opwhile:
+  getstatic nops
+  ifeq oppush
+  getstatic opstack
+  getstatic nops
+  iconst 1
+  isub
+  iaload
+  iconst 258
+  if_icmpeq oppush
+  getstatic opstack
+  getstatic nops
+  iconst 1
+  isub
+  iaload
+  invokestatic Main.prec
+  iload_1
+  invokestatic Main.prec
+  if_icmplt oppush
+  invokestatic Main.popOp
+  invokestatic Main.emitPost
+  goto opwhile
+oppush:
+  iload_1
+  invokestatic Main.pushOp
+  goto next
+lparen:
+  iload_1
+  invokestatic Main.pushOp
+  goto next
+rparen:
+rpwhile:
+  invokestatic Main.popOp
+  dup
+  iconst 258
+  if_icmpeq rpdone
+  invokestatic Main.emitPost
+  goto rpwhile
+rpdone:
+  pop
+  goto next
+literal:
+  iload_1
+  invokestatic Main.emitPost
+next:
+  iinc 0 1
+  goto loop
+drain:
+  getstatic nops
+  ifeq done
+  invokestatic Main.popOp
+  invokestatic Main.emitPost
+  goto drain
+done:
+  return
+end
+
+; Evaluate the postfix buffer.
+method Main.eval static args 0 locals 3
+  ; 0: i, 1: tok, 2: scratch
+  iconst 0
+  putstatic nev
+  iconst 0
+  istore_0
+loop:
+  iload_0
+  getstatic npost
+  if_icmpge done
+  getstatic post
+  iload_0
+  iaload
+  istore_1
+  iload_1
+  iconst 256
+  if_icmplt lit
+  ; pop two, apply, push
+  getstatic nev
+  iconst 2
+  isub
+  putstatic nev
+  getstatic evstack
+  getstatic nev
+  iaload
+  getstatic evstack
+  getstatic nev
+  iconst 1
+  iadd
+  iaload
+  iload_1
+  iconst 256
+  if_icmpeq add
+  imul
+  goto apply
+add:
+  iadd
+apply:
+  iconst 16777215
+  iand
+  istore_2
+  getstatic evstack
+  getstatic nev
+  iload_2
+  iastore
+  getstatic nev
+  iconst 1
+  iadd
+  putstatic nev
+  goto next
+lit:
+  getstatic evstack
+  getstatic nev
+  iload_1
+  iastore
+  getstatic nev
+  iconst 1
+  iadd
+  putstatic nev
+next:
+  iinc 0 1
+  goto loop
+done:
+  getstatic nev
+  iconst 1
+  isub
+  putstatic nev
+  getstatic evstack
+  getstatic nev
+  iaload
+  getstatic check
+  iadd
+  iconst 16777215
+  iand
+  putstatic check
+  return
+end
+
+method Main.main static args 0 locals 1
+  iconst 31337
+  putstatic seed
+  iconst 0
+  putstatic check
+  iconst 4096
+  newarray
+  putstatic toks
+  iconst 4096
+  newarray
+  putstatic post
+  iconst 256
+  newarray
+  putstatic opstack
+  iconst 256
+  newarray
+  putstatic evstack
+  iconst 0
+  istore_0
+round:
+  iload_0
+  iconst %d
+  if_icmpge over
+  iconst 0
+  putstatic ntoks
+  iconst 6
+  invokestatic Main.genExpr
+  invokestatic Main.toPostfix
+  invokestatic Main.eval
+  iinc 0 1
+  goto round
+over:
+  getstatic check
+  iprint
+  return
+end
+`, scale)
+}

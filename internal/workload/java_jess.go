@@ -1,0 +1,214 @@
+package workload
+
+import "fmt"
+
+// Jess stands in for SPECjvm98 202_jess (the Java Expert Shell
+// System): a forward-chaining rule engine. Rules are objects with two
+// antecedent facts and one consequent; the engine fires rules to a
+// fixpoint from pseudo-random initial fact bases. Character: object
+// graphs traversed in a scan loop — getfield-dominated with
+// moderate-length blocks and monotone state.
+func Jess() *Workload {
+	return &Workload{
+		Name:         "jess",
+		Desc:         "Java expert shell system (rule engine)",
+		Lang:         "jvm",
+		DefaultScale: 450,
+		Source:       jessSource,
+	}
+}
+
+func jessSource(scale int) string {
+	return fmt.Sprintf(`
+class Rule
+  field c1
+  field c2
+  field out
+  field fired
+end
+
+static seed
+static facts
+static rules
+static firings
+
+method Main.rnd static args 0 locals 0
+  getstatic seed
+  iconst 1103515245
+  imul
+  iconst 12345
+  iadd
+  iconst 2147483647
+  iand
+  dup
+  putstatic seed
+  iconst 16
+  ishr
+  ireturn
+end
+
+; 48 rules over 64 facts; antecedents drawn from anywhere, the
+; consequent distinct from both.
+method Main.buildRules static args 0 locals 2
+  iconst 48
+  newarray
+  putstatic rules
+  iconst 0
+  istore_0
+rloop:
+  iload_0
+  iconst 48
+  if_icmpge rdone
+  new Rule
+  istore_1
+  iload_1
+  invokestatic Main.rnd
+  iconst 64
+  irem
+  putfield Rule.c1
+  iload_1
+  invokestatic Main.rnd
+  iconst 64
+  irem
+  putfield Rule.c2
+  iload_1
+  invokestatic Main.rnd
+  iconst 64
+  irem
+  putfield Rule.out
+  getstatic rules
+  iload_0
+  iload_1
+  iastore
+  iinc 0 1
+  goto rloop
+rdone:
+  return
+end
+
+; Reset the fact base: each fact true with probability 1/4; clear
+; per-rule fired flags.
+method Main.resetFacts static args 0 locals 1
+  iconst 0
+  istore_0
+floop:
+  iload_0
+  iconst 64
+  if_icmpge fdone
+  getstatic facts
+  iload_0
+  invokestatic Main.rnd
+  iconst 4
+  irem
+  ifne zero
+  iconst 1
+  goto store
+zero:
+  iconst 0
+store:
+  iastore
+  iinc 0 1
+  goto floop
+fdone:
+  iconst 0
+  istore_0
+cloop:
+  iload_0
+  iconst 48
+  if_icmpge cdone
+  getstatic rules
+  iload_0
+  iaload
+  iconst 0
+  putfield Rule.fired
+  iinc 0 1
+  goto cloop
+cdone:
+  return
+end
+
+; One pass over the rules; returns the number fired this pass.
+method Main.pass static args 0 locals 3
+  ; 0: i, 1: rule ref, 2: fired count
+  iconst 0
+  istore_0
+  iconst 0
+  istore_2
+loop:
+  iload_0
+  iconst 48
+  if_icmpge done
+  getstatic rules
+  iload_0
+  iaload
+  istore_1
+  ; skip if already fired
+  iload_1
+  getfield Rule.fired
+  ifne next
+  ; both antecedents present?
+  getstatic facts
+  iload_1
+  getfield Rule.c1
+  iaload
+  ifeq next
+  getstatic facts
+  iload_1
+  getfield Rule.c2
+  iaload
+  ifeq next
+  ; fire: assert the consequent
+  getstatic facts
+  iload_1
+  getfield Rule.out
+  iconst 1
+  iastore
+  iload_1
+  iconst 1
+  putfield Rule.fired
+  iinc 2 1
+  getstatic firings
+  iconst 1
+  iadd
+  putstatic firings
+next:
+  iinc 0 1
+  goto loop
+done:
+  iload_2
+  ireturn
+end
+
+method Main.solve static args 0 locals 0
+again:
+  invokestatic Main.pass
+  ifne again
+  return
+end
+
+method Main.main static args 0 locals 2
+  iconst 777
+  putstatic seed
+  iconst 0
+  putstatic firings
+  iconst 64
+  newarray
+  putstatic facts
+  invokestatic Main.buildRules
+  iconst 0
+  istore_0
+rounds:
+  iload_0
+  iconst %d
+  if_icmpge over
+  invokestatic Main.resetFacts
+  invokestatic Main.solve
+  iinc 0 1
+  goto rounds
+over:
+  getstatic firings
+  iprint
+  return
+end
+`, scale)
+}

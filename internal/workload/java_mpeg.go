@@ -1,0 +1,182 @@
+package workload
+
+import "fmt"
+
+// MPEG stands in for SPECjvm98 222_mpegaudio: fixed-point subband
+// synthesis — windowed dot products and a butterfly pass over integer
+// arrays. Character: long arithmetic basic blocks with array indexing
+// and few calls, the longest-block workload in the Java suite (the
+// paper notes Java basic blocks are longer than Forth's; mpeg is the
+// extreme).
+func MPEG() *Workload {
+	return &Workload{
+		Name:         "mpeg",
+		Desc:         "MPEG audio decoder (fixed-point subband synthesis)",
+		Lang:         "jvm",
+		DefaultScale: 150,
+		Source:       mpegSource,
+	}
+}
+
+func mpegSource(scale int) string {
+	return fmt.Sprintf(`
+static seed
+static window
+static samples
+static check
+
+method Main.rnd static args 0 locals 0
+  getstatic seed
+  iconst 1103515245
+  imul
+  iconst 12345
+  iadd
+  iconst 2147483647
+  iand
+  dup
+  putstatic seed
+  iconst 16
+  ishr
+  ireturn
+end
+
+; Fill the window and sample arrays with pseudo-random fixed-point
+; values in [-128, 127].
+method Main.init static args 0 locals 1
+  iconst 32
+  newarray
+  putstatic window
+  iconst 1024
+  newarray
+  putstatic samples
+  iconst 0
+  istore_0
+wloop:
+  iload_0
+  iconst 32
+  if_icmpge wdone
+  getstatic window
+  iload_0
+  invokestatic Main.rnd
+  iconst 255
+  iand
+  iconst 128
+  isub
+  iastore
+  iinc 0 1
+  goto wloop
+wdone:
+  iconst 0
+  istore_0
+sloop:
+  iload_0
+  iconst 1024
+  if_icmpge sdone
+  getstatic samples
+  iload_0
+  invokestatic Main.rnd
+  iconst 255
+  iand
+  iconst 128
+  isub
+  iastore
+  iinc 0 1
+  goto sloop
+sdone:
+  return
+end
+
+; One frame: 32 subbands, each a 16-tap windowed dot product,
+; followed by a butterfly across neighbouring subbands.
+method Main.frame static args 1 locals 6
+  ; local 0: frame index, 1: sb, 2: k, 3: acc, 4: idx, 5: prev
+  iconst 0
+  istore_1
+  iconst 0
+  istore 5
+sbloop:
+  iload_1
+  iconst 32
+  if_icmpge sbdone
+  iconst 0
+  istore_3
+  iconst 0
+  istore_2
+taploop:
+  iload_2
+  iconst 16
+  if_icmpge tapdone
+  ; idx = (frame*32 + sb + k) & 1023
+  iload_0
+  iconst 32
+  imul
+  iload_1
+  iadd
+  iload_2
+  iadd
+  iconst 1023
+  iand
+  istore 4
+  ; acc += window[(sb+k)&31] * samples[idx]
+  getstatic window
+  iload_1
+  iload_2
+  iadd
+  iconst 31
+  iand
+  iaload
+  getstatic samples
+  iload 4
+  iaload
+  imul
+  iload_3
+  iadd
+  istore_3
+  iinc 2 1
+  goto taploop
+tapdone:
+  ; butterfly with the previous subband accumulator
+  iload_3
+  iconst 6
+  ishr
+  iload 5
+  iadd
+  istore_3
+  iload_3
+  istore 5
+  ; check = (check + acc) & 0xffffff
+  getstatic check
+  iload_3
+  iadd
+  iconst 16777215
+  iand
+  putstatic check
+  iinc 1 1
+  goto sbloop
+sbdone:
+  return
+end
+
+method Main.main static args 0 locals 1
+  iconst 20212
+  putstatic seed
+  iconst 0
+  putstatic check
+  invokestatic Main.init
+  iconst 0
+  istore_0
+floop:
+  iload_0
+  iconst %d
+  if_icmpge fdone
+  iload_0
+  invokestatic Main.frame
+  iinc 0 1
+  goto floop
+fdone:
+  getstatic check
+  iprint
+  return
+end
+`, scale)
+}

@@ -1,0 +1,351 @@
+package workload
+
+import "fmt"
+
+// MTRT stands in for SPECjvm98 227_mtrt (a multithreaded ray tracer;
+// single-threaded here as our interpreter has one execution context,
+// like the paper's counter runs effectively measure): fixed-point
+// ray-sphere and ray-plane intersection over a polymorphic object
+// list, shading by nearest hit. Character: virtual dispatch to two
+// different intersect implementations per pixel — the paper's
+// polymorphic invokevirtual stress case — plus integer square roots.
+func MTRT() *Workload {
+	return &Workload{
+		Name:         "mtrt",
+		Desc:         "ray tracing program",
+		Lang:         "jvm",
+		DefaultScale: 11,
+		Source:       mtrtSource,
+	}
+}
+
+func mtrtSource(scale int) string {
+	return fmt.Sprintf(`
+class Sphere
+  field cx
+  field cy
+  field cz
+  field rr
+end
+
+class Floor
+  field h
+end
+
+static dx
+static dy
+static dz
+static objs
+static check
+
+; Integer square root by Newton's method.
+method Main.isqrt static args 1 locals 3
+  ; 0: v, 1: x, 2: y
+  iload_0
+  iconst 2
+  if_icmpge big
+  iload_0
+  ireturn
+big:
+  iload_0
+  istore_1
+newton:
+  iload_1
+  iload_0
+  iload_1
+  idiv
+  iadd
+  iconst 2
+  idiv
+  istore_2
+  iload_2
+  iload_1
+  if_icmpge fixed
+  iload_2
+  istore_1
+  goto newton
+fixed:
+  iload_1
+  ireturn
+end
+
+; Ray-sphere intersection; the ray starts at the origin with
+; direction (dx, dy, dz). Returns t << 8, or 1073741824 on miss.
+method Sphere.hit virtual args 1 locals 4
+  ; 0: this, 1: a = D.D, 2: b = D.C, 3: disc
+  getstatic dx
+  getstatic dx
+  imul
+  getstatic dy
+  getstatic dy
+  imul
+  iadd
+  getstatic dz
+  getstatic dz
+  imul
+  iadd
+  istore_1
+  getstatic dx
+  iload_0
+  getfield Sphere.cx
+  imul
+  getstatic dy
+  iload_0
+  getfield Sphere.cy
+  imul
+  iadd
+  getstatic dz
+  iload_0
+  getfield Sphere.cz
+  imul
+  iadd
+  istore_2
+  ; disc = b*b - a*(C.C - rr)
+  iload_2
+  iload_2
+  imul
+  iload_1
+  iload_0
+  getfield Sphere.cx
+  iload_0
+  getfield Sphere.cx
+  imul
+  iload_0
+  getfield Sphere.cy
+  iload_0
+  getfield Sphere.cy
+  imul
+  iadd
+  iload_0
+  getfield Sphere.cz
+  iload_0
+  getfield Sphere.cz
+  imul
+  iadd
+  iload_0
+  getfield Sphere.rr
+  isub
+  imul
+  isub
+  istore_3
+  iload_3
+  iflt miss
+  ; t = (b - sqrt(disc)) << 8 / a
+  iload_2
+  iload_3
+  invokestatic Main.isqrt
+  isub
+  iconst 256
+  imul
+  iload_1
+  idiv
+  dup
+  ifle misspop
+  ireturn
+misspop:
+  pop
+miss:
+  iconst 1073741824
+  ireturn
+end
+
+; Ray-plane intersection with the horizontal plane y = h.
+method Floor.hit virtual args 1 locals 0
+  getstatic dy
+  ifle miss
+  iload_0
+  getfield Floor.h
+  iconst 256
+  imul
+  getstatic dy
+  idiv
+  ireturn
+miss:
+  iconst 1073741824
+  ireturn
+end
+
+method Main.buildScene static args 0 locals 1
+  iconst 5
+  newarray
+  putstatic objs
+  new Sphere
+  istore_0
+  iload_0
+  iconst -60
+  putfield Sphere.cx
+  iload_0
+  iconst -20
+  putfield Sphere.cy
+  iload_0
+  iconst 300
+  putfield Sphere.cz
+  iload_0
+  iconst 10000
+  putfield Sphere.rr
+  getstatic objs
+  iconst 0
+  iload_0
+  iastore
+  new Sphere
+  istore_0
+  iload_0
+  iconst 80
+  putfield Sphere.cx
+  iload_0
+  iconst 10
+  putfield Sphere.cy
+  iload_0
+  iconst 400
+  putfield Sphere.cz
+  iload_0
+  iconst 22500
+  putfield Sphere.rr
+  getstatic objs
+  iconst 1
+  iload_0
+  iastore
+  new Sphere
+  istore_0
+  iload_0
+  iconst 0
+  putfield Sphere.cx
+  iload_0
+  iconst 60
+  putfield Sphere.cy
+  iload_0
+  iconst 250
+  putfield Sphere.cz
+  iload_0
+  iconst 6400
+  putfield Sphere.rr
+  getstatic objs
+  iconst 2
+  iload_0
+  iastore
+  new Sphere
+  istore_0
+  iload_0
+  iconst -30
+  putfield Sphere.cx
+  iload_0
+  iconst 40
+  putfield Sphere.cy
+  iload_0
+  iconst 500
+  putfield Sphere.cz
+  iload_0
+  iconst 40000
+  putfield Sphere.rr
+  getstatic objs
+  iconst 3
+  iload_0
+  iastore
+  new Floor
+  istore_0
+  iload_0
+  iconst 120
+  putfield Floor.h
+  getstatic objs
+  iconst 4
+  iload_0
+  iastore
+  return
+end
+
+; Render one 20x20 frame at the given focal depth.
+method Main.render static args 1 locals 6
+  ; 0: focal, 1: px, 2: py, 3: tmin, 4: k, 5: t
+  iconst 0
+  istore_2
+yloop:
+  iload_2
+  iconst 20
+  if_icmpge ydone
+  iconst 0
+  istore_1
+xloop:
+  iload_1
+  iconst 20
+  if_icmpge xdone
+  ; ray direction
+  iload_1
+  iconst 10
+  isub
+  iconst 16
+  imul
+  putstatic dx
+  iload_2
+  iconst 10
+  isub
+  iconst 16
+  imul
+  putstatic dy
+  iload_0
+  putstatic dz
+  ; nearest hit over the object list
+  iconst 1073741824
+  istore_3
+  iconst 0
+  istore 4
+oloop:
+  iload 4
+  iconst 5
+  if_icmpge odone
+  getstatic objs
+  iload 4
+  iaload
+  invokevirtual hit
+  istore 5
+  iload 5
+  iload_3
+  if_icmpge far
+  iload 5
+  istore_3
+far:
+  iinc 4 1
+  goto oloop
+odone:
+  ; shade
+  getstatic check
+  iload_3
+  iconst 255
+  iand
+  iadd
+  iconst 16777215
+  iand
+  putstatic check
+  iinc 1 1
+  goto xloop
+xdone:
+  iinc 2 1
+  goto yloop
+ydone:
+  return
+end
+
+method Main.main static args 0 locals 1
+  iconst 0
+  putstatic check
+  invokestatic Main.buildScene
+  iconst 0
+  istore_0
+floop:
+  iload_0
+  iconst %d
+  if_icmpge fdone
+  iconst 200
+  iload_0
+  iconst 8
+  imul
+  iadd
+  invokestatic Main.render
+  iinc 0 1
+  goto floop
+fdone:
+  getstatic check
+  iprint
+  return
+end
+`, scale)
+}

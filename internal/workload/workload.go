@@ -1,0 +1,139 @@
+// Package workload provides the benchmark programs of the
+// reproduction: synthetic equivalents of the paper's Gforth
+// benchmarks (Table VI: gray, bench-gc, tscp, vmgen, cross,
+// brainless, brew) and SPECjvm98 programs (Table VII: compress, jess,
+// db, javac, mpegaudio, mtrt, jack).
+//
+// The paper's originals are not redistributable (and SPECjvm98 is a
+// licensed suite), so each workload is a from-scratch program with
+// the same computational character — parser generator, mark-sweep
+// garbage collector, game-tree search, code generator, compression,
+// rule engine, fixed-point DSP, ray tracing — written in this
+// repository's Forth dialect or jasm assembly. What matters for the
+// paper's results is the dispatch statistics (opcode reuse in the
+// working set, basic-block length, call/return density, quickable
+// instruction mix), which these programs reproduce.
+package workload
+
+import (
+	"fmt"
+
+	"vmopt/internal/core"
+	"vmopt/internal/forth"
+	"vmopt/internal/forthvm"
+	"vmopt/internal/jvm"
+)
+
+// Workload is one runnable benchmark program.
+type Workload struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// Desc matches the paper's one-line description.
+	Desc string
+	// Lang is "forth" or "jvm".
+	Lang string
+	// DefaultScale is the iteration parameter used by the
+	// experiment harness (tuned for simulation runs of roughly a
+	// million VM instructions).
+	DefaultScale int
+	// Source returns the program text for a scale.
+	Source func(scale int) string
+}
+
+// NewProcess compiles the workload at the given scale and returns a
+// fresh process plus the extra basic-block leaders (word/method entry
+// points) for plan construction.
+func (w *Workload) NewProcess(scale int) (core.Process, []int, error) {
+	if scale <= 0 {
+		scale = w.DefaultScale
+	}
+	switch w.Lang {
+	case "forth":
+		p, err := forth.Compile(w.Source(scale))
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		var leaders []int
+		for _, xt := range p.Words {
+			leaders = append(leaders, xt)
+		}
+		return p.NewVM(1024), leaders, nil
+	case "jvm":
+		p, err := jvm.Assemble(w.Source(scale))
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		return jvm.NewVM(p), p.EntryPoints(), nil
+	default:
+		return nil, nil, fmt.Errorf("workload %s: unknown language %q", w.Name, w.Lang)
+	}
+}
+
+// Output runs the workload to completion (semantics only) and returns
+// its printed output.
+func (w *Workload) Output(scale int, maxSteps uint64) (string, error) {
+	proc, _, err := w.NewProcess(scale)
+	if err != nil {
+		return "", err
+	}
+	for steps := uint64(0); !proc.Done(); steps++ {
+		if steps >= maxSteps {
+			return "", fmt.Errorf("workload %s: exceeded %d steps", w.Name, maxSteps)
+		}
+		if _, err := proc.Step(); err != nil {
+			return "", err
+		}
+	}
+	switch v := proc.(type) {
+	case *forthvm.VM:
+		return string(v.Out), nil
+	case *jvm.VM:
+		return string(v.Out), nil
+	}
+	return "", nil
+}
+
+// ISA returns the workload's instruction set.
+func (w *Workload) ISA() core.ISA {
+	if w.Lang == "forth" {
+		return forthvm.ISA()
+	}
+	return jvm.ISA()
+}
+
+// Forth returns the seven Gforth-equivalent benchmarks in Table VI
+// order.
+func Forth() []*Workload {
+	return []*Workload{Gray(), BenchGC(), TSCP(), VMGen(), Cross(), Brainless(), Brew()}
+}
+
+// Java returns the seven SPECjvm98-equivalent benchmarks in the
+// paper's Figure 9 order (jack, mpeg, compress, javac, jess, db,
+// mtrt).
+func Java() []*Workload {
+	return []*Workload{Jack(), MPEG(), Compress(), Javac(), Jess(), DB(), MTRT()}
+}
+
+// ByName finds a workload in either suite.
+func ByName(name string) (*Workload, error) {
+	for _, w := range append(Forth(), Java()...) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// lcgForth is the shared pseudo-random generator preamble used by the
+// Forth workloads (31-bit linear congruential generator).
+const lcgForth = `
+variable seed
+: rnd ( -- n ) seed @ 1103515245 * 12345 + 2147483647 and dup seed ! 16 rshift ;
+: rnd-mod ( m -- n ) rnd swap mod ;
+`
+
+// LCGNext mirrors the workload generators' LCG in Go, for reference
+// implementations in tests.
+func LCGNext(seed int64) int64 {
+	return (seed*1103515245 + 12345) & 0x7fffffff
+}

@@ -1,0 +1,1131 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/jvm"
+)
+
+// runOutput executes a workload at a small scale and returns its
+// printed fields.
+func runOutput(t *testing.T, w *Workload, scale int) []string {
+	t.Helper()
+	out, err := w.Output(scale, 80_000_000)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	fields := strings.Fields(out)
+	if len(fields) == 0 {
+		t.Fatalf("%s produced no output", w.Name)
+	}
+	return fields
+}
+
+func atoi(t *testing.T, s string) int64 {
+	t.Helper()
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad number %q: %v", s, err)
+	}
+	return n
+}
+
+func TestAllWorkloadsRunAndAreDeterministic(t *testing.T) {
+	for _, w := range append(Forth(), Java()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			a := runOutput(t, w, smallScale(w))
+			b := runOutput(t, w, smallScale(w))
+			if strings.Join(a, " ") != strings.Join(b, " ") {
+				t.Errorf("nondeterministic output: %v vs %v", a, b)
+			}
+		})
+	}
+}
+
+// smallScale shrinks workloads for unit tests.
+func smallScale(w *Workload) int {
+	s := w.DefaultScale / 10
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+func TestWorkloadInventory(t *testing.T) {
+	f, j := Forth(), Java()
+	if len(f) != 7 || len(j) != 7 {
+		t.Fatalf("want 7+7 workloads, got %d+%d", len(f), len(j))
+	}
+	wantForth := []string{"gray", "bench-gc", "tscp", "vmgen", "cross", "brainless", "brew"}
+	for k, w := range f {
+		if w.Name != wantForth[k] || w.Lang != "forth" {
+			t.Errorf("forth[%d] = %s/%s, want %s", k, w.Name, w.Lang, wantForth[k])
+		}
+	}
+	wantJava := []string{"jack", "mpeg", "compress", "javac", "jess", "db", "mtrt"}
+	for k, w := range j {
+		if w.Name != wantJava[k] || w.Lang != "jvm" {
+			t.Errorf("java[%d] = %s/%s, want %s", k, w.Name, w.Lang, wantJava[k])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("tscp")
+	if err != nil || w.Name != "tscp" {
+		t.Errorf("ByName(tscp) = %v, %v", w, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+// TestGrayChecksumMatchesReference recomputes gray's expression
+// checksum with an independent Go implementation of the generator and
+// evaluator.
+func TestGrayChecksumMatchesReference(t *testing.T) {
+	const scale = 50
+	fields := runOutput(t, Gray(), scale)
+	seed := int64(42)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+	var gen func(depth int64) int64 // returns value, mirrors gen+parse fused
+	gen = func(depth int64) int64 {
+		// Forth's "dup 0= 3 rnd-mod 0= or" consumes a random number
+		// even when depth is 0 — mirror that exactly.
+		isLeaf := depth == 0
+		if rndMod(3) == 0 {
+			isLeaf = true
+		}
+		if isLeaf {
+			return rndMod(10)
+		}
+		left := gen(depth - 1)
+		add := rndMod(2) != 0
+		right := gen(depth - 1)
+		var v int64
+		if add {
+			v = left + right
+		} else {
+			v = left * right
+		}
+		return v & 16777215
+	}
+	check := int64(0)
+	for i := 0; i < scale; i++ {
+		check = (check + gen(6)) & 16777215
+	}
+	if got := atoi(t, fields[0]); got != check {
+		t.Errorf("gray checksum = %d, want %d", got, check)
+	}
+}
+
+// TestTSCPMatchesGameTheory verifies the negamax results against the
+// Sprague-Grundy solution of the subtraction game: with moves of 1-3
+// stones, a position is a first-player win iff XOR of (pile mod 4)
+// is nonzero.
+func TestTSCPMatchesGameTheory(t *testing.T) {
+	const scale = 8
+	fields := runOutput(t, TSCP(), scale)
+	seed := int64(7)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	wins := int64(0)
+	for r := 0; r < scale; r++ {
+		var g int64
+		for p := 0; p < 3; p++ {
+			g ^= (rnd() % 4) % 4
+		}
+		if g != 0 {
+			wins++
+		}
+	}
+	if got := atoi(t, fields[0]); got != wins {
+		t.Errorf("tscp wins = %d, game theory says %d", got, wins)
+	}
+	if nodes := atoi(t, fields[1]); nodes < 100 {
+		t.Errorf("suspiciously few search nodes: %d", nodes)
+	}
+}
+
+// TestBrainlessResultsAreLegal: every searched opening must produce a
+// legal minimax value tally, and the three tallies must sum to the
+// round count.
+func TestBrainlessResultsAreLegal(t *testing.T) {
+	const scale = 6
+	fields := runOutput(t, Brainless(), scale)
+	x, o, d := atoi(t, fields[0]), atoi(t, fields[1]), atoi(t, fields[2])
+	if x+o+d != scale {
+		t.Errorf("tallies %d+%d+%d != %d rounds", x, o, d, scale)
+	}
+	if nodes := atoi(t, fields[3]); nodes < 1000 {
+		t.Errorf("suspiciously small search: %d nodes", nodes)
+	}
+}
+
+// TestBenchGCCollects: the GC benchmark must actually collect, and
+// the final live count must not exceed the heap size.
+func TestBenchGCCollects(t *testing.T) {
+	fields := runOutput(t, BenchGC(), 80)
+	collections, live := atoi(t, fields[0]), atoi(t, fields[1])
+	if collections < 1 {
+		t.Errorf("no collections happened")
+	}
+	if live <= 0 || live > 2000 {
+		t.Errorf("implausible live count %d", live)
+	}
+	// Live data is bounded by 8 roots x full depth-7 tree (127 cells).
+	if live > 8*127 {
+		t.Errorf("live %d exceeds maximum reachable 1016", live)
+	}
+}
+
+// TestWorkloadsReachTargetSize: at default scale, each workload
+// executes enough VM instructions to be a meaningful benchmark but
+// not so many that the full experiment suite crawls.
+func TestWorkloadsReachTargetSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale execution")
+	}
+	for _, w := range append(Forth(), Java()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			proc, _, err := w.NewProcess(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := core.Profile(proc, 80_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Steps < 200_000 {
+				t.Errorf("%s executes only %d VM instructions at default scale", w.Name, d.Steps)
+			}
+			if d.Steps > 10_000_000 {
+				t.Errorf("%s executes %d VM instructions; too slow for the suite", w.Name, d.Steps)
+			}
+		})
+	}
+}
+
+// TestOpcodeDiversity: the paper's effects need working sets where
+// common opcodes appear many times; check each Forth workload
+// executes a reasonable opcode mix.
+func TestOpcodeDiversity(t *testing.T) {
+	for _, w := range Forth() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			proc, _, err := w.NewProcess(smallScale(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := core.Profile(proc, 80_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			distinct := 0
+			for _, c := range d.OpFreq {
+				if c > 0 {
+					distinct++
+				}
+			}
+			if distinct < 15 {
+				t.Errorf("%s uses only %d distinct opcodes", w.Name, distinct)
+			}
+		})
+	}
+}
+
+// TestCompressMatchesReference compares the jasm LZW implementation
+// against the independent Go implementation, both the emitted code
+// count and the rolling checksum.
+func TestCompressMatchesReference(t *testing.T) {
+	const scale = 3
+	fields := runOutput(t, Compress(), scale)
+	wantEmitted, wantCheck := CompressReference(scale)
+	if got := atoi(t, fields[0]); got != wantEmitted {
+		t.Errorf("compress emitted = %d, want %d", got, wantEmitted)
+	}
+	if got := atoi(t, fields[1]); got != wantCheck {
+		t.Errorf("compress checksum = %d, want %d", got, wantCheck)
+	}
+}
+
+// TestCompressActuallyCompresses: LZW on the repetitive input must
+// emit far fewer codes than input bytes.
+func TestCompressActuallyCompresses(t *testing.T) {
+	fields := runOutput(t, Compress(), 1)
+	emitted := atoi(t, fields[0])
+	if emitted >= 4096 {
+		t.Errorf("no compression: %d codes for 4096 bytes", emitted)
+	}
+	if emitted < 16 {
+		t.Errorf("implausibly strong compression: %d codes", emitted)
+	}
+}
+
+// TestJessFires: the rule engine must fire rules.
+func TestJessFires(t *testing.T) {
+	fields := runOutput(t, Jess(), 50)
+	if firings := atoi(t, fields[0]); firings <= 0 {
+		t.Errorf("rule engine fired %d rules", firings)
+	}
+}
+
+// TestDBInsertsAndAccumulates: the op mix must hit all three
+// operations.
+func TestDBInsertsAndAccumulates(t *testing.T) {
+	fields := runOutput(t, DB(), 3000)
+	acc, count := atoi(t, fields[0]), atoi(t, fields[1])
+	if count <= 0 || count > 512 {
+		t.Errorf("implausible record count %d", count)
+	}
+	if acc <= 0 {
+		t.Errorf("lookups accumulated nothing")
+	}
+}
+
+// TestJackTokenCountsPlausible: token class tallies scale linearly
+// with passes over the same input.
+func TestJackTokenCountsPlausible(t *testing.T) {
+	f1 := runOutput(t, Jack(), 2)
+	f2 := runOutput(t, Jack(), 4)
+	for k := 0; k < 3; k++ {
+		a, b := atoi(t, f1[k]), atoi(t, f2[k])
+		if a <= 0 {
+			t.Errorf("token class %d never seen", k)
+		}
+		if b != 2*a {
+			t.Errorf("class %d: %d passes->%d, expected exactly double of %d", k, 4, b, a)
+		}
+	}
+}
+
+// TestMTRTShadesHits: the ray tracer must hit objects (checksum far
+// above the all-miss value) and scale with frames.
+func TestMTRTShadesHits(t *testing.T) {
+	f1 := runOutput(t, MTRT(), 1)
+	c1 := atoi(t, f1[0])
+	if c1 <= 0 {
+		t.Error("mtrt produced a zero checksum")
+	}
+	// All-miss shade would be (1<<30 & 255) = 0 per pixel; any
+	// nonzero checksum means real intersections happened.
+	f2 := runOutput(t, MTRT(), 2)
+	if atoi(t, f2[0]) == c1 {
+		t.Error("second frame added nothing to the checksum")
+	}
+}
+
+// TestQuickableMixPresent: the Java workloads must execute quickable
+// instructions (the paper's Section 5.4 machinery must be exercised).
+func TestQuickableMixPresent(t *testing.T) {
+	for _, w := range Java() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			proc, _, err := w.NewProcess(smallScale(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			quickened := 0
+			for !proc.Done() {
+				ev, err := proc.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev.Quickened {
+					quickened++
+				}
+			}
+			if quickened == 0 {
+				t.Errorf("%s never quickened an instruction", w.Name)
+			}
+		})
+	}
+}
+
+// TestJavaWorkloadsSemanticsUnderTechniques: each Java workload gives
+// identical output under threaded code and under the most aggressive
+// dynamic technique (quickening + code copying must not change
+// results).
+func TestJavaWorkloadsSemanticsUnderTechniques(t *testing.T) {
+	for _, w := range Java() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			outs := map[core.Technique]string{}
+			for _, tech := range []core.Technique{core.TPlain, core.TAcrossBB} {
+				proc, leaders, err := w.NewProcess(smallScale(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan, err := core.BuildPlan(proc.Code(), w.ISA(), core.Config{
+					Technique: tech, ExtraLeaders: leaders,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim := cpu.NewSim(cpu.Pentium4Northwood)
+				if _, err := core.Run(proc, plan, sim, 80_000_000); err != nil {
+					t.Fatalf("%v: %v", tech, err)
+				}
+				v := proc.(*jvm.VM)
+				outs[tech] = string(v.Out)
+			}
+			if outs[core.TPlain] != outs[core.TAcrossBB] {
+				t.Errorf("outputs diverge: %q vs %q", outs[core.TPlain], outs[core.TAcrossBB])
+			}
+			if outs[core.TPlain] == "" {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+// TestCrossChecksumMatchesReference verifies the cross workload (the
+// EXECUTE-based meta-interpreter) against an independent Go
+// implementation of its compile-and-run pipeline.
+func TestCrossChecksumMatchesReference(t *testing.T) {
+	const scale = 25
+	fields := runOutput(t, Cross(), scale)
+
+	seed := int64(321)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+	const mask = 16777215
+
+	type inst struct {
+		op  int // 0 lit, 1 add, 2 mul, 3 dup, 4 xor
+		arg int64
+	}
+	check := int64(0)
+	for round := 0; round < scale; round++ {
+		var prog []inst
+		depth := 0
+		for k := 0; k < 40; k++ {
+			if depth < 2 {
+				prog = append(prog, inst{op: 0, arg: rndMod(1024)})
+				depth++
+				continue
+			}
+			switch rndMod(4) {
+			case 0:
+				prog = append(prog, inst{op: 0, arg: rndMod(1024)})
+				depth++
+			case 1:
+				prog = append(prog, inst{op: 1})
+				depth--
+			case 2:
+				prog = append(prog, inst{op: 2})
+				depth--
+			case 3:
+				prog = append(prog, inst{op: 3})
+				depth++
+			}
+		}
+		for ; depth > 1; depth-- {
+			prog = append(prog, inst{op: 4})
+		}
+		var st []int64
+		pop := func() int64 { x := st[len(st)-1]; st = st[:len(st)-1]; return x }
+		for _, in := range prog {
+			switch in.op {
+			case 0:
+				st = append(st, in.arg)
+			case 1:
+				a, b := pop(), pop()
+				st = append(st, (a+b)&mask)
+			case 2:
+				a, b := pop(), pop()
+				st = append(st, (a*b)&mask)
+			case 3:
+				x := pop()
+				st = append(st, x, x)
+			case 4:
+				a, b := pop(), pop()
+				st = append(st, a^b)
+			}
+		}
+		check = (check + pop()) & mask
+	}
+	if got := atoi(t, fields[0]); got != check {
+		t.Errorf("cross checksum = %d, want %d", got, check)
+	}
+}
+
+// TestVMGenChecksumMatchesReference verifies the vmgen workload (the
+// template-expanding generator) against an independent Go
+// implementation.
+func TestVMGenChecksumMatchesReference(t *testing.T) {
+	const scale = 40
+	fields := runOutput(t, VMGen(), scale)
+
+	seed := int64(99)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+	const mask = 16777215
+
+	check := int64(0)
+	for opc := int64(0); opc < scale; opc++ {
+		var out []byte
+		emitb := func(b int64) { out = append(out, byte(b&255)) }
+		template := func(tpl, length int64) {
+			for i := int64(0); i < length; i++ {
+				emitb(tpl*17 + i*31)
+			}
+		}
+		nin := rndMod(3) + 1
+		nout := rndMod(2) + 1
+		// gen-inst: prologue, pops, compute, pushes, epilogue.
+		template(1, 8)
+		emitb(opc * 13)
+		for k := int64(0); k < nin; k++ {
+			template(2, 6)
+			emitb(k)
+		}
+		template(opc+4, 10)
+		emitb(opc)
+		for k := int64(0); k < nout; k++ {
+			template(3, 6)
+			emitb(k)
+		}
+		template(5, 9)
+		var sum int64
+		for _, b := range out {
+			sum = (sum + int64(b)) & mask
+		}
+		check = (check + sum) & mask
+	}
+	if got := atoi(t, fields[0]); got != check {
+		t.Errorf("vmgen checksum = %d, want %d", got, check)
+	}
+}
+
+// TestBrewMatchesReference verifies the evolutionary-programming
+// workload against an independent Go implementation of its
+// generation loop (fitness, crossover with the incumbent best, and
+// per-gene mutation, with the exact PRNG consumption order).
+func TestBrewMatchesReference(t *testing.T) {
+	const scale = 7
+	fields := runOutput(t, Brew(), scale)
+
+	const (
+		popN = 16
+		glen = 16
+		mask = 16777215
+	)
+	seed := int64(2024)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+
+	score8 := func(x int64) int64 {
+		v := (^x) & 255
+		var n int64
+		for k := 0; k < 8; k++ {
+			n += v & 1
+			v >>= 1
+		}
+		return n
+	}
+
+	target := make([]int64, glen)
+	genomes := make([][]int64, popN)
+	for i := range target {
+		target[i] = rndMod(256)
+	}
+	for j := range genomes {
+		genomes[j] = make([]int64, glen)
+		for i := range genomes[j] {
+			genomes[j][i] = rndMod(256)
+		}
+	}
+	fitness := func(ind int) int64 {
+		var f int64
+		for i := 0; i < glen; i++ {
+			f += score8(genomes[ind][i] ^ target[i])
+		}
+		return f
+	}
+	evalAll := func() (best int, bestfit int64) {
+		bestfit = -1
+		for i := 0; i < popN; i++ {
+			if f := fitness(i); f > bestfit {
+				bestfit, best = f, i
+			}
+		}
+		return best, bestfit
+	}
+
+	check := int64(0)
+	for g := 0; g < scale; g++ {
+		best, bestfit := evalAll()
+		for ind := 0; ind < popN; ind++ {
+			if ind == best {
+				continue
+			}
+			for i := 0; i < glen; i++ { // crossover
+				if rndMod(2) != 0 {
+					genomes[ind][i] = genomes[best][i]
+				}
+			}
+			for i := 0; i < glen; i++ { // mutate
+				if rndMod(10) == 0 {
+					genomes[ind][i] ^= 1 << uint(rndMod(8))
+				}
+			}
+		}
+		check = (check + bestfit) & mask
+	}
+	_, finalBest := evalAll()
+
+	if got := atoi(t, fields[0]); got != finalBest {
+		t.Errorf("brew best fitness = %d, want %d", got, finalBest)
+	}
+	if got := atoi(t, fields[1]); got != check {
+		t.Errorf("brew checksum = %d, want %d", got, check)
+	}
+}
+
+// TestJessMatchesReference verifies the rule engine's total firing
+// count against an independent Go implementation.
+func TestJessMatchesReference(t *testing.T) {
+	const scale = 60
+	fields := runOutput(t, Jess(), scale)
+
+	seed := int64(777)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+
+	type rule struct{ c1, c2, out int64 }
+	rules := make([]rule, 48)
+	for i := range rules {
+		rules[i] = rule{c1: rndMod(64), c2: rndMod(64), out: rndMod(64)}
+	}
+	firings := int64(0)
+	for round := 0; round < scale; round++ {
+		facts := make([]int64, 64)
+		for i := range facts {
+			if rndMod(4) == 0 {
+				facts[i] = 1
+			}
+		}
+		fired := make([]bool, 48)
+		for {
+			n := 0
+			for i, r := range rules {
+				if fired[i] || facts[r.c1] == 0 || facts[r.c2] == 0 {
+					continue
+				}
+				facts[r.out] = 1
+				fired[i] = true
+				firings++
+				n++
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+	if got := atoi(t, fields[0]); got != firings {
+		t.Errorf("jess firings = %d, want %d", got, firings)
+	}
+}
+
+// TestDBMatchesReference verifies the database workload's accumulator
+// and record count against a map-based Go implementation (hash
+// probing does not affect semantics).
+func TestDBMatchesReference(t *testing.T) {
+	const scale = 2500
+	fields := runOutput(t, DB(), scale)
+
+	seed := int64(1991)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+
+	vals := map[int64]int64{}
+	acc, count := int64(0), int64(0)
+	for i := 0; i < scale; i++ {
+		key := rndMod(512)
+		switch rndMod(4) {
+		case 0:
+			v := rndMod(1000)
+			if _, ok := vals[key]; !ok {
+				count++
+			}
+			vals[key] = v
+		case 1:
+			acc = (acc + vals[key]) & 16777215
+		default:
+			if _, ok := vals[key]; ok {
+				vals[key]++
+			}
+		}
+	}
+	if got := atoi(t, fields[0]); got != acc {
+		t.Errorf("db acc = %d, want %d", got, acc)
+	}
+	if got := atoi(t, fields[1]); got != count {
+		t.Errorf("db count = %d, want %d", got, count)
+	}
+}
+
+// TestMPEGMatchesReference verifies the subband synthesis checksum
+// against an independent Go implementation.
+func TestMPEGMatchesReference(t *testing.T) {
+	const scale = 12
+	fields := runOutput(t, MPEG(), scale)
+
+	seed := int64(20212)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	window := make([]int64, 32)
+	samples := make([]int64, 1024)
+	for i := range window {
+		window[i] = rnd()&255 - 128
+	}
+	for i := range samples {
+		samples[i] = rnd()&255 - 128
+	}
+	check := int64(0)
+	for f := int64(0); f < scale; f++ {
+		prev := int64(0)
+		for sb := int64(0); sb < 32; sb++ {
+			acc := int64(0)
+			for k := int64(0); k < 16; k++ {
+				idx := (f*32 + sb + k) & 1023
+				acc += window[(sb+k)&31] * samples[idx]
+			}
+			acc = acc>>6 + prev
+			prev = acc
+			check = (check + acc) & 16777215
+		}
+	}
+	if got := atoi(t, fields[0]); got != check {
+		t.Errorf("mpeg checksum = %d, want %d", got, check)
+	}
+}
+
+// TestJavacMatchesReference verifies the shunting-yard workload
+// against an independent Go implementation (generation, translation
+// and evaluation).
+func TestJavacMatchesReference(t *testing.T) {
+	const scale = 70
+	fields := runOutput(t, Javac(), scale)
+
+	seed := int64(31337)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	rndMod := func(m int64) int64 { return rnd() % m }
+	const mask = 16777215
+	const (
+		tokAdd = 256
+		tokMul = 257
+		tokLP  = 258
+		tokRP  = 259
+	)
+
+	var toks []int64
+	var gen func(depth int64)
+	gen = func(depth int64) {
+		// Unlike gray, depth==0 short-circuits before consuming a
+		// random number (the jasm checks iload_0 first).
+		if depth != 0 && rndMod(3) != 0 {
+			toks = append(toks, tokLP)
+			gen(depth - 1)
+			if rndMod(2) != 0 {
+				toks = append(toks, tokMul)
+			} else {
+				toks = append(toks, tokAdd)
+			}
+			gen(depth - 1)
+			toks = append(toks, tokRP)
+			return
+		}
+		toks = append(toks, rndMod(256))
+	}
+	prec := func(op int64) int64 {
+		if op == tokMul {
+			return 2
+		}
+		return 1
+	}
+
+	check := int64(0)
+	for round := 0; round < scale; round++ {
+		toks = toks[:0]
+		gen(6)
+		// Shunting-yard.
+		var post, ops []int64
+		for _, tk := range toks {
+			switch {
+			case tk < 256:
+				post = append(post, tk)
+			case tk == tokLP:
+				ops = append(ops, tk)
+			case tk == tokRP:
+				for {
+					top := ops[len(ops)-1]
+					ops = ops[:len(ops)-1]
+					if top == tokLP {
+						break
+					}
+					post = append(post, top)
+				}
+			default:
+				for len(ops) > 0 && ops[len(ops)-1] != tokLP &&
+					prec(ops[len(ops)-1]) >= prec(tk) {
+					post = append(post, ops[len(ops)-1])
+					ops = ops[:len(ops)-1]
+				}
+				ops = append(ops, tk)
+			}
+		}
+		for len(ops) > 0 {
+			post = append(post, ops[len(ops)-1])
+			ops = ops[:len(ops)-1]
+		}
+		// Evaluate.
+		var ev []int64
+		for _, tk := range post {
+			if tk < 256 {
+				ev = append(ev, tk)
+				continue
+			}
+			a, b := ev[len(ev)-2], ev[len(ev)-1]
+			ev = ev[:len(ev)-2]
+			var v int64
+			if tk == tokAdd {
+				v = a + b
+			} else {
+				v = a * b
+			}
+			ev = append(ev, v&mask)
+		}
+		check = (check + ev[0]) & mask
+	}
+	if got := atoi(t, fields[0]); got != check {
+		t.Errorf("javac checksum = %d, want %d", got, check)
+	}
+}
+
+// TestJackMatchesReference verifies the DFA lexer's token tallies
+// against an independent Go implementation.
+func TestJackMatchesReference(t *testing.T) {
+	const scale = 5
+	fields := runOutput(t, Jack(), scale)
+
+	seed := int64(424242)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	input := make([]int64, 1024)
+	for i := range input {
+		r := rnd() % 30
+		switch {
+		case r < 12:
+			input[i] = 97 + r
+		case r < 20:
+			input[i] = 48 + r - 12
+		case r < 26:
+			input[i] = 32
+		default:
+			input[i] = 43 + r - 26
+		}
+	}
+	classOf := func(c int64) int {
+		switch {
+		case c == 32:
+			return 0
+		case c >= 97 && c < 123:
+			return 1
+		case c >= 48 && c < 58:
+			return 2
+		default:
+			return 3
+		}
+	}
+	var idents, numbers, operators int64
+	for pass := 0; pass < scale; pass++ {
+		pos := 0
+		for {
+			for pos < 1024 && classOf(input[pos]) == 0 {
+				pos++
+			}
+			if pos >= 1024 {
+				break
+			}
+			cls := classOf(input[pos])
+			for {
+				pos++
+				if pos >= 1024 || cls == 3 {
+					break
+				}
+				c3 := classOf(input[pos])
+				if c3 == cls || (cls == 1 && c3 == 2) {
+					continue
+				}
+				break
+			}
+			switch cls {
+			case 1:
+				idents++
+			case 2:
+				numbers++
+			default:
+				operators++
+			}
+		}
+	}
+	if got := atoi(t, fields[0]); got != idents {
+		t.Errorf("jack idents = %d, want %d", got, idents)
+	}
+	if got := atoi(t, fields[1]); got != numbers {
+		t.Errorf("jack numbers = %d, want %d", got, numbers)
+	}
+	if got := atoi(t, fields[2]); got != operators {
+		t.Errorf("jack operators = %d, want %d", got, operators)
+	}
+}
+
+// TestMTRTMatchesReference verifies the fixed-point ray tracer
+// against an independent Go implementation (no randomness involved).
+func TestMTRTMatchesReference(t *testing.T) {
+	const scale = 3
+	fields := runOutput(t, MTRT(), scale)
+
+	isqrt := func(v int64) int64 {
+		if v < 2 {
+			return v
+		}
+		x := v
+		for {
+			y := (x + v/x) / 2
+			if y >= x {
+				return x
+			}
+			x = y
+		}
+	}
+	const miss = 1073741824
+	type sphere struct{ cx, cy, cz, rr int64 }
+	spheres := []sphere{
+		{-60, -20, 300, 10000},
+		{80, 10, 400, 22500},
+		{0, 60, 250, 6400},
+		{-30, 40, 500, 40000},
+	}
+	const floorH = 120
+
+	check := int64(0)
+	for f := int64(0); f < scale; f++ {
+		focal := 200 + f*8
+		for py := int64(0); py < 20; py++ {
+			for px := int64(0); px < 20; px++ {
+				dx, dy, dz := (px-10)*16, (py-10)*16, focal
+				tmin := int64(miss)
+				hitS := func(s sphere) int64 {
+					a := dx*dx + dy*dy + dz*dz
+					b := dx*s.cx + dy*s.cy + dz*s.cz
+					cc := s.cx*s.cx + s.cy*s.cy + s.cz*s.cz - s.rr
+					disc := b*b - a*cc
+					if disc < 0 {
+						return miss
+					}
+					tv := (b - isqrt(disc)) * 256 / a
+					if tv <= 0 {
+						return miss
+					}
+					return tv
+				}
+				for _, s := range spheres {
+					if tv := hitS(s); tv < tmin {
+						tmin = tv
+					}
+				}
+				if dy > 0 {
+					if tv := int64(floorH) * 256 / dy; tv < tmin {
+						tmin = tv
+					}
+				}
+				check = (check + tmin&255) & 16777215
+			}
+		}
+	}
+	if got := atoi(t, fields[0]); got != check {
+		t.Errorf("mtrt checksum = %d, want %d", got, check)
+	}
+}
+
+// TestBenchGCMatchesReference verifies the mark-sweep collector
+// against an independent Go implementation of the heap, free list,
+// and collection policy.
+func TestBenchGCMatchesReference(t *testing.T) {
+	const scale = 40
+	fields := runOutput(t, BenchGC(), scale)
+
+	seed := int64(1234)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	const ncells = 2000
+	car := make([]int64, ncells+1) // 1-based refs; 0 is nil
+	cdr := make([]int64, ncells+1)
+	mark := make([]bool, ncells+1)
+	roots := make([]int64, 8)
+	var freelist int64
+	var nfree, live, collected int64
+
+	initHeap := func() {
+		freelist = 0
+		nfree = ncells
+		for i := int64(1); i <= ncells; i++ {
+			cdr[i] = freelist
+			freelist = i
+		}
+	}
+	var markRef func(ref int64)
+	markRef = func(ref int64) {
+		if ref == 0 || mark[ref] {
+			return
+		}
+		mark[ref] = true
+		markRef(car[ref])
+		markRef(cdr[ref])
+	}
+	sweep := func() {
+		live, nfree, freelist = 0, 0, 0
+		for i := int64(1); i <= ncells; i++ {
+			if mark[i] {
+				live++
+				mark[i] = false
+			} else {
+				cdr[i] = freelist
+				freelist = i
+				nfree++
+			}
+		}
+	}
+	collect := func() {
+		collected++
+		for _, r := range roots {
+			markRef(r)
+		}
+		sweep()
+	}
+	alloc := func(a, d int64) int64 {
+		ref := freelist
+		freelist = cdr[ref]
+		nfree--
+		cdr[ref] = d
+		car[ref] = a
+		return ref
+	}
+	var tree func(d int64) int64
+	tree = func(d int64) int64 {
+		if d == 0 {
+			return 0
+		}
+		l := tree(d - 1)
+		r := tree(d - 1)
+		return alloc(l, r)
+	}
+
+	initHeap()
+	for round := 0; round < scale; round++ {
+		if nfree < 130 {
+			collect()
+		}
+		ref := tree(7)
+		roots[rnd()%8] = ref
+	}
+	collect()
+
+	if got := atoi(t, fields[0]); got != collected {
+		t.Errorf("bench-gc collections = %d, want %d", got, collected)
+	}
+	if got := atoi(t, fields[1]); got != live {
+		t.Errorf("bench-gc live = %d, want %d", got, live)
+	}
+}
+
+// TestBrainlessMatchesReference verifies the tic-tac-toe minimax
+// searcher against an independent Go implementation, including the
+// exact PRNG consumption of the random openings.
+func TestBrainlessMatchesReference(t *testing.T) {
+	const scale = 5
+	fields := runOutput(t, Brainless(), scale)
+
+	seed := int64(555)
+	rnd := func() int64 { seed = LCGNext(seed); return seed >> 16 }
+	lines := [8][3]int{
+		{0, 1, 2}, {3, 4, 5}, {6, 7, 8},
+		{0, 3, 6}, {1, 4, 7}, {2, 5, 8},
+		{0, 4, 8}, {2, 4, 6},
+	}
+	var board [9]int64
+	won := func(p int64) bool {
+		for _, l := range lines {
+			if board[l[0]] == p && board[l[1]] == p && board[l[2]] == p {
+				return true
+			}
+		}
+		return false
+	}
+	full := func() bool {
+		for _, c := range board {
+			if c == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var nodes int64
+	var minimax func(p int64) int64
+	minimax = func(p int64) int64 {
+		nodes++
+		if won(3 - p) {
+			return -1
+		}
+		if full() {
+			return 0
+		}
+		best := int64(-2)
+		for i := 0; i < 9; i++ {
+			if board[i] != 0 {
+				continue
+			}
+			board[i] = p
+			v := -minimax(3 - p)
+			board[i] = 0
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	}
+
+	var xwins, owins, draws int64
+	for round := 0; round < scale; round++ {
+		board = [9]int64{}
+		for mv := int64(0); mv < 4; mv++ {
+			var r int64
+			for {
+				r = rnd() % 9
+				if board[r] == 0 {
+					break
+				}
+			}
+			board[r] = mv%2 + 1
+		}
+		switch v := minimax(1); {
+		case v > 0:
+			xwins++
+		case v < 0:
+			owins++
+		default:
+			draws++
+		}
+	}
+	for k, want := range []int64{xwins, owins, draws, nodes} {
+		if got := atoi(t, fields[k]); got != want {
+			t.Errorf("brainless field %d = %d, want %d", k, got, want)
+		}
+	}
+}
