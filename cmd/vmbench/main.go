@@ -3,135 +3,335 @@
 //
 // Usage:
 //
-//	vmbench                 # regenerate everything
-//	vmbench -exp fig8       # one experiment
-//	vmbench -scalediv 10    # reduced workload scale (faster)
+//	vmbench                            # regenerate everything (text)
+//	vmbench -exp fig8                  # one experiment
+//	vmbench -scalediv 10               # reduced workload scale (faster)
+//	vmbench -jobs 16                   # worker-pool parallelism
+//	vmbench -format json -out results  # machine-readable results
+//	vmbench diff BENCH_baseline.json   # regression check vs a baseline
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // table8 table9 table10 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 fig16 rates fractions predictors, the ablations parse
 // selection btbsize penalty caseblock lengths hardware history, and all.
+//
+// diff re-runs the experiments recorded in the baseline report (same
+// -exp and -scalediv) and exits non-zero when any run's cycles or
+// mispredictions regressed beyond -tol.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"vmopt/internal/harness"
+	"vmopt/internal/runner"
 	"vmopt/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := diffMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "vmbench diff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	exp := flag.String("exp", "all", "experiment to regenerate (e.g. fig8, table9, all)")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales by this factor")
+	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, json or csv")
+	out := flag.String("out", "", "directory for output (results.txt/.json/.csv; default stdout)")
+	progress := flag.Bool("progress", false, "report run progress on stderr")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Without this a mistyped subcommand ("dif", "Diff") would
+		// silently start the full multi-hour experiment run.
+		fmt.Fprintf(os.Stderr, "vmbench: unexpected argument %q (subcommands: diff)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
-	s := harness.NewSuite()
-	s.ScaleDiv = *scaleDiv
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// In-flight simulations run to completion after the first signal
+	// (only dispatch stops); unregister the handler so a second ^C
+	// terminates immediately instead of being swallowed.
+	context.AfterFunc(ctx, stop)
+	s := newSuite(ctx, *scaleDiv, *jobs, *progress)
 
-	if err := run(os.Stdout, s, strings.ToLower(*exp)); err != nil {
+	if err := run(os.Stdout, s, strings.ToLower(*exp), *format, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "vmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, s *harness.Suite, exp string) error {
-	type experiment struct {
-		name string
-		fn   func() error
-	}
-	show := func(t *harness.Table, err error) error {
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, t)
-		return nil
-	}
-	exps := []experiment{
-		{"table1", func() error {
-			st, tt, sm, tm := harness.TableI()
-			fmt.Fprintln(w, st)
-			fmt.Fprintln(w, tt)
-			fmt.Fprintf(w, "switch mispredictions/iteration: %d; threaded: %d\n\n", sm, tm)
-			return nil
-		}},
-		{"table2", func() error {
-			t, m := harness.TableII()
-			fmt.Fprintln(w, t)
-			fmt.Fprintf(w, "mispredictions/iteration: %d\n\n", m)
-			return nil
-		}},
-		{"table3", func() error {
-			ot, mt, om, mm := harness.TableIII()
-			fmt.Fprintln(w, ot)
-			fmt.Fprintln(w, mt)
-			fmt.Fprintf(w, "original: %d mispredictions/iteration; bad replication: %d\n\n", om, mm)
-			return nil
-		}},
-		{"table4", func() error {
-			t, m := harness.TableIV()
-			fmt.Fprintln(w, t)
-			fmt.Fprintf(w, "mispredictions/iteration: %d\n\n", m)
-			return nil
-		}},
-		{"table5", func() error { t, err := s.TableV(); return show(t, err) }},
-		{"table6", func() error { return show(harness.TableVI(), nil) }},
-		{"table7", func() error { return show(harness.TableVII(), nil) }},
-		{"table8", func() error { t, err := s.TableVIII(); return show(t, err) }},
-		{"table9", func() error { t, _, err := s.TableIX(); return show(t, err) }},
-		{"table10", func() error { t, _, err := s.TableX(); return show(t, err) }},
-		{"fig7", func() error { _, t, err := s.Figure7(); return show(t, err) }},
-		{"fig8", func() error { _, t, err := s.Figure8(); return show(t, err) }},
-		{"fig9", func() error { _, t, err := s.Figure9(); return show(t, err) }},
-		{"fig10", func() error { _, t, err := s.Figure10(); return show(t, err) }},
-		{"fig11", func() error { _, t, err := s.Figure11(); return show(t, err) }},
-		{"fig12", func() error { _, t, err := s.Figure12(); return show(t, err) }},
-		{"fig13", func() error { _, t, err := s.Figure13(); return show(t, err) }},
-		{"fig14", func() error { _, t, err := s.Figure14(); return show(t, err) }},
-		{"fig15", func() error { _, t, err := s.Figure15(); return show(t, err) }},
-		{"fig16", func() error { _, t, err := s.Figure16(); return show(t, err) }},
-		{"rates", func() error { _, _, t, err := s.MispredictRates(); return show(t, err) }},
-		{"fractions", func() error { _, _, t, err := s.BranchFractions(); return show(t, err) }},
-		{"predictors", func() error { t, _, err := s.PredictorComparison(); return show(t, err) }},
-		{"parse", func() error { t, _, err := s.GreedyVsOptimal(); return show(t, err) }},
-		{"selection", func() error { t, _, err := s.RoundRobinVsRandom(); return show(t, err) }},
-		{"btbsize", func() error {
-			w, err := workload.ByName("gray")
-			if err != nil {
-				return err
-			}
-			t, _, err := s.BTBSizeSweep(w)
-			return show(t, err)
-		}},
-		{"penalty", func() error { t, _, err := s.PenaltySweep(); return show(t, err) }},
-		{"caseblock", func() error { t, _, err := s.CaseBlockExperiment(); return show(t, err) }},
-		{"lengths", func() error { t, _, err := s.SuperLengths(); return show(t, err) }},
-		{"hardware", func() error { t, _, err := s.HardwareVsSoftware(); return show(t, err) }},
-		{"history", func() error {
-			w, err := workload.ByName("gray")
-			if err != nil {
-				return err
-			}
-			t, _, err := s.TwoLevelHistorySweep(w)
-			return show(t, err)
-		}},
+func diffMain(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.02, "relative regression tolerance (0.02 = 2%)")
+	jobs := fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report run progress on stderr")
+	current := fs.String("current", "", "compare this report instead of re-running the baseline's experiments")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: vmbench diff [-tol pct] [-jobs n] [-current results.json] <baseline.json>")
 	}
 
-	if exp == "all" {
-		for _, e := range exps {
-			if err := e.fn(); err != nil {
-				return fmt.Errorf("%s: %w", e.name, err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	return runDiff(os.Stdout, ctx, fs.Arg(0), *current, *jobs, *tol, *progress)
+}
+
+func newSuite(ctx context.Context, scaleDiv, jobs int, progress bool) *harness.Suite {
+	s := harness.NewSuite()
+	s.ScaleDiv = scaleDiv
+	s.Jobs = jobs
+	s.Ctx = ctx
+	if progress {
+		s.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rvmbench: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
-		return nil
+	}
+	return s
+}
+
+// runDiff compares a current report against the baseline and fails
+// when any run regressed beyond tol. With currentPath empty it
+// re-runs the baseline's experiments at the baseline's scale;
+// otherwise it reads the pre-computed report from currentPath.
+func runDiff(stdout io.Writer, ctx context.Context, baselinePath, currentPath string, jobs int, tol float64, progress bool) error {
+	base, err := runner.ReadReportFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var cur *runner.Report
+	if currentPath != "" {
+		if cur, err = runner.ReadReportFile(currentPath); err != nil {
+			return err
+		}
+	} else {
+		s := newSuite(ctx, base.ScaleDiv, jobs, progress)
+		if cur, err = collect(s, base.Exp); err != nil {
+			return err
+		}
+	}
+	regs, err := runner.Diff(base, cur, tol)
+	if err != nil {
+		return err
+	}
+	return runner.WriteDiff(stdout, regs, len(base.Runs), tol)
+}
+
+// expOutput is one experiment's rendered result.
+type expOutput struct {
+	tables []*harness.Table
+	notes  []string
+}
+
+type experiment struct {
+	name string
+	fn   func(s *harness.Suite) (expOutput, error)
+}
+
+// experiments is the dispatcher registry in paper order.
+func experiments() []experiment {
+	one := func(t *harness.Table, err error) (expOutput, error) {
+		return expOutput{tables: []*harness.Table{t}}, err
+	}
+	return []experiment{
+		{"table1", func(*harness.Suite) (expOutput, error) {
+			st, tt, sm, tm := harness.TableI()
+			return expOutput{
+				tables: []*harness.Table{st, tt},
+				notes: []string{fmt.Sprintf(
+					"switch mispredictions/iteration: %d; threaded: %d", sm, tm)},
+			}, nil
+		}},
+		{"table2", func(*harness.Suite) (expOutput, error) {
+			t, m := harness.TableII()
+			return expOutput{tables: []*harness.Table{t},
+				notes: []string{fmt.Sprintf("mispredictions/iteration: %d", m)}}, nil
+		}},
+		{"table3", func(*harness.Suite) (expOutput, error) {
+			ot, mt, om, mm := harness.TableIII()
+			return expOutput{tables: []*harness.Table{ot, mt},
+				notes: []string{fmt.Sprintf(
+					"original: %d mispredictions/iteration; bad replication: %d", om, mm)}}, nil
+		}},
+		{"table4", func(*harness.Suite) (expOutput, error) {
+			t, m := harness.TableIV()
+			return expOutput{tables: []*harness.Table{t},
+				notes: []string{fmt.Sprintf("mispredictions/iteration: %d", m)}}, nil
+		}},
+		{"table5", func(s *harness.Suite) (expOutput, error) { return one(s.TableV()) }},
+		{"table6", func(*harness.Suite) (expOutput, error) { return one(harness.TableVI(), nil) }},
+		{"table7", func(*harness.Suite) (expOutput, error) { return one(harness.TableVII(), nil) }},
+		{"table8", func(s *harness.Suite) (expOutput, error) { return one(s.TableVIII()) }},
+		{"table9", func(s *harness.Suite) (expOutput, error) { t, _, err := s.TableIX(); return one(t, err) }},
+		{"table10", func(s *harness.Suite) (expOutput, error) { t, _, err := s.TableX(); return one(t, err) }},
+		{"fig7", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure7(); return one(t, err) }},
+		{"fig8", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure8(); return one(t, err) }},
+		{"fig9", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure9(); return one(t, err) }},
+		{"fig10", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure10(); return one(t, err) }},
+		{"fig11", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure11(); return one(t, err) }},
+		{"fig12", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure12(); return one(t, err) }},
+		{"fig13", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure13(); return one(t, err) }},
+		{"fig14", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure14(); return one(t, err) }},
+		{"fig15", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure15(); return one(t, err) }},
+		{"fig16", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure16(); return one(t, err) }},
+		{"rates", func(s *harness.Suite) (expOutput, error) { _, _, t, err := s.MispredictRates(); return one(t, err) }},
+		{"fractions", func(s *harness.Suite) (expOutput, error) { _, _, t, err := s.BranchFractions(); return one(t, err) }},
+		{"predictors", func(s *harness.Suite) (expOutput, error) { t, _, err := s.PredictorComparison(); return one(t, err) }},
+		{"parse", func(s *harness.Suite) (expOutput, error) { t, _, err := s.GreedyVsOptimal(); return one(t, err) }},
+		{"selection", func(s *harness.Suite) (expOutput, error) { t, _, err := s.RoundRobinVsRandom(); return one(t, err) }},
+		{"btbsize", func(s *harness.Suite) (expOutput, error) {
+			w, err := workload.ByName("gray")
+			if err != nil {
+				return expOutput{}, err
+			}
+			t, _, err := s.BTBSizeSweep(w)
+			return one(t, err)
+		}},
+		{"penalty", func(s *harness.Suite) (expOutput, error) { t, _, err := s.PenaltySweep(); return one(t, err) }},
+		{"caseblock", func(s *harness.Suite) (expOutput, error) { t, _, err := s.CaseBlockExperiment(); return one(t, err) }},
+		{"lengths", func(s *harness.Suite) (expOutput, error) { t, _, err := s.SuperLengths(); return one(t, err) }},
+		{"hardware", func(s *harness.Suite) (expOutput, error) { t, _, err := s.HardwareVsSoftware(); return one(t, err) }},
+		{"history", func(s *harness.Suite) (expOutput, error) {
+			w, err := workload.ByName("gray")
+			if err != nil {
+				return expOutput{}, err
+			}
+			t, _, err := s.TwoLevelHistorySweep(w)
+			return one(t, err)
+		}},
+	}
+}
+
+// selectExps resolves an -exp argument against the registry.
+func selectExps(exp string) ([]experiment, error) {
+	exps := experiments()
+	if exp == "all" {
+		return exps, nil
 	}
 	for _, e := range exps {
 		if e.name == exp {
-			return e.fn()
+			return []experiment{e}, nil
 		}
 	}
-	return fmt.Errorf("unknown experiment %q", exp)
+	return nil, fmt.Errorf("unknown experiment %q", exp)
+}
+
+// collect resolves an -exp argument and assembles the structured
+// report for it.
+func collect(s *harness.Suite, exp string) (*runner.Report, error) {
+	selected, err := selectExps(exp)
+	if err != nil {
+		return nil, err
+	}
+	return collectExps(s, exp, selected)
+}
+
+// collectExps runs the selected experiments and assembles the
+// structured report: every rendered table plus every underlying
+// simulated run.
+func collectExps(s *harness.Suite, exp string, selected []experiment) (*runner.Report, error) {
+	r := &runner.Report{Schema: runner.SchemaVersion, Exp: exp, ScaleDiv: s.ScaleDiv}
+	for _, e := range selected {
+		out, err := e.fn(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		re := runner.Experiment{Name: e.name, Notes: out.notes}
+		for _, t := range out.tables {
+			re.Tables = append(re.Tables, runner.Table{
+				ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+			})
+		}
+		r.Experiments = append(r.Experiments, re)
+	}
+	r.Runs = s.Snapshot()
+	return r, nil
+}
+
+// outSink resolves the output destination: stdout, or a results file
+// in outDir. The returned close function reports flush-to-disk
+// failures and must be checked.
+func outSink(stdout io.Writer, outDir, format string) (io.Writer, func() error, error) {
+	if outDir == "" {
+		return stdout, func() error { return nil }, nil
+	}
+	ext := format
+	if format == "text" {
+		ext = "txt"
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(outDir, "results."+ext))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// run is the dispatcher: it executes the selected experiments and
+// writes them in the requested format.
+func run(stdout io.Writer, s *harness.Suite, exp, format, outDir string) error {
+	selected, err := selectExps(exp)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text", "json", "csv":
+	default:
+		return fmt.Errorf("unknown format %q (want text, json or csv)", format)
+	}
+	w, closeSink, err := outSink(stdout, outDir, format)
+	if err != nil {
+		return err
+	}
+	werr := writeOutput(w, s, exp, format, selected)
+	cerr := closeSink()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func writeOutput(w io.Writer, s *harness.Suite, exp, format string, selected []experiment) error {
+	if format == "text" {
+		// Stream tables as each experiment finishes.
+		for _, e := range selected {
+			out, err := e.fn(s)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			for _, t := range out.tables {
+				fmt.Fprintln(w, t)
+			}
+			for _, n := range out.notes {
+				fmt.Fprintf(w, "%s\n\n", n)
+			}
+		}
+		return nil
+	}
+	report, err := collectExps(s, exp, selected)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return report.WriteJSON(w)
+	}
+	return report.WriteCSV(w)
 }

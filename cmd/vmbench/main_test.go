@@ -1,28 +1,194 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"vmopt/internal/harness"
+	"vmopt/internal/runner"
 )
+
+func testSuite(scaleDiv int) *harness.Suite {
+	s := harness.NewSuite()
+	s.ScaleDiv = scaleDiv
+	return s
+}
 
 // TestRunKnownExperiments smoke-tests the cheap experiments through
 // the dispatcher (the expensive figures are covered by the harness
 // package's own tests).
 func TestRunKnownExperiments(t *testing.T) {
-	s := harness.NewSuite()
-	s.ScaleDiv = 40
+	s := testSuite(40)
 	for _, exp := range []string{"table1", "table2", "table3", "table4", "table6", "table7"} {
-		if err := run(io.Discard, s, exp); err != nil {
+		if err := run(io.Discard, s, exp, "text", ""); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	s := harness.NewSuite()
-	if err := run(io.Discard, s, "fig99"); err == nil {
+	if err := run(io.Discard, testSuite(1), "fig99", "text", ""); err == nil {
 		t.Error("unknown experiment should error")
+	}
+	if err := run(io.Discard, testSuite(1), "table6", "yaml", ""); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+// TestRunSingleExperimentSelection: -exp selects exactly one
+// experiment's tables.
+func TestRunSingleExperimentSelection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, testSuite(40), "table6", "text", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table VI") {
+		t.Errorf("table6 output missing its table:\n%s", out)
+	}
+	if strings.Contains(out, "Table VII") {
+		t.Error("selecting table6 also rendered table7")
+	}
+}
+
+// TestJSONRoundTrip: -format json emits a schema-versioned report
+// that parses back and re-serializes to identical bytes.
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := testSuite(50)
+	if err := run(&buf, s, "table5", "json", ""); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exp != "table5" || rep.ScaleDiv != 50 {
+		t.Errorf("report meta wrong: exp=%q scalediv=%d", rep.Exp, rep.ScaleDiv)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "table5" {
+		t.Fatalf("want one table5 experiment, got %+v", rep.Experiments)
+	}
+	if len(rep.Runs) == 0 {
+		t.Fatal("report carries no runs")
+	}
+	var buf2 bytes.Buffer
+	if err := rep.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("JSON round trip not byte-identical")
+	}
+}
+
+// TestCSVRoundTrip: the CSV form carries the same runs as the JSON
+// form and parses back exactly.
+func TestCSVRoundTrip(t *testing.T) {
+	s := testSuite(50)
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := run(&jsonBuf, s, "table5", "json", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&csvBuf, s, "table5", "csv", ""); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.ReadReport(bytes.NewReader(jsonBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := runner.ReadRunsCSV(bytes.NewReader(csvBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(rep.Runs) {
+		t.Fatalf("CSV has %d runs, JSON has %d", len(runs), len(rep.Runs))
+	}
+	for i := range runs {
+		if runs[i] != rep.Runs[i] {
+			t.Errorf("run %d: CSV %+v != JSON %+v", i, runs[i], rep.Runs[i])
+		}
+	}
+}
+
+// TestOutDir: -out writes the report into the directory for every
+// format, including text.
+func TestOutDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(io.Discard, testSuite(50), "table5", "json", dir); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.ReadReportFile(filepath.Join(dir, "results.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) == 0 {
+		t.Error("written report carries no runs")
+	}
+	if err := run(io.Discard, testSuite(40), "table6", "text", dir); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "results.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "Table VI") {
+		t.Errorf("text output file missing table:\n%s", txt)
+	}
+}
+
+// TestDiffCleanAndPerturbed: diff against a matching baseline passes;
+// against a perturbed baseline (faster cycles than we can reproduce)
+// it must fail.
+func TestDiffCleanAndPerturbed(t *testing.T) {
+	ctx := context.Background()
+	s := testSuite(50)
+	rep, err := collect(s, "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	write := func(name string, r *runner.Report) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := r.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	clean := write("baseline.json", rep)
+	if err := runDiff(io.Discard, ctx, clean, "", 0, 0.02, false); err != nil {
+		t.Errorf("diff against own baseline should pass: %v", err)
+	}
+	// -current: compare a pre-computed report without re-running.
+	if err := runDiff(io.Discard, ctx, clean, clean, 0, 0.02, false); err != nil {
+		t.Errorf("diff with -current against itself should pass: %v", err)
+	}
+
+	// Perturb: pretend the baseline was 20% faster than reality.
+	perturbed, err := runner.ReadReportFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perturbed.Runs {
+		perturbed.Runs[i].Counters.Cycles *= 0.8
+	}
+	var buf bytes.Buffer
+	bad := write("perturbed.json", perturbed)
+	if err := runDiff(&buf, ctx, bad, "", 0, 0.02, false); err == nil {
+		t.Error("diff against perturbed baseline should fail")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("diff output missing regression lines:\n%s", buf.String())
 	}
 }

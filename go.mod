@@ -1,0 +1,3 @@
+module vmopt
+
+go 1.24

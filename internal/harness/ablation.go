@@ -29,15 +29,17 @@ func (s *Suite) GreedyVsOptimal() (*Table, map[string][4]float64, error) {
 	out := make(map[string][4]float64)
 	g := Variant{Name: "static super", Technique: core.TStaticSuper, NSupers: 400}
 	o := Variant{Name: "static super optimal", Technique: core.TStaticSuper, NSupers: 400, OptimalParse: true}
-	for _, w := range workload.Forth() {
-		cg, err := s.Run(w, g, cpu.Pentium4Northwood)
-		if err != nil {
-			return nil, nil, err
-		}
-		co, err := s.Run(w, o, cpu.Pentium4Northwood)
-		if err != nil {
-			return nil, nil, err
-		}
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		specs = append(specs, RunSpec{w, g, cpu.Pentium4Northwood}, RunSpec{w, o, cpu.Pentium4Northwood})
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, w := range ws {
+		cg, co := cs[2*k], cs[2*k+1]
 		out[w.Name] = [4]float64{cg.Cycles, co.Cycles,
 			float64(cg.Dispatches), float64(co.Dispatches)}
 		t.Rows = append(t.Rows, []string{w.Name,
@@ -60,15 +62,17 @@ func (s *Suite) RoundRobinVsRandom() (*Table, map[string][2]uint64, error) {
 	rr := Variant{Name: "static repl", Technique: core.TStaticRepl, NReplicas: 400}
 	rnd := Variant{Name: "static repl random", Technique: core.TStaticRepl, NReplicas: 400,
 		RandomReplicas: true, Seed: 12345}
-	for _, w := range workload.Forth() {
-		c1, err := s.Run(w, rr, cpu.Pentium4Northwood)
-		if err != nil {
-			return nil, nil, err
-		}
-		c2, err := s.Run(w, rnd, cpu.Pentium4Northwood)
-		if err != nil {
-			return nil, nil, err
-		}
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		specs = append(specs, RunSpec{w, rr, cpu.Pentium4Northwood}, RunSpec{w, rnd, cpu.Pentium4Northwood})
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, w := range ws {
+		c1, c2 := cs[2*k], cs[2*k+1]
 		out[w.Name] = [2]uint64{c1.Mispredicted, c2.Mispredicted}
 		t.Rows = append(t.Rows, []string{w.Name,
 			CellN(float64(c1.Mispredicted)), CellN(float64(c2.Mispredicted))})
@@ -88,14 +92,17 @@ func (s *Suite) BTBSizeSweep(w *workload.Workload) (*Table, map[int]float64, err
 	}
 	out := make(map[int]float64)
 	plain := Variant{Name: "plain", Technique: core.TPlain}
-	for _, n := range sizes {
-		m := cpu.Celeron800.WithBTBEntries(n)
-		c, err := s.Run(w, plain, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		out[n] = c.MispredictRate()
-		t.Rows = append(t.Rows, []string{fmt.Sprint(n), Cell(100 * c.MispredictRate())})
+	specs := make([]RunSpec, len(sizes))
+	for k, n := range sizes {
+		specs[k] = RunSpec{w, plain, cpu.Celeron800.WithBTBEntries(n)}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, n := range sizes {
+		out[n] = cs[k].MispredictRate()
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), Cell(100 * cs[k].MispredictRate())})
 	}
 	return t, out, nil
 }
@@ -110,26 +117,41 @@ func (s *Suite) PenaltySweep() (*Table, map[string][2]float64, error) {
 		Title:  "Speedup of across bb over plain: Northwood (20cy) vs Prescott (30cy)",
 		Header: []string{"benchmark", "northwood", "prescott"},
 	}
+	out, err := s.speedupAblation(t, []cpu.Machine{cpu.Pentium4Northwood, cpu.Pentium4Prescott})
+	return t, out, err
+}
+
+// speedupAblation fills a two-machine "speedup of across bb over
+// plain" comparison (the Penalty and HardwareVsSoftware ablations) by
+// scheduling the whole workload x machine x {plain, across} grid on
+// the worker pool.
+func (s *Suite) speedupAblation(t *Table, machines []cpu.Machine) (map[string][2]float64, error) {
 	out := make(map[string][2]float64)
 	plain := Variant{Name: "plain", Technique: core.TPlain}
 	across := Variant{Name: "across bb", Technique: core.TAcrossBB}
-	for _, w := range workload.Forth() {
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		for _, m := range machines {
+			specs = append(specs, RunSpec{w, plain, m}, RunSpec{w, across, m})
+		}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, w := range ws {
 		var sp [2]float64
-		for k, m := range []cpu.Machine{cpu.Pentium4Northwood, cpu.Pentium4Prescott} {
-			base, err := s.Run(w, plain, m)
-			if err != nil {
-				return nil, nil, err
-			}
-			c, err := s.Run(w, across, m)
-			if err != nil {
-				return nil, nil, err
-			}
+		for k := range machines {
+			base, c := cs[i], cs[i+1]
+			i += 2
 			sp[k] = c.SpeedupOver(base)
 		}
 		out[w.Name] = sp
 		t.Rows = append(t.Rows, []string{w.Name, Cell(sp[0]), Cell(sp[1])})
 	}
-	return t, out, nil
+	return out, nil
 }
 
 // CaseBlockExperiment runs switch dispatch under a case block table
@@ -144,15 +166,17 @@ func (s *Suite) CaseBlockExperiment() (*Table, map[string][2]float64, error) {
 	out := make(map[string][2]float64)
 	sw := Variant{Name: "switch", Technique: core.TSwitch}
 	cb := cpu.Celeron800.WithPredictor(cpu.PredictCaseBlock)
-	for _, w := range workload.Forth() {
-		c1, err := s.Run(w, sw, cpu.Celeron800)
-		if err != nil {
-			return nil, nil, err
-		}
-		c2, err := s.Run(w, sw, cb)
-		if err != nil {
-			return nil, nil, err
-		}
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		specs = append(specs, RunSpec{w, sw, cpu.Celeron800}, RunSpec{w, sw, cb})
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, w := range ws {
+		c1, c2 := cs[2*k], cs[2*k+1]
 		out[w.Name] = [2]float64{c1.MispredictRate(), c2.MispredictRate()}
 		t.Rows = append(t.Rows, []string{w.Name,
 			Cell(100 * c1.MispredictRate()), Cell(100 * c2.MispredictRate())})
@@ -176,13 +200,21 @@ func (s *Suite) SuperLengths() (*Table, map[string][3]float64, error) {
 		{Name: "static super", Technique: core.TStaticSuper, NSupers: 400},
 		{Name: "dynamic super", Technique: core.TDynamicSuper},
 	}
-	for _, w := range workload.Forth() {
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		for _, v := range vs {
+			specs = append(specs, RunSpec{w, v, cpu.Pentium4Northwood})
+		}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, w := range ws {
 		var lens [3]float64
-		for k, v := range vs {
-			c, err := s.Run(w, v, cpu.Pentium4Northwood)
-			if err != nil {
-				return nil, nil, err
-			}
+		for k := range vs {
+			c := cs[i*len(vs)+k]
 			if c.Dispatches > 0 {
 				lens[k] = float64(c.VMInstructions) / float64(c.Dispatches)
 			}
@@ -204,26 +236,8 @@ func (s *Suite) HardwareVsSoftware() (*Table, map[string][2]float64, error) {
 		Title:  "Speedup of across bb over plain: BTB (Celeron) vs two-level (Pentium M)",
 		Header: []string{"benchmark", "celeron-800 (BTB)", "pentium-m (two-level)"},
 	}
-	out := make(map[string][2]float64)
-	plain := Variant{Name: "plain", Technique: core.TPlain}
-	across := Variant{Name: "across bb", Technique: core.TAcrossBB}
-	for _, w := range workload.Forth() {
-		var sp [2]float64
-		for k, m := range []cpu.Machine{cpu.Celeron800, cpu.PentiumM} {
-			base, err := s.Run(w, plain, m)
-			if err != nil {
-				return nil, nil, err
-			}
-			c, err := s.Run(w, across, m)
-			if err != nil {
-				return nil, nil, err
-			}
-			sp[k] = c.SpeedupOver(base)
-		}
-		out[w.Name] = sp
-		t.Rows = append(t.Rows, []string{w.Name, Cell(sp[0]), Cell(sp[1])})
-	}
-	return t, out, nil
+	out, err := s.speedupAblation(t, []cpu.Machine{cpu.Celeron800, cpu.PentiumM})
+	return t, out, err
 }
 
 // TwoLevelHistorySweep measures how much path history the two-level
@@ -238,16 +252,20 @@ func (s *Suite) TwoLevelHistorySweep(w *workload.Workload) (*Table, map[int]floa
 	}
 	out := make(map[int]float64)
 	plain := Variant{Name: "plain", Technique: core.TPlain}
-	for _, h := range histories {
+	specs := make([]RunSpec, len(histories))
+	for k, h := range histories {
 		m := cpu.PentiumM
 		m.HistoryLen = h
 		m.Name = fmt.Sprintf("pentium-m-h%d", h)
-		c, err := s.Run(w, plain, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		out[h] = c.MispredictRate()
-		t.Rows = append(t.Rows, []string{fmt.Sprint(h), Cell(100 * c.MispredictRate())})
+		specs[k] = RunSpec{w, plain, m}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, h := range histories {
+		out[h] = cs[k].MispredictRate()
+		t.Rows = append(t.Rows, []string{fmt.Sprint(h), Cell(100 * cs[k].MispredictRate())})
 	}
 	return t, out, nil
 }

@@ -88,13 +88,17 @@ func (s *Suite) Figure9() (*SpeedupData, *Table, error) {
 // counterFigure renders the Figures 10-13 layout: one column per
 // hardware-counter metric, one row per variant.
 func (s *Suite) counterFigure(id string, w *workload.Workload, vs []Variant, m cpu.Machine) (map[string]metrics.Counters, *Table, error) {
+	specs := make([]RunSpec, len(vs))
+	for k, v := range vs {
+		specs[k] = RunSpec{w, v, m}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
 	res := make(map[string]metrics.Counters)
-	for _, v := range vs {
-		c, err := s.Run(w, v, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		res[v.Name] = c
+	for k, v := range vs {
+		res[v.Name] = cs[k]
 	}
 	t := &Table{
 		ID:    id,

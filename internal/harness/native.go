@@ -44,12 +44,17 @@ func (s *Suite) TableV() (*Table, error) {
 	m := cpu.Pentium4Northwood
 	m.ClockMHz = 3000 // the JVM machine of Section 6.2
 	plain := Variant{Name: "plain", Technique: core.TPlain}
-	for _, w := range workload.Java() {
-		c, err := s.Run(w, plain, m)
-		if err != nil {
-			return nil, err
-		}
-		ours := c.Cycles / (m.ClockMHz * 1e6)
+	ws := workload.Java()
+	specs := make([]RunSpec, len(ws))
+	for k, w := range ws {
+		specs[k] = RunSpec{w, plain, m}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	for k, w := range ws {
+		ours := cs[k].Cycles / (m.ClockMHz * 1e6)
 		ref := paperTableV[w.Name]
 		row := []string{w.Name, fmt.Sprintf("%.3f", ours)}
 		for col := 1; col < 5; col++ {
@@ -108,13 +113,21 @@ func (s *Suite) TableVIII() (*Table, error) {
 		{Name: "across bb", Technique: core.TAcrossBB},
 		{Name: "w/static super across", Technique: core.TWithStaticSuperAcross, NSupers: 400},
 	}
-	for _, w := range workload.Java() {
-		row := []string{w.Name, fmt.Sprintf("%.2f", paperTableVIII[w.Name])}
+	ws := workload.Java()
+	var specs []RunSpec
+	for _, w := range ws {
 		for _, v := range variants {
-			c, err := s.Run(w, v, cpu.Pentium4Northwood)
-			if err != nil {
-				return nil, err
-			}
+			specs = append(specs, RunSpec{w, v, cpu.Pentium4Northwood})
+		}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		row := []string{w.Name, fmt.Sprintf("%.2f", paperTableVIII[w.Name])}
+		for k := range variants {
+			c := cs[i*len(variants)+k]
 			row = append(row, fmt.Sprintf("%.3f", float64(c.CodeBytes)/1e6))
 		}
 		t.Rows = append(t.Rows, row)
@@ -193,16 +206,18 @@ func (s *Suite) TableX() (*Table, map[string]float64, error) {
 	measured := make(map[string]float64)
 	plain := Variant{Name: "plain", Technique: core.TPlain}
 	wsa := Variant{Name: "w/static super across", Technique: core.TWithStaticSuperAcross, NSupers: 400}
+	ws := workload.Java()
+	var specs []RunSpec
+	for _, w := range ws {
+		specs = append(specs, RunSpec{w, plain, cpu.Pentium4Northwood}, RunSpec{w, wsa, cpu.Pentium4Northwood})
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
 	var sum float64
-	for _, w := range workload.Java() {
-		base, err := s.Run(w, plain, cpu.Pentium4Northwood)
-		if err != nil {
-			return nil, nil, err
-		}
-		c, err := s.Run(w, wsa, cpu.Pentium4Northwood)
-		if err != nil {
-			return nil, nil, err
-		}
+	for k, w := range ws {
+		base, c := cs[2*k], cs[2*k+1]
 		sp := c.SpeedupOver(base)
 		measured[w.Name] = sp
 		sum += sp

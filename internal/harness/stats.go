@@ -21,15 +21,17 @@ func (s *Suite) MispredictRates() (switchRates, threadedRates map[string]float64
 	}
 	sw := Variant{Name: "switch", Technique: core.TSwitch}
 	plain := Variant{Name: "plain", Technique: core.TPlain}
-	for _, w := range workload.Forth() {
-		cs, err := s.Run(w, sw, cpu.Celeron800)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		cp, err := s.Run(w, plain, cpu.Celeron800)
-		if err != nil {
-			return nil, nil, nil, err
-		}
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		specs = append(specs, RunSpec{w, sw, cpu.Celeron800}, RunSpec{w, plain, cpu.Celeron800})
+	}
+	res, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for k, w := range ws {
+		cs, cp := res[2*k], res[2*k+1]
 		switchRates[w.Name] = cs.MispredictRate()
 		threadedRates[w.Name] = cp.MispredictRate()
 		t.Rows = append(t.Rows, []string{w.Name,
@@ -50,20 +52,23 @@ func (s *Suite) BranchFractions() (forthAvg, javaAvg float64, t *Table, err erro
 		Title:  "Indirect branches as % of retired instructions (plain, Pentium 4)",
 		Header: []string{"benchmark", "VM", "indirect %"},
 	}
+	forth, java := workload.Forth(), workload.Java()
+	var specs []RunSpec
+	for _, w := range append(append([]*workload.Workload(nil), forth...), java...) {
+		specs = append(specs, RunSpec{w, plain, cpu.Pentium4Northwood})
+	}
+	res, err := s.RunSpecs(specs)
+	if err != nil {
+		return 0, 0, nil, err
+	}
 	var fs, js float64
-	for _, w := range workload.Forth() {
-		c, err := s.Run(w, plain, cpu.Pentium4Northwood)
-		if err != nil {
-			return 0, 0, nil, err
-		}
+	for k, w := range forth {
+		c := res[k]
 		fs += c.BranchFraction()
 		t.Rows = append(t.Rows, []string{w.Name, "forth", Cell(100 * c.BranchFraction())})
 	}
-	for _, w := range workload.Java() {
-		c, err := s.Run(w, plain, cpu.Pentium4Northwood)
-		if err != nil {
-			return 0, 0, nil, err
-		}
+	for k, w := range java {
+		c := res[len(forth)+k]
 		js += c.BranchFraction()
 		t.Rows = append(t.Rows, []string{w.Name, "jvm", Cell(100 * c.BranchFraction())})
 	}
@@ -91,14 +96,22 @@ func (s *Suite) PredictorComparison() (*Table, map[string]map[string]float64, er
 		cpu.Celeron800.WithPredictor(cpu.PredictBTB2bc),
 		cpu.PentiumM,
 	}
-	for _, w := range workload.Forth() {
+	ws := workload.Forth()
+	var specs []RunSpec
+	for _, w := range ws {
+		for _, m := range machines {
+			specs = append(specs, RunSpec{w, plain, m})
+		}
+	}
+	res, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, w := range ws {
 		rates[w.Name] = make(map[string]float64)
 		row := []string{w.Name}
-		for _, m := range machines {
-			c, err := s.Run(w, plain, m)
-			if err != nil {
-				return nil, nil, err
-			}
+		for k, m := range machines {
+			c := res[i*len(machines)+k]
 			rates[w.Name][m.Name] = c.MispredictRate()
 			row = append(row, Cell(100*c.MispredictRate()))
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,12 +9,15 @@ import (
 	"vmopt/internal/core"
 	"vmopt/internal/cpu"
 	"vmopt/internal/metrics"
+	"vmopt/internal/runner"
 	"vmopt/internal/superinst"
 	"vmopt/internal/workload"
 )
 
 // Suite runs benchmark/variant/machine combinations with caching of
-// both results and trained static instruction sets.
+// both results and trained static instruction sets. Experiment grids
+// execute on the internal/runner worker pool; Jobs, Progress and Ctx
+// control that pool for every experiment the suite runs.
 type Suite struct {
 	// ScaleDiv divides each workload's default scale (tests and
 	// parameter sweeps use > 1 to stay fast). 0 or 1 means full
@@ -21,10 +25,73 @@ type Suite struct {
 	ScaleDiv int
 	// MaxSteps bounds each simulated run.
 	MaxSteps uint64
+	// Jobs is the worker-pool parallelism for experiment grids;
+	// <= 0 means GOMAXPROCS.
+	Jobs int
+	// Progress, if non-nil, is called after each grid job finishes
+	// (see runner.Options.Progress).
+	Progress func(done, total int)
+	// Ctx, when non-nil, cancels in-flight experiment grids: the
+	// pool stops dispatching once Ctx is done and the joined error
+	// reports the skipped jobs. Experiment methods keep their plain
+	// signatures; the suite owns the run lifecycle.
+	Ctx context.Context
 
 	mu       sync.Mutex
 	results  map[resultKey]metrics.Counters
+	inflight map[resultKey]*flight[metrics.Counters]
 	profiles map[string]*profileData
+	training map[string]*flight[*profileData]
+}
+
+// flight is one in-progress single-flight computation.
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// singleflight returns cache[key] if present, else computes it
+// exactly once: with a parallel grid many jobs need the same training
+// profile or the same cached run at once; the first caller computes,
+// concurrent callers wait and share the outcome, and successful
+// results land in cache.
+func singleflight[K comparable, V any](mu *sync.Mutex, cache map[K]V, inflight map[K]*flight[V], key K, compute func() (V, error)) (V, error) {
+	mu.Lock()
+	if v, ok := cache[key]; ok {
+		mu.Unlock()
+		return v, nil
+	}
+	if f, ok := inflight[key]; ok {
+		mu.Unlock()
+		<-f.done
+		return f.v, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	inflight[key] = f
+	mu.Unlock()
+
+	f.v, f.err = compute()
+	mu.Lock()
+	delete(inflight, key)
+	if f.err == nil {
+		cache[key] = f.v
+	}
+	mu.Unlock()
+	close(f.done)
+	return f.v, f.err
+}
+
+// init lazily allocates the cache maps.
+func (s *Suite) init() {
+	s.mu.Lock()
+	if s.results == nil {
+		s.results = make(map[resultKey]metrics.Counters)
+		s.inflight = make(map[resultKey]*flight[metrics.Counters])
+		s.profiles = make(map[string]*profileData)
+		s.training = make(map[string]*flight[*profileData])
+	}
+	s.mu.Unlock()
 }
 
 type resultKey struct {
@@ -116,17 +183,14 @@ func JavaVariants() []Variant {
 }
 
 // profile returns the cached training profile of a workload.
+// Concurrent callers for the same workload share one training run.
 func (s *Suite) profile(w *workload.Workload) (*profileData, error) {
-	s.mu.Lock()
-	if s.profiles == nil {
-		s.profiles = make(map[string]*profileData)
-	}
-	if p, ok := s.profiles[w.Name]; ok {
-		s.mu.Unlock()
-		return p, nil
-	}
-	s.mu.Unlock()
+	s.init()
+	return singleflight(&s.mu, s.profiles, s.training, w.Name,
+		func() (*profileData, error) { return s.profileUncached(w) })
+}
 
+func (s *Suite) profileUncached(w *workload.Workload) (*profileData, error) {
 	proc, leaders, err := w.NewProcess(s.scale(w))
 	if err != nil {
 		return nil, err
@@ -145,10 +209,6 @@ func (s *Suite) profile(w *workload.Workload) (*profileData, error) {
 		p.runOps = append(p.runOps, core.Ops(code, r))
 	}
 	p.weights = prof.RunWeights(runs)
-
-	s.mu.Lock()
-	s.profiles[w.Name] = p
-	s.mu.Unlock()
 	return p, nil
 }
 
@@ -293,19 +353,16 @@ func (s *Suite) configFor(w *workload.Workload, v Variant) (core.Config, error) 
 }
 
 // Run executes one benchmark under one variant on one machine,
-// caching the result.
+// caching the result. Concurrent callers for the same key share one
+// simulation.
 func (s *Suite) Run(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
 	key := resultKey{bench: w.Name, variant: v.Name, machine: m.Name, scale: s.scale(w)}
-	s.mu.Lock()
-	if s.results == nil {
-		s.results = make(map[resultKey]metrics.Counters)
-	}
-	if c, ok := s.results[key]; ok {
-		s.mu.Unlock()
-		return c, nil
-	}
-	s.mu.Unlock()
+	s.init()
+	return singleflight(&s.mu, s.results, s.inflight, key,
+		func() (metrics.Counters, error) { return s.runUncached(w, v, m) })
+}
 
+func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
 	cfg, err := s.configFor(w, v)
 	if err != nil {
 		return metrics.Counters{}, err
@@ -324,57 +381,70 @@ func (s *Suite) Run(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Cou
 	if err != nil {
 		return metrics.Counters{}, fmt.Errorf("%s/%s on %s: %w", w.Name, v.Name, m.Name, err)
 	}
-
-	s.mu.Lock()
-	s.results[key] = c
-	s.mu.Unlock()
 	return c, nil
 }
 
-// RunAll runs every (benchmark, variant) pair on a machine and
-// returns counters[bench][variant].
-func (s *Suite) RunAll(ws []*workload.Workload, vs []Variant, m cpu.Machine) (map[string]map[string]metrics.Counters, error) {
-	out := make(map[string]map[string]metrics.Counters)
-	type job struct {
-		w *workload.Workload
-		v Variant
-	}
-	var jobs []job
-	for _, w := range ws {
-		out[w.Name] = make(map[string]metrics.Counters)
-		for _, v := range vs {
-			jobs = append(jobs, job{w, v})
-		}
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(jobs))
-	res := make([]metrics.Counters, len(jobs))
-	sem := make(chan struct{}, 8)
-	for k, j := range jobs {
-		wg.Add(1)
-		go func(k int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res[k], errs[k] = s.Run(j.w, j.v, m)
-		}(k, j)
-	}
-	wg.Wait()
-	for k, j := range jobs {
-		if errs[k] != nil {
-			return nil, errs[k]
-		}
-		out[j.w.Name][j.v.Name] = res[k]
-	}
-	return out, nil
+// RunSpec is one (workload, variant, machine) cell of an experiment
+// grid.
+type RunSpec struct {
+	W *workload.Workload
+	V Variant
+	M cpu.Machine
 }
 
-// sortedKeys returns map keys in sorted order (deterministic output).
-func sortedKeys[M ~map[string]V, V any](m M) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// context returns the suite's cancellation context.
+func (s *Suite) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
 	}
-	sort.Strings(keys)
-	return keys
+	return context.Background()
+}
+
+// RunSpecs executes a grid of runs on the worker pool and returns the
+// counters in spec order. All failures are collected: the returned
+// error joins every failed cell, and the counters of successful cells
+// are still valid (failed cells hold zero counters).
+func (s *Suite) RunSpecs(specs []RunSpec) ([]metrics.Counters, error) {
+	return runner.Map(s.context(), len(specs),
+		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
+		func(ctx context.Context, i int) (metrics.Counters, error) {
+			sp := specs[i]
+			return s.Run(sp.W, sp.V, sp.M)
+		})
+}
+
+// RunAll runs every (benchmark, variant) pair on a machine and
+// returns counters[bench][variant]. On failure it returns the partial
+// results of every pair that did succeed together with an error
+// joining all failures, so callers can render what completed.
+func (s *Suite) RunAll(ws []*workload.Workload, vs []Variant, m cpu.Machine) (map[string]map[string]metrics.Counters, error) {
+	var specs []RunSpec
+	for _, w := range ws {
+		for _, v := range vs {
+			specs = append(specs, RunSpec{w, v, m})
+		}
+	}
+	res, err := s.RunSpecs(specs)
+	out := make(map[string]map[string]metrics.Counters)
+	for _, w := range ws {
+		out[w.Name] = make(map[string]metrics.Counters)
+	}
+	for k, sp := range specs {
+		out[sp.W.Name][sp.V.Name] = res[k]
+	}
+	return out, err
+}
+
+// Snapshot returns every cached run as a structured result record,
+// sorted by key — the machine-readable layer behind vmbench's JSON
+// and CSV output.
+func (s *Suite) Snapshot() []runner.Run {
+	s.mu.Lock()
+	runs := make([]runner.Run, 0, len(s.results))
+	for k, c := range s.results {
+		runs = append(runs, runner.NewRun(k.bench, k.variant, k.machine, k.scale, c))
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Key() < runs[j].Key() })
+	return runs
 }

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/workload"
+)
+
+// TestRunAllPartialResults: a failing cell must not discard the cells
+// that completed — RunAll returns the partial grid plus an error
+// joining every failure.
+func TestRunAllPartialResults(t *testing.T) {
+	s := NewTestSuite()
+	ws := []*workload.Workload{workload.Gray(), workload.TSCP()}
+	vs := []Variant{
+		{Name: "plain", Technique: core.TPlain},
+		{Name: "broken", Technique: core.Technique(99)},
+	}
+	out, err := s.RunAll(ws, vs, cpu.Celeron800)
+	if err == nil {
+		t.Fatal("grid with a broken variant must error")
+	}
+	// Both failures are joined, not just the first.
+	if n := strings.Count(err.Error(), "unknown technique"); n != 2 {
+		t.Errorf("want 2 joined failures, error was: %v", err)
+	}
+	// The successful cells survived.
+	for _, w := range ws {
+		if out[w.Name]["plain"].Cycles == 0 {
+			t.Errorf("%s/plain result discarded on partial failure", w.Name)
+		}
+		if out[w.Name]["broken"].Cycles != 0 {
+			t.Errorf("%s/broken should hold zero counters", w.Name)
+		}
+	}
+}
+
+// TestSuiteCancellation: a cancelled suite context aborts the grid.
+func TestSuiteCancellation(t *testing.T) {
+	s := NewTestSuite()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Ctx = ctx
+	_, err := s.RunAll([]*workload.Workload{workload.Gray()},
+		[]Variant{{Name: "plain", Technique: core.TPlain}}, cpu.Celeron800)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestSnapshot: cached runs surface as sorted structured records with
+// the derived rates filled in.
+func TestSnapshot(t *testing.T) {
+	s := NewTestSuite()
+	w := workload.Gray()
+	v := Variant{Name: "plain", Technique: core.TPlain}
+	c, err := s.Run(w, v, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(w, v, cpu.PentiumM); err != nil {
+		t.Fatal(err)
+	}
+	runs := s.Snapshot()
+	if len(runs) != 2 {
+		t.Fatalf("snapshot has %d runs, want 2", len(runs))
+	}
+	if runs[0].Key() >= runs[1].Key() {
+		t.Error("snapshot not sorted by key")
+	}
+	found := false
+	for _, r := range runs {
+		if r.Machine == "celeron-800" {
+			found = true
+			if r.Workload != w.Name || r.Variant != "plain" {
+				t.Errorf("bad identity fields: %+v", r)
+			}
+			if r.Counters != c {
+				t.Errorf("counters mismatch: %+v vs %+v", r.Counters, c)
+			}
+			if r.MispredictRate != c.MispredictRate() {
+				t.Error("derived mispredict rate not filled")
+			}
+		}
+	}
+	if !found {
+		t.Error("celeron-800 run missing from snapshot")
+	}
+}
+
+// TestJobsOneMatchesParallel: the engine must be deterministic — the
+// same grid at -jobs 1 and -jobs 8 yields identical counters.
+func TestJobsOneMatchesParallel(t *testing.T) {
+	ws := []*workload.Workload{workload.Gray(), workload.TSCP()}
+	vs := []Variant{
+		{Name: "plain", Technique: core.TPlain},
+		{Name: "dynamic super", Technique: core.TDynamicSuper},
+	}
+	seq := NewTestSuite()
+	seq.Jobs = 1
+	par := NewTestSuite()
+	par.Jobs = 8
+	a, err := seq.RunAll(ws, vs, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.RunAll(ws, vs, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		for _, v := range vs {
+			if a[w.Name][v.Name] != b[w.Name][v.Name] {
+				t.Errorf("%s/%s: sequential and parallel counters differ", w.Name, v.Name)
+			}
+		}
+	}
+}
+
+// TestSingleFlight: concurrent identical runs share one simulation.
+func TestSingleFlight(t *testing.T) {
+	s := NewTestSuite()
+	s.Jobs = 8
+	var done atomic.Int32
+	s.Progress = func(int, int) { done.Add(1) }
+	w := workload.Gray()
+	v := Variant{Name: "plain", Technique: core.TPlain}
+	specs := make([]RunSpec, 16)
+	for i := range specs {
+		specs[i] = RunSpec{w, v, cpu.Celeron800}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i] != cs[0] {
+			t.Fatal("deduplicated runs returned different counters")
+		}
+	}
+	if got := done.Load(); got != 16 {
+		t.Errorf("progress fired %d times, want 16", got)
+	}
+	if len(s.Snapshot()) != 1 {
+		t.Errorf("cache holds %d entries, want 1", len(s.Snapshot()))
+	}
+}

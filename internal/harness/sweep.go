@@ -22,10 +22,14 @@ type SweepData struct {
 }
 
 // sweep runs the static replication/superinstruction balance
-// experiment of Section 7.5 for one workload and machine.
+// experiment of Section 7.5 for one workload and machine. The full
+// totals x percents grid is scheduled on the worker pool.
 func (s *Suite) sweep(w *workload.Workload, m cpu.Machine, totals []int) (*SweepData, error) {
 	percents := []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	d := &SweepData{Totals: totals, Percents: percents, C: make(map[int]map[int]metrics.Counters)}
+	type cell struct{ total, pct int }
+	var cells []cell
+	var specs []RunSpec
 	for _, total := range totals {
 		d.C[total] = make(map[int]metrics.Counters)
 		for _, pct := range percents {
@@ -46,12 +50,16 @@ func (s *Suite) sweep(w *workload.Workload, m cpu.Machine, totals []int) (*Sweep
 			default:
 				v.Technique = core.TStaticBoth
 			}
-			c, err := s.Run(w, v, m)
-			if err != nil {
-				return nil, err
-			}
-			d.C[total][pct] = c
+			cells = append(cells, cell{total, pct})
+			specs = append(specs, RunSpec{w, v, m})
 		}
+	}
+	cs, err := s.RunSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	for k, cl := range cells {
+		d.C[cl.total][cl.pct] = cs[k]
 	}
 	return d, nil
 }

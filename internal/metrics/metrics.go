@@ -17,34 +17,36 @@ import (
 // Cycles and MissCycles are float64 because the cycle model composes
 // fractional per-instruction costs (superscalar CPI < 1); all event
 // counts are exact integers.
+// The JSON names are part of the vmbench result schema
+// (internal/runner); renaming them breaks checked-in baselines.
 type Counters struct {
 	// Cycles is the total simulated execution time in clock cycles.
-	Cycles float64
+	Cycles float64 `json:"cycles"`
 	// Instructions is the number of retired native machine
 	// instructions (paper: "instrs").
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// IndirectBranches is the number of executed indirect branches,
 	// i.e. VM instruction dispatches plus indirect VM control flow.
-	IndirectBranches uint64
+	IndirectBranches uint64 `json:"indirect_branches"`
 	// Mispredicted is the number of indirect branches the branch
 	// predictor got wrong (paper: "mispredicted indirect").
-	Mispredicted uint64
+	Mispredicted uint64 `json:"mispredicted"`
 	// ICacheMisses is the number of instruction fetch misses.
-	ICacheMisses uint64
+	ICacheMisses uint64 `json:"icache_misses"`
 	// MissCycles is the cycle cost attributed to I-cache misses
 	// (paper: icache misses x 27 on the Pentium 4 trace cache).
-	MissCycles float64
+	MissCycles float64 `json:"miss_cycles"`
 	// CodeBytes is the size of code generated at interpreter run time
 	// (zero for purely static techniques).
-	CodeBytes uint64
+	CodeBytes uint64 `json:"code_bytes"`
 
 	// VMInstructions counts executed virtual machine instructions.
 	// Not a hardware counter, but needed for derived statistics such
 	// as native-instructions-per-VM-instruction.
-	VMInstructions uint64
+	VMInstructions uint64 `json:"vm_instructions"`
 	// Dispatches counts VM instruction dispatches actually executed
 	// (a subset of IndirectBranches; superinstructions remove some).
-	Dispatches uint64
+	Dispatches uint64 `json:"dispatches"`
 }
 
 // Add accumulates o into c.

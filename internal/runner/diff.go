@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Regression is one baseline-comparison failure: a run that got worse
+// than the baseline beyond the tolerance, or disappeared entirely.
+type Regression struct {
+	// Key identifies the run (workload/variant/machine/scale).
+	Key string
+	// Metric names the counter that regressed ("cycles",
+	// "mispredicted"), or "missing" when the run is absent.
+	Metric string
+	// Base and Cur are the baseline and current values.
+	Base, Cur float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but missing from this run", r.Key)
+	}
+	if r.Base == 0 {
+		return fmt.Sprintf("%s: %s regressed %.6g -> %.6g (baseline was 0)",
+			r.Key, r.Metric, r.Base, r.Cur)
+	}
+	return fmt.Sprintf("%s: %s regressed %.6g -> %.6g (%+.2f%%)",
+		r.Key, r.Metric, r.Base, r.Cur, 100*(r.Cur/r.Base-1))
+}
+
+// Diff compares current against baseline run by run. A run regresses
+// when a watched metric exceeds the baseline by more than the
+// relative tolerance tol (0.02 = 2%); a zero baseline metric flags
+// any nonzero current value, since no relative tolerance applies.
+// Runs present only in current are new coverage, not regressions.
+// Reports must share ScaleDiv — comparing different workload scales
+// is meaningless.
+func Diff(baseline, current *Report, tol float64) ([]Regression, error) {
+	if baseline.ScaleDiv != current.ScaleDiv {
+		return nil, fmt.Errorf("scalediv mismatch: baseline %d vs current %d",
+			baseline.ScaleDiv, current.ScaleDiv)
+	}
+	cur := make(map[string]Run, len(current.Runs))
+	for _, r := range current.Runs {
+		cur[r.Key()] = r
+	}
+	// Sort a copy for deterministic regression order; a comparison
+	// must not reorder the caller's report.
+	base := append([]Run(nil), baseline.Runs...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Key() < base[j].Key() })
+	var regs []Regression
+	for _, b := range base {
+		c, ok := cur[b.Key()]
+		if !ok {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "missing"})
+			continue
+		}
+		watch := []struct {
+			name      string
+			base, cur float64
+		}{
+			{"cycles", b.Counters.Cycles, c.Counters.Cycles},
+			{"mispredicted", float64(b.Counters.Mispredicted), float64(c.Counters.Mispredicted)},
+		}
+		for _, m := range watch {
+			if m.cur > m.base*(1+tol) {
+				regs = append(regs, Regression{Key: b.Key(), Metric: m.name, Base: m.base, Cur: m.cur})
+			}
+		}
+	}
+	return regs, nil
+}
+
+// WriteDiff renders a diff outcome for humans and returns an error
+// when regressions were found (the vmbench diff exit status).
+func WriteDiff(w io.Writer, regs []Regression, compared int, tol float64) error {
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "diff: %d runs compared, no regressions beyond %.2f%% tolerance\n",
+			compared, 100*tol)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(w, "REGRESSION:", r)
+	}
+	return fmt.Errorf("%d regression(s) against baseline", len(regs))
+}
