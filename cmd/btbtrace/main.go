@@ -5,26 +5,35 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"vmopt/internal/harness"
 )
 
 func main() {
+	emit(os.Stdout)
+}
+
+// emit renders all four worked examples. Its output is locked by a
+// golden test; the per-iteration misprediction counts are the paper's
+// headline numbers for Sections 3 and 4.
+func emit(w io.Writer) {
 	st, tt, sm, tm := harness.TableI()
-	fmt.Println(st)
-	fmt.Println(tt)
-	fmt.Printf("switch: %d mispredictions per iteration; threaded: %d\n\n", sm, tm)
+	fmt.Fprintln(w, st)
+	fmt.Fprintln(w, tt)
+	fmt.Fprintf(w, "switch: %d mispredictions per iteration; threaded: %d\n\n", sm, tm)
 
 	t2, m2 := harness.TableII()
-	fmt.Println(t2)
-	fmt.Printf("with two replicas of A: %d mispredictions per iteration\n\n", m2)
+	fmt.Fprintln(w, t2)
+	fmt.Fprintf(w, "with two replicas of A: %d mispredictions per iteration\n\n", m2)
 
 	o3, m3, om, mm := harness.TableIII()
-	fmt.Println(o3)
-	fmt.Println(m3)
-	fmt.Printf("bad replication: %d -> %d mispredictions per iteration\n\n", om, mm)
+	fmt.Fprintln(w, o3)
+	fmt.Fprintln(w, m3)
+	fmt.Fprintf(w, "bad replication: %d -> %d mispredictions per iteration\n\n", om, mm)
 
 	t4, m4 := harness.TableIV()
-	fmt.Println(t4)
-	fmt.Printf("with superinstruction B_A: %d mispredictions per iteration\n", m4)
+	fmt.Fprintln(w, t4)
+	fmt.Fprintf(w, "with superinstruction B_A: %d mispredictions per iteration\n", m4)
 }

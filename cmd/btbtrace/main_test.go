@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file with current output")
+
+// TestGoldenOutput locks the rendered Tables I-IV byte for byte.
+// Regenerate deliberately with: go test ./cmd/btbtrace -update
+func TestGoldenOutput(t *testing.T) {
+	var buf bytes.Buffer
+	emit(&buf)
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output diverged from golden file (re-run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestMispredictionCounts pins the paper's per-iteration numbers
+// independently of table formatting: switch dispatch mispredicts all
+// 4 dispatches, threaded 2; replication and superinstructions reach
+// 0; bad replication worsens 2 to 3.
+func TestMispredictionCounts(t *testing.T) {
+	var buf bytes.Buffer
+	emit(&buf)
+	out := buf.String()
+	checks := []struct {
+		re   string
+		want []int
+	}{
+		{`switch: (\d+) mispredictions per iteration; threaded: (\d+)`, []int{4, 2}},
+		{`with two replicas of A: (\d+) mispredictions per iteration`, []int{0}},
+		{`bad replication: (\d+) -> (\d+) mispredictions per iteration`, []int{2, 3}},
+		{`with superinstruction B_A: (\d+) mispredictions per iteration`, []int{0}},
+	}
+	for _, c := range checks {
+		m := regexp.MustCompile(c.re).FindStringSubmatch(out)
+		if m == nil {
+			t.Errorf("output missing %q:\n%s", c.re, out)
+			continue
+		}
+		for i, want := range c.want {
+			if got, _ := strconv.Atoi(m[i+1]); got != want {
+				t.Errorf("%q capture %d: got %d, want %d", c.re, i+1, got, want)
+			}
+		}
+	}
+}

@@ -5,15 +5,26 @@
 //
 //	vmbench                            # regenerate everything (text)
 //	vmbench -exp fig8                  # one experiment
+//	vmbench -list                      # enumerate valid -exp names
 //	vmbench -scalediv 10               # reduced workload scale (faster)
 //	vmbench -jobs 16                   # worker-pool parallelism
 //	vmbench -format json -out results  # machine-readable results
+//	vmbench -trace-cache .vmtraces     # record-once-replay-many runs
 //	vmbench diff BENCH_baseline.json   # regression check vs a baseline
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // table8 table9 table10 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 fig16 rates fractions predictors, the ablations parse
-// selection btbsize penalty caseblock lengths hardware history, and all.
+// selection btbsize penalty caseblock lengths hardware history, the
+// composite sweep, and all. -list prints each with a one-line
+// description.
+//
+// -trace-cache stores each (benchmark, variant, scale) dispatch
+// stream in the named directory (internal/disptrace) and replays it
+// for every further machine model instead of re-executing the guest
+// VM; replayed counters are byte-identical to direct simulation, so
+// results never change — machine-sweep experiments just get faster,
+// especially on a warm cache.
 //
 // diff re-runs the experiments recorded in the baseline report (same
 // -exp and -scalediv) and exits non-zero when any run's cycles or
@@ -31,6 +42,7 @@ import (
 	"strings"
 	"syscall"
 
+	"vmopt/internal/disptrace"
 	"vmopt/internal/harness"
 	"vmopt/internal/runner"
 	"vmopt/internal/workload"
@@ -45,18 +57,24 @@ func main() {
 		return
 	}
 
-	exp := flag.String("exp", "all", "experiment to regenerate (e.g. fig8, table9, all)")
+	exp := flag.String("exp", "all", "experiment to regenerate (e.g. fig8, table9, all; see -list)")
+	list := flag.Bool("list", false, "list valid -exp names with descriptions and exit")
 	scaleDiv := flag.Int("scalediv", 1, "divide workload scales by this factor")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, json or csv")
 	out := flag.String("out", "", "directory for output (results.txt/.json/.csv; default stdout)")
 	progress := flag.Bool("progress", false, "report run progress on stderr")
+	traceCache := flag.String("trace-cache", "", "directory for the dispatch-trace cache (record once, replay per machine)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		// Without this a mistyped subcommand ("dif", "Diff") would
 		// silently start the full multi-hour experiment run.
 		fmt.Fprintf(os.Stderr, "vmbench: unexpected argument %q (subcommands: diff)\n", flag.Arg(0))
 		os.Exit(2)
+	}
+	if *list {
+		listExps(os.Stdout)
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -66,6 +84,9 @@ func main() {
 	// terminates immediately instead of being swallowed.
 	context.AfterFunc(ctx, stop)
 	s := newSuite(ctx, *scaleDiv, *jobs, *progress)
+	if *traceCache != "" {
+		s.Traces = disptrace.NewCache(*traceCache)
+	}
 
 	if err := run(os.Stdout, s, strings.ToLower(*exp), *format, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "vmbench:", err)
@@ -141,7 +162,11 @@ type expOutput struct {
 
 type experiment struct {
 	name string
-	fn   func(s *harness.Suite) (expOutput, error)
+	desc string
+	// composite experiments re-group other experiments' grids; "all"
+	// skips them so their tables are not rendered twice.
+	composite bool
+	fn        func(s *harness.Suite) (expOutput, error)
 }
 
 // experiments is the dispatcher registry in paper order.
@@ -150,7 +175,7 @@ func experiments() []experiment {
 		return expOutput{tables: []*harness.Table{t}}, err
 	}
 	return []experiment{
-		{"table1", func(*harness.Suite) (expOutput, error) {
+		{name: "table1", desc: "Table I: BTB predictions for loop A B A GOTO, switch vs threaded", fn: func(*harness.Suite) (expOutput, error) {
 			st, tt, sm, tm := harness.TableI()
 			return expOutput{
 				tables: []*harness.Table{st, tt},
@@ -158,44 +183,44 @@ func experiments() []experiment {
 					"switch mispredictions/iteration: %d; threaded: %d", sm, tm)},
 			}, nil
 		}},
-		{"table2", func(*harness.Suite) (expOutput, error) {
+		{name: "table2", desc: "Table II: replication removes the loop's mispredictions", fn: func(*harness.Suite) (expOutput, error) {
 			t, m := harness.TableII()
 			return expOutput{tables: []*harness.Table{t},
 				notes: []string{fmt.Sprintf("mispredictions/iteration: %d", m)}}, nil
 		}},
-		{"table3", func(*harness.Suite) (expOutput, error) {
+		{name: "table3", desc: "Table III: bad static replication increases mispredictions", fn: func(*harness.Suite) (expOutput, error) {
 			ot, mt, om, mm := harness.TableIII()
 			return expOutput{tables: []*harness.Table{ot, mt},
 				notes: []string{fmt.Sprintf(
 					"original: %d mispredictions/iteration; bad replication: %d", om, mm)}}, nil
 		}},
-		{"table4", func(*harness.Suite) (expOutput, error) {
+		{name: "table4", desc: "Table IV: a superinstruction removes the loop's mispredictions", fn: func(*harness.Suite) (expOutput, error) {
 			t, m := harness.TableIV()
 			return expOutput{tables: []*harness.Table{t},
 				notes: []string{fmt.Sprintf("mispredictions/iteration: %d", m)}}, nil
 		}},
-		{"table5", func(s *harness.Suite) (expOutput, error) { return one(s.TableV()) }},
-		{"table6", func(*harness.Suite) (expOutput, error) { return one(harness.TableVI(), nil) }},
-		{"table7", func(*harness.Suite) (expOutput, error) { return one(harness.TableVII(), nil) }},
-		{"table8", func(s *harness.Suite) (expOutput, error) { return one(s.TableVIII()) }},
-		{"table9", func(s *harness.Suite) (expOutput, error) { t, _, err := s.TableIX(); return one(t, err) }},
-		{"table10", func(s *harness.Suite) (expOutput, error) { t, _, err := s.TableX(); return one(t, err) }},
-		{"fig7", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure7(); return one(t, err) }},
-		{"fig8", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure8(); return one(t, err) }},
-		{"fig9", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure9(); return one(t, err) }},
-		{"fig10", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure10(); return one(t, err) }},
-		{"fig11", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure11(); return one(t, err) }},
-		{"fig12", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure12(); return one(t, err) }},
-		{"fig13", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure13(); return one(t, err) }},
-		{"fig14", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure14(); return one(t, err) }},
-		{"fig15", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure15(); return one(t, err) }},
-		{"fig16", func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure16(); return one(t, err) }},
-		{"rates", func(s *harness.Suite) (expOutput, error) { _, _, t, err := s.MispredictRates(); return one(t, err) }},
-		{"fractions", func(s *harness.Suite) (expOutput, error) { _, _, t, err := s.BranchFractions(); return one(t, err) }},
-		{"predictors", func(s *harness.Suite) (expOutput, error) { t, _, err := s.PredictorComparison(); return one(t, err) }},
-		{"parse", func(s *harness.Suite) (expOutput, error) { t, _, err := s.GreedyVsOptimal(); return one(t, err) }},
-		{"selection", func(s *harness.Suite) (expOutput, error) { t, _, err := s.RoundRobinVsRandom(); return one(t, err) }},
-		{"btbsize", func(s *harness.Suite) (expOutput, error) {
+		{name: "table5", desc: "Table V: dispatch and work costs per technique", fn: func(s *harness.Suite) (expOutput, error) { return one(s.TableV()) }},
+		{name: "table6", desc: "Table VI: the Gforth benchmark programs", fn: func(*harness.Suite) (expOutput, error) { return one(harness.TableVI(), nil) }},
+		{name: "table7", desc: "Table VII: the SPECjvm98 benchmark programs", fn: func(*harness.Suite) (expOutput, error) { return one(harness.TableVII(), nil) }},
+		{name: "table8", desc: "Table VIII: static code growth by technique", fn: func(s *harness.Suite) (expOutput, error) { return one(s.TableVIII()) }},
+		{name: "table9", desc: "Table IX: dynamic code growth (Gforth)", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.TableIX(); return one(t, err) }},
+		{name: "table10", desc: "Table X: dynamic code growth (JVM)", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.TableX(); return one(t, err) }},
+		{name: "fig7", desc: "Figure 7: Gforth speedups over plain, Celeron-800", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure7(); return one(t, err) }},
+		{name: "fig8", desc: "Figure 8: Gforth speedups over plain, Pentium 4", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure8(); return one(t, err) }},
+		{name: "fig9", desc: "Figure 9: Java interpreter speedups over plain, Pentium 4", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure9(); return one(t, err) }},
+		{name: "fig10", desc: "Figure 10: performance counters for bench-gc (Gforth)", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure10(); return one(t, err) }},
+		{name: "fig11", desc: "Figure 11: performance counters for brew (Gforth)", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure11(); return one(t, err) }},
+		{name: "fig12", desc: "Figure 12: performance counters for mpegaudio (Java)", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure12(); return one(t, err) }},
+		{name: "fig13", desc: "Figure 13: performance counters for compress (Java)", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure13(); return one(t, err) }},
+		{name: "fig14", desc: "Figure 14: static replication/superinstruction mix, bench-gc", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure14(); return one(t, err) }},
+		{name: "fig15", desc: "Figure 15: static mix timing, mpegaudio", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure15(); return one(t, err) }},
+		{name: "fig16", desc: "Figure 16: static mix mispredictions, mpegaudio", fn: func(s *harness.Suite) (expOutput, error) { _, t, err := s.Figure16(); return one(t, err) }},
+		{name: "rates", desc: "Section 3: misprediction rates, switch vs threaded dispatch", fn: func(s *harness.Suite) (expOutput, error) { _, _, t, err := s.MispredictRates(); return one(t, err) }},
+		{name: "fractions", desc: "Section 7.2.2: indirect branches as % of retired instructions", fn: func(s *harness.Suite) (expOutput, error) { _, _, t, err := s.BranchFractions(); return one(t, err) }},
+		{name: "predictors", desc: "Section 8: BTB vs 2-bit vs two-level predictor rates", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.PredictorComparison(); return one(t, err) }},
+		{name: "parse", desc: "Ablation: greedy vs optimal superinstruction parse", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.GreedyVsOptimal(); return one(t, err) }},
+		{name: "selection", desc: "Ablation: round-robin vs random replica selection", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.RoundRobinVsRandom(); return one(t, err) }},
+		{name: "btbsize", desc: "Ablation: misprediction rate vs BTB capacity (gray)", fn: func(s *harness.Suite) (expOutput, error) {
 			w, err := workload.ByName("gray")
 			if err != nil {
 				return expOutput{}, err
@@ -203,11 +228,11 @@ func experiments() []experiment {
 			t, _, err := s.BTBSizeSweep(w)
 			return one(t, err)
 		}},
-		{"penalty", func(s *harness.Suite) (expOutput, error) { t, _, err := s.PenaltySweep(); return one(t, err) }},
-		{"caseblock", func(s *harness.Suite) (expOutput, error) { t, _, err := s.CaseBlockExperiment(); return one(t, err) }},
-		{"lengths", func(s *harness.Suite) (expOutput, error) { t, _, err := s.SuperLengths(); return one(t, err) }},
-		{"hardware", func(s *harness.Suite) (expOutput, error) { t, _, err := s.HardwareVsSoftware(); return one(t, err) }},
-		{"history", func(s *harness.Suite) (expOutput, error) {
+		{name: "penalty", desc: "Ablation: across-bb speedup, 20- vs 30-cycle penalty", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.PenaltySweep(); return one(t, err) }},
+		{name: "caseblock", desc: "Ablation: switch dispatch under a case block table", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.CaseBlockExperiment(); return one(t, err) }},
+		{name: "lengths", desc: "Ablation: executed superinstruction lengths", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.SuperLengths(); return one(t, err) }},
+		{name: "hardware", desc: "Ablation: software techniques on BTB vs two-level hardware", fn: func(s *harness.Suite) (expOutput, error) { t, _, err := s.HardwareVsSoftware(); return one(t, err) }},
+		{name: "history", desc: "Ablation: two-level predictor rate vs history length (gray)", fn: func(s *harness.Suite) (expOutput, error) {
 			w, err := workload.ByName("gray")
 			if err != nil {
 				return expOutput{}, err
@@ -215,21 +240,73 @@ func experiments() []experiment {
 			t, _, err := s.TwoLevelHistorySweep(w)
 			return one(t, err)
 		}},
+		{name: "sweep", desc: "all machine-sensitivity sweeps (btbsize, penalty, predictors, hardware, history); pairs well with -trace-cache", composite: true, fn: machineSweep},
 	}
+}
+
+// machineSweep bundles every experiment that varies only the machine
+// model over fixed (workload, variant) pairs — the grids where the
+// dispatch-trace cache collapses each pair to one recording plus
+// cheap replays.
+func machineSweep(s *harness.Suite) (expOutput, error) {
+	gray, err := workload.ByName("gray")
+	if err != nil {
+		return expOutput{}, err
+	}
+	var out expOutput
+	add := func(t *harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out.tables = append(out.tables, t)
+		return nil
+	}
+	if t, _, err := s.BTBSizeSweep(gray); add(t, err) != nil {
+		return expOutput{}, err
+	}
+	if t, _, err := s.PenaltySweep(); add(t, err) != nil {
+		return expOutput{}, err
+	}
+	if t, _, err := s.PredictorComparison(); add(t, err) != nil {
+		return expOutput{}, err
+	}
+	if t, _, err := s.HardwareVsSoftware(); add(t, err) != nil {
+		return expOutput{}, err
+	}
+	if t, _, err := s.TwoLevelHistorySweep(gray); add(t, err) != nil {
+		return expOutput{}, err
+	}
+	return out, nil
 }
 
 // selectExps resolves an -exp argument against the registry.
 func selectExps(exp string) ([]experiment, error) {
 	exps := experiments()
 	if exp == "all" {
-		return exps, nil
+		// Composites re-group grids other entries already render.
+		all := make([]experiment, 0, len(exps))
+		for _, e := range exps {
+			if !e.composite {
+				all = append(all, e)
+			}
+		}
+		return all, nil
 	}
 	for _, e := range exps {
 		if e.name == exp {
 			return []experiment{e}, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q", exp)
+	return nil, fmt.Errorf("unknown experiment %q (run vmbench -list)", exp)
+}
+
+// listExps prints every valid -exp name with its description.
+func listExps(w io.Writer) {
+	fmt.Fprintln(w, "experiments (-exp NAME):")
+	for _, e := range experiments() {
+		fmt.Fprintf(w, "  %-11s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(w, "  all         every experiment above (composites excluded)")
 }
 
 // collect resolves an -exp argument and assembles the structured

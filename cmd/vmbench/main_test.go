@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"vmopt/internal/disptrace"
 	"vmopt/internal/harness"
 	"vmopt/internal/runner"
 )
@@ -138,6 +139,105 @@ func TestOutDir(t *testing.T) {
 	}
 	if !strings.Contains(string(txt), "Table VI") {
 		t.Errorf("text output file missing table:\n%s", txt)
+	}
+}
+
+// TestListExps: every registry entry appears as its own -list line
+// with a description, and the selectable names all resolve. Matching
+// is anchored per line so a prefix-shadowed name ("table1" inside
+// "table10") cannot mask a missing entry.
+func TestListExps(t *testing.T) {
+	var buf bytes.Buffer
+	listExps(&buf)
+	listed := make(map[string]string) // name -> description column
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if strings.HasPrefix(line, "  ") && len(fields) >= 2 {
+			listed[fields[0]] = strings.Join(fields[1:], " ")
+		}
+	}
+	for _, e := range experiments() {
+		if desc, ok := listed[e.name]; !ok {
+			t.Errorf("-list output missing experiment %q", e.name)
+		} else if desc == "" {
+			t.Errorf("experiment %q listed without a description", e.name)
+		}
+		if e.desc == "" {
+			t.Errorf("experiment %q has no description", e.name)
+		}
+		if _, err := selectExps(e.name); err != nil {
+			t.Errorf("selectExps(%q): %v", e.name, err)
+		}
+	}
+	if _, ok := listed["all"]; !ok {
+		t.Error("-list output missing the all pseudo-experiment")
+	}
+}
+
+// TestAllExcludesComposites: "all" must not render composite
+// experiments (their tables would duplicate the standalone entries).
+func TestAllExcludesComposites(t *testing.T) {
+	all, err := selectExps("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range all {
+		if e.composite {
+			t.Errorf("composite experiment %q included in all", e.name)
+		}
+	}
+	if _, err := selectExps("sweep"); err != nil {
+		t.Errorf("sweep must stay individually selectable: %v", err)
+	}
+}
+
+// TestSweepWithTraceCache: the composite sweep runs under a trace
+// cache and produces byte-identical structured runs to a no-cache
+// suite; the warm cache reuses the recorded traces.
+func TestSweepWithTraceCache(t *testing.T) {
+	plain, err := collect(testSuite(40), "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Runs) == 0 {
+		t.Fatal("sweep produced no runs")
+	}
+
+	dir := t.TempDir()
+	cached := testSuite(40)
+	cached.Traces = disptrace.NewCache(dir)
+	got, err := collect(cached, "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != len(plain.Runs) {
+		t.Fatalf("trace-cached sweep has %d runs, plain %d", len(got.Runs), len(plain.Runs))
+	}
+	for i := range got.Runs {
+		if got.Runs[i] != plain.Runs[i] {
+			t.Errorf("run %d diverged under trace cache:\n  plain  %+v\n  cached %+v",
+				i, plain.Runs[i], got.Runs[i])
+		}
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "*.vmdt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Error("sweep recorded no traces")
+	}
+
+	warm := testSuite(40)
+	warm.Traces = disptrace.NewCache(dir)
+	again, err := collect(warm, "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again.Runs {
+		if again.Runs[i] != plain.Runs[i] {
+			t.Errorf("warm-cache run %d diverged:\n  plain %+v\n  warm  %+v",
+				i, plain.Runs[i], again.Runs[i])
+		}
 	}
 }
 

@@ -1,0 +1,209 @@
+// Command vmtrace records, inspects and replays dispatch traces
+// (internal/disptrace): the machine-independent event stream of one
+// simulated interpreter run, replayable against any machine model
+// with counters byte-identical to direct simulation.
+//
+// Usage:
+//
+//	vmtrace record -bench gray -variant plain -o gray.vmdt
+//	vmtrace record -bench compress -variant "across bb" -scalediv 10 -o c.vmdt
+//	vmtrace replay -machine pentium4-northwood gray.vmdt
+//	vmtrace replay -verify -machine pentium-m gray.vmdt
+//	vmtrace info gray.vmdt
+//
+// record runs one (benchmark, variant) pair by direct simulation and
+// writes its dispatch trace. replay drives a machine model over a
+// trace and prints the counters; -verify additionally re-runs the
+// direct simulation from the trace's recorded configuration and fails
+// unless every counter matches byte for byte (the CI equivalence
+// smoke). info prints a trace's metadata and stream statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vmopt/internal/cpu"
+	"vmopt/internal/disptrace"
+	"vmopt/internal/harness"
+	"vmopt/internal/metrics"
+	"vmopt/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: vmtrace <record|replay|info> [flags]\n" +
+		"  record -bench NAME -variant NAME [-scalediv N] [-maxsteps N] [-machine NAME] -o FILE\n" +
+		"  replay [-machine NAME] [-jobs N] [-verify] FILE\n" +
+		"  info FILE")
+}
+
+func run(stdout io.Writer, args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "record":
+		return recordMain(stdout, args[1:])
+	case "replay":
+		return replayMain(stdout, args[1:])
+	case "info":
+		return infoMain(stdout, args[1:])
+	default:
+		return usage()
+	}
+}
+
+func recordMain(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name (see cmd/vmbench tables VI/VII)")
+	variant := fs.String("variant", "plain", "interpreter variant label (Section 7.1 lists, or \"switch\")")
+	scaleDiv := fs.Int("scalediv", 1, "divide the workload's default scale by this factor")
+	maxSteps := fs.Uint64("maxsteps", 200_000_000, "VM step bound")
+	machine := fs.String("machine", cpu.Celeron800.Name, "machine model of the recording run")
+	out := fs.String("o", "", "output trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" || *out == "" {
+		return fmt.Errorf("record: -bench and -o are required")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("record: unexpected argument %q", fs.Arg(0))
+	}
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	v, err := harness.VariantByName(w, *variant)
+	if err != nil {
+		return err
+	}
+	m, err := cpu.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	s := harness.NewSuite()
+	s.ScaleDiv = *scaleDiv
+	s.MaxSteps = *maxSteps
+
+	tr, c, err := s.RecordTrace(w, v, m)
+	if err != nil {
+		return err
+	}
+	if err := tr.Save(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %s/%s (scale %d) to %s\n", w.Name, v.Name, tr.Header.Scale, *out)
+	printStreamStats(stdout, tr)
+	fmt.Fprintf(stdout, "recording run on %s: %v\n", m.Name, c)
+	return nil
+}
+
+func replayMain(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	machine := fs.String("machine", cpu.Celeron800.Name, "machine model to replay on")
+	jobs := fs.Int("jobs", 4, "parallel segment-decode goroutines")
+	verify := fs.Bool("verify", false, "re-run the direct simulation and require byte-identical counters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: exactly one trace file expected")
+	}
+	m, err := cpu.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	tr, err := disptrace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	replayed, err := disptrace.ReplayMachine(tr, m, *jobs)
+	if err != nil {
+		return err
+	}
+	h := tr.Header
+	fmt.Fprintf(stdout, "replayed %s/%s (scale %d) on %s\n", h.Workload, h.Variant, h.Scale, m.Name)
+	fmt.Fprintf(stdout, "counters: %v\n", replayed)
+	if !*verify {
+		return nil
+	}
+	direct, err := directRun(tr, m)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if direct != replayed {
+		return fmt.Errorf("verify FAILED: replay diverged from direct simulation\n  direct   %+v\n  replayed %+v", direct, replayed)
+	}
+	fmt.Fprintf(stdout, "verify OK: replay byte-identical to direct simulation on %s\n", m.Name)
+	return nil
+}
+
+// directRun re-creates the recorded configuration from the trace
+// header and runs it by direct simulation on m (the suite carries no
+// trace cache, so nothing recorded is reused).
+func directRun(tr *disptrace.Trace, m cpu.Machine) (metrics.Counters, error) {
+	h := tr.Header
+	w, err := workload.ByName(h.Workload)
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	v, err := harness.VariantByName(w, h.Variant)
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	s := harness.NewSuite()
+	s.ScaleDiv = int(h.ScaleDiv)
+	s.MaxSteps = h.MaxSteps
+	want := disptrace.Key{
+		Workload: h.Workload, Lang: h.Lang,
+		Variant: h.Variant, Technique: h.Technique,
+		Scale: h.Scale, ScaleDiv: h.ScaleDiv,
+		MaxSteps: h.MaxSteps, ISAHash: h.ISAHash,
+	}
+	if got := s.TraceKey(w, v); got != want {
+		return metrics.Counters{}, fmt.Errorf("trace no longer matches the current build (workload scale or ISA changed):\n  trace   %+v\n  current %+v", want, got)
+	}
+	return s.Run(w, v, m)
+}
+
+func infoMain(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: exactly one trace file expected")
+	}
+	tr, err := disptrace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	h := tr.Header
+	fmt.Fprintf(stdout, "workload:   %s (%s)\n", h.Workload, h.Lang)
+	fmt.Fprintf(stdout, "variant:    %s (technique %s)\n", h.Variant, h.Technique)
+	fmt.Fprintf(stdout, "scale:      %d (scalediv %d, maxsteps %d)\n", h.Scale, h.ScaleDiv, h.MaxSteps)
+	fmt.Fprintf(stdout, "isa hash:   %#016x\n", h.ISAHash)
+	printStreamStats(stdout, tr)
+	return tr.Verify()
+}
+
+func printStreamStats(w io.Writer, tr *disptrace.Trace) {
+	h := tr.Header
+	var bytes int
+	for _, s := range tr.Segs {
+		bytes += len(s.Data)
+	}
+	fmt.Fprintf(w, "stream:     %d records (%d dispatches, %d fetches, %d work instrs) in %d segments, %d payload bytes\n",
+		h.Records, h.Dispatches, h.Fetches, h.WorkInstrs, len(tr.Segs), bytes)
+	fmt.Fprintf(w, "totals:     %d VM instructions, %d generated code bytes\n", h.VMInstructions, h.CodeBytes)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecordReplayInfoVerify walks the full CLI surface: record a
+// small trace, inspect it, replay it on a different machine, and
+// verify byte-identical equivalence against direct simulation.
+func TestRecordReplayInfoVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gray.vmdt")
+
+	var rec bytes.Buffer
+	err := run(&rec, []string{"record", "-bench", "gray", "-variant", "plain",
+		"-scalediv", "40", "-o", path})
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !strings.Contains(rec.String(), "recorded gray/plain") {
+		t.Errorf("record output unexpected:\n%s", rec.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+
+	var info bytes.Buffer
+	if err := run(&info, []string{"info", path}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, want := range []string{"workload:   gray (forth)", "variant:    plain", "dispatches"} {
+		if !strings.Contains(info.String(), want) {
+			t.Errorf("info output missing %q:\n%s", want, info.String())
+		}
+	}
+
+	// Replay on a machine other than the recording one, with
+	// -verify: the command itself asserts byte-identity.
+	var rep bytes.Buffer
+	err = run(&rep, []string{"replay", "-machine", "pentium4-northwood", "-verify", path})
+	if err != nil {
+		t.Fatalf("replay -verify: %v", err)
+	}
+	if !strings.Contains(rep.String(), "verify OK") {
+		t.Errorf("verify did not report OK:\n%s", rep.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"frobnicate"},
+		{"record", "-o", "x.vmdt"},   // missing -bench
+		{"record", "-bench", "gray"}, // missing -o
+		{"record", "-bench", "nosuch", "-o", "x"},
+		{"replay"},                            // missing file
+		{"replay", "a", "b"},                  // too many files
+		{"replay", "-machine", "nosuch", "x"}, // unknown machine
+		{"info"},
+	} {
+		if err := run(io.Discard, args); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}
+
+func TestReplayRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.vmdt")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, []string{"replay", path}); err == nil {
+		t.Error("corrupt trace must error")
+	}
+	if err := run(io.Discard, []string{"info", path}); err == nil {
+		t.Error("corrupt trace must error in info too")
+	}
+}

@@ -6,6 +6,31 @@ import (
 	"vmopt/internal/metrics"
 )
 
+// Sink observes the event stream an interpreter run feeds into a Sim.
+//
+// The stream is machine-independent: the interpreter core decides
+// every argument from the VM program and the code-layout plan alone,
+// and the Sim never feeds back into execution. Recording the stream
+// once therefore suffices to reproduce the counters of the same run
+// on any Machine (any predictor, BTB geometry, I-cache or penalty) by
+// replaying it — see internal/disptrace.
+//
+// RecordDispatch observes Dispatch calls only; the engine issues
+// every indirect branch as a dispatch, so the two counters coincide
+// on recorded streams.
+type Sink interface {
+	// RecordWork observes Work(n).
+	RecordWork(n int)
+	// RecordFetch observes Fetch(addr, size).
+	RecordFetch(addr uint64, size int)
+	// RecordDispatch observes Dispatch(branch, hint, target).
+	RecordDispatch(branch, hint, target uint64)
+	// RecordVMInst observes VMInst.
+	RecordVMInst()
+	// RecordCodeBytes observes AddCodeBytes(n).
+	RecordCodeBytes(n uint64)
+}
+
 // Sim is one simulated processor instance: predictor, I-cache and the
 // accumulated counters. The interpreter core drives it with three
 // event kinds: straight-line work, instruction fetch, and indirect
@@ -15,6 +40,10 @@ type Sim struct {
 	Pred    btb.Predictor
 	IC      *icache.Cache
 	C       metrics.Counters
+
+	// Sink, when non-nil, receives a copy of every event driven into
+	// the simulator (trace recording). It does not alter accounting.
+	Sink Sink
 }
 
 // NewSim builds a simulator for the machine.
@@ -24,6 +53,9 @@ func NewSim(m Machine) *Sim {
 
 // Work retires n straight-line native instructions.
 func (s *Sim) Work(n int) {
+	if s.Sink != nil {
+		s.Sink.RecordWork(n)
+	}
 	s.C.Instructions += uint64(n)
 	s.C.Cycles += float64(n) * s.Machine.CPI
 }
@@ -31,6 +63,9 @@ func (s *Sim) Work(n int) {
 // Fetch runs the byte range [addr, addr+size) through the I-cache and
 // charges miss penalties.
 func (s *Sim) Fetch(addr uint64, size int) {
+	if s.Sink != nil {
+		s.Sink.RecordFetch(addr, size)
+	}
 	misses := s.IC.Touch(addr, size)
 	if misses > 0 {
 		s.C.ICacheMisses += uint64(misses)
@@ -56,15 +91,28 @@ func (s *Sim) Indirect(branch, hint, target uint64) bool {
 // Dispatch is Indirect plus the dispatch counter (VM instruction
 // dispatches are the indirect branches the paper's techniques target).
 func (s *Sim) Dispatch(branch, hint, target uint64) bool {
+	if s.Sink != nil {
+		s.Sink.RecordDispatch(branch, hint, target)
+	}
 	s.C.Dispatches++
 	return s.Indirect(branch, hint, target)
 }
 
 // VMInst counts one executed VM instruction.
-func (s *Sim) VMInst() { s.C.VMInstructions++ }
+func (s *Sim) VMInst() {
+	if s.Sink != nil {
+		s.Sink.RecordVMInst()
+	}
+	s.C.VMInstructions++
+}
 
 // AddCodeBytes records run-time generated code (dynamic techniques).
-func (s *Sim) AddCodeBytes(n uint64) { s.C.CodeBytes += n }
+func (s *Sim) AddCodeBytes(n uint64) {
+	if s.Sink != nil {
+		s.Sink.RecordCodeBytes(n)
+	}
+	s.C.CodeBytes += n
+}
 
 // Reset clears counters, predictor and cache state.
 func (s *Sim) Reset() {

@@ -1,0 +1,144 @@
+package disptrace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"vmopt/internal/runner"
+)
+
+// Key identifies a dispatch stream: everything that determines the
+// event sequence. The machine model is deliberately absent — one
+// trace serves every machine (see cpu.Sink).
+//
+// Variant is the harness variant label; labels are unique per
+// configuration within an experiment grid (sweep variants encode
+// their budgets in the label), so the label together with scale,
+// divisor, step bound and ISA fingerprint pins the stream down.
+type Key struct {
+	Workload  string
+	Lang      string
+	Variant   string
+	Technique string
+	Scale     uint64
+	ScaleDiv  uint64
+	MaxSteps  uint64
+	ISAHash   uint64
+}
+
+// ID returns the content address of the key: a sha256 over the format
+// version and every field, rendered as hex. It names the cache file.
+func (k Key) ID() string {
+	h := sha256.Sum256(fmt.Appendf(nil, "vmdt%d|%s|%s|%s|%s|%d|%d|%d|%x",
+		Version, k.Workload, k.Lang, k.Variant, k.Technique,
+		k.Scale, k.ScaleDiv, k.MaxSteps, k.ISAHash))
+	return hex.EncodeToString(h[:])
+}
+
+// Header returns the trace header a recording for this key should
+// carry (stream totals zero; the writer fills them).
+func (k Key) Header() Header {
+	return Header{
+		Workload: k.Workload, Lang: k.Lang,
+		Variant: k.Variant, Technique: k.Technique,
+		Scale: k.Scale, ScaleDiv: k.ScaleDiv,
+		MaxSteps: k.MaxSteps, ISAHash: k.ISAHash,
+	}
+}
+
+// matches reports whether a loaded trace's header describes this key
+// (belt and braces over the content address: a stale or hand-renamed
+// file is rejected instead of silently replayed).
+func (k Key) matches(h Header) bool {
+	return h.Workload == k.Workload && h.Lang == k.Lang &&
+		h.Variant == k.Variant && h.Technique == k.Technique &&
+		h.Scale == k.Scale && h.ScaleDiv == k.ScaleDiv &&
+		h.MaxSteps == k.MaxSteps && h.ISAHash == k.ISAHash
+}
+
+// Cache is a content-addressed on-disk trace store: traces live under
+// Dir as <key-id>.vmdt. Concurrent recordings of the same key are
+// deduplicated in-process (runner.Flight); distinct processes sharing
+// a directory stay safe through atomic writes, at worst recording the
+// same trace twice.
+//
+// Loaded traces are not memoized in memory: a full experiment grid
+// touches hundreds of megabytes of traces, and the OS page cache
+// already makes re-reading a warm file cheap.
+type Cache struct {
+	// Dir is the cache directory (created on first store).
+	Dir string
+
+	flight runner.Flight[string, cacheOutcome]
+}
+
+// cacheOutcome is one GetOrRecord result shared across a flight.
+type cacheOutcome struct {
+	t        *Trace
+	recorded bool
+}
+
+// NewCache returns a cache rooted at dir.
+func NewCache(dir string) *Cache { return &Cache{Dir: dir} }
+
+// Path returns the file a key's trace is stored at.
+func (c *Cache) Path(k Key) string {
+	return filepath.Join(c.Dir, k.ID()+".vmdt")
+}
+
+// Load returns the cached trace for a key, or (nil, nil) on a clean
+// miss. A corrupt or mismatched cache file is removed and reported as
+// a miss so the caller re-records over it; read errors other than
+// absence (permissions, fd exhaustion) propagate — deleting a valid
+// trace over a transient I/O failure would silently discard the
+// cache.
+func (c *Cache) Load(k Key) (*Trace, error) {
+	path := c.Path(k)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("disptrace: %w", err)
+	}
+	t, err := Decode(b)
+	if err != nil {
+		// A truncated or stale file: drop it and treat as a miss
+		// rather than wedging every run on the key.
+		os.Remove(path)
+		return nil, nil
+	}
+	if !k.matches(t.Header) {
+		os.Remove(path)
+		return nil, nil
+	}
+	return t, nil
+}
+
+// GetOrRecord returns the trace for key, loading it from disk or
+// recording it with record exactly once per in-process flight.
+// recorded reports whether this call (or the flight it joined)
+// performed a fresh recording rather than a disk load.
+func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, recorded bool, err error) {
+	o, _, err := c.flight.Do(k.ID(), func() (cacheOutcome, error) {
+		if t, err := c.Load(k); err != nil {
+			return cacheOutcome{}, err
+		} else if t != nil {
+			return cacheOutcome{t: t}, nil
+		}
+		t, err := record()
+		if err != nil {
+			return cacheOutcome{}, err
+		}
+		if err := t.Save(c.Path(k)); err != nil {
+			return cacheOutcome{}, err
+		}
+		return cacheOutcome{t: t, recorded: true}, nil
+	})
+	return o.t, o.recorded, err
+}

@@ -1,0 +1,456 @@
+// Package disptrace records and replays the dispatch stream of a
+// simulated interpreter run.
+//
+// Every cell of the experiment grid re-executes the guest VM even
+// when only the machine model differs, yet the event stream the
+// interpreter core drives into cpu.Sim — straight-line work,
+// instruction fetches and indirect dispatches — depends only on the
+// (workload, variant, scale) triple, never on the machine (cpu.Sim
+// does not feed back into execution). This package captures that
+// stream once in a versioned, compact binary format and replays it
+// through any btb.Predictor and icache model, reproducing the full
+// counter set of a direct simulation byte for byte: integer counters
+// trivially, and the float cycle counters too, because replay applies
+// the exact same sequence of float additions in the exact same order.
+//
+// The on-disk format is:
+//
+//	magic "VMDT" | version u16 LE | crc32 u32 LE (of everything after)
+//	header block  (length-prefixed; versioned metadata + totals)
+//	segment index (record count and byte length per segment)
+//	segment payloads
+//
+// Records are varint-encoded with per-segment delta bases for
+// addresses, so each segment decodes independently and a replay can
+// decode segments on parallel goroutines while applying them in
+// order.
+package disptrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Version is the trace format version this package writes. Readers
+// reject other versions.
+const Version = 1
+
+// magic identifies a dispatch trace file.
+var magic = [4]byte{'V', 'M', 'D', 'T'}
+
+// DefaultSegmentRecords is the number of records per segment the
+// writer targets: small enough for parallel decode granularity and
+// bounded per-segment decode memory, large enough to amortize
+// per-segment overhead.
+const DefaultSegmentRecords = 1 << 16
+
+// Record tag space. Tags >= tagWorkBase inline small work counts into
+// the tag byte itself.
+//
+// The two step tags fuse the engine's fixed per-VM-instruction call
+// shapes into one record each — the overwhelming majority of the
+// stream. A fall-through step is Work, Fetch, Work and a dispatching
+// step is Work, Fetch, Work, Fetch, Dispatch with the second fetch
+// hitting the dispatch branch address; fusing them cuts the record
+// count about 5x, which is what makes replay decode cheaper than
+// re-running the interpreter. Decoding expands a fused record back
+// into its constituent events, so the logical stream (and therefore
+// the replayed float cycle ordering) is unchanged.
+const (
+	tagWorkExt  = 0 // Work(n), n as uvarint (n > maxInlineWork)
+	tagFetch    = 1 // Fetch: varint addr delta, uvarint size
+	tagDispatch = 2 // Dispatch: varint branch delta, uvarint hint, varint target delta
+	// tagStepSeq is Work(w), Fetch(a, s), Work(sw):
+	// uvarint w, varint addr delta, uvarint s, uvarint sw.
+	tagStepSeq = 3
+	// tagStepDisp is Work(w), Fetch(a, s), Work(dw), Fetch(branch, ds),
+	// Dispatch(branch, hint, target): uvarint w, varint addr delta,
+	// uvarint s, uvarint dw, uvarint ds, varint branch delta,
+	// uvarint hint, varint target delta. The fetch-address chain
+	// continues at branch (the step's last fetch).
+	tagStepDisp = 4
+	tagWorkBase = 5 // Work(tag - tagWorkBase) for tag in [5, 255]
+
+	maxInlineWork = 255 - tagWorkBase
+)
+
+// Kind classifies a decoded trace record.
+type Kind uint8
+
+const (
+	// KWork is n straight-line native instructions (A = n).
+	KWork Kind = iota
+	// KFetch is an instruction fetch (A = addr, B = size).
+	KFetch
+	// KDispatch is an indirect dispatch (A = branch, B = hint,
+	// C = target).
+	KDispatch
+)
+
+// Record is one decoded trace event. Field meaning depends on Kind;
+// see the Kind constants.
+type Record struct {
+	Kind    Kind
+	A, B, C uint64
+}
+
+// Header carries the trace metadata: what was recorded (enough to
+// re-create the recording run for verification) plus stream totals.
+type Header struct {
+	// Workload, Lang, Variant and Technique identify the recorded
+	// configuration (workload.Workload name and language, harness
+	// variant label, core.Technique name).
+	Workload  string
+	Lang      string
+	Variant   string
+	Technique string
+	// Scale is the absolute workload scale of the recording run;
+	// ScaleDiv is the suite divisor it was derived from (needed to
+	// reproduce the training runs of static variants, whose profiles
+	// run at the same divisor).
+	Scale    uint64
+	ScaleDiv uint64
+	// MaxSteps is the VM step bound of the recording run.
+	MaxSteps uint64
+	// ISAHash fingerprints the VM instruction set (HashISA); a trace
+	// is only valid against the ISA it was recorded under.
+	ISAHash uint64
+
+	// VMInstructions and CodeBytes are stream totals that need no
+	// ordering (pure integer accumulation): executed VM instructions
+	// and run-time generated code bytes.
+	VMInstructions uint64
+	CodeBytes      uint64
+	// Records counts encoded (physical) records — fused step records
+	// count once. Dispatches, Fetches and WorkInstrs count logical
+	// events: dispatch and fetch events after expansion, and the sum
+	// of all work amounts.
+	Records    uint64
+	Dispatches uint64
+	Fetches    uint64
+	WorkInstrs uint64
+}
+
+// Segment is one independently decodable chunk of the record stream.
+type Segment struct {
+	// Data is the encoded payload (delta bases reset at the segment
+	// start).
+	Data []byte
+	// Records is the number of records encoded in Data.
+	Records int
+}
+
+// Trace is a complete dispatch trace: header plus encoded segments.
+type Trace struct {
+	Header Header
+	Segs   []Segment
+}
+
+// maxStringLen bounds length-prefixed strings during decoding so a
+// corrupt header cannot force a huge allocation.
+const maxStringLen = 1 << 16
+
+// byteReader is a bounds-checked cursor over an encoded buffer. After
+// any method reports failure the cursor stays failed ("sticky
+// error"), so decode paths can defer a single error check.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("disptrace: truncated or malformed uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("disptrace: truncated or malformed varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("disptrace: truncated stream at offset %d", r.off)
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *byteReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen || int(n) > len(r.b)-r.off {
+		r.fail("disptrace: string length %d out of range at offset %d", n, r.off)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b)-r.off {
+		r.fail("disptrace: byte range %d out of bounds at offset %d", n, r.off)
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeHeader serializes the header block (without its length
+// prefix).
+func encodeHeader(h Header) []byte {
+	b := appendString(nil, h.Workload)
+	b = appendString(b, h.Lang)
+	b = appendString(b, h.Variant)
+	b = appendString(b, h.Technique)
+	for _, v := range []uint64{
+		h.Scale, h.ScaleDiv, h.MaxSteps, h.ISAHash,
+		h.VMInstructions, h.CodeBytes,
+		h.Records, h.Dispatches, h.Fetches, h.WorkInstrs,
+	} {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func decodeHeader(b []byte) (Header, error) {
+	r := &byteReader{b: b}
+	var h Header
+	h.Workload = r.string()
+	h.Lang = r.string()
+	h.Variant = r.string()
+	h.Technique = r.string()
+	for _, p := range []*uint64{
+		&h.Scale, &h.ScaleDiv, &h.MaxSteps, &h.ISAHash,
+		&h.VMInstructions, &h.CodeBytes,
+		&h.Records, &h.Dispatches, &h.Fetches, &h.WorkInstrs,
+	} {
+		*p = r.uvarint()
+	}
+	if r.err != nil {
+		return Header{}, r.err
+	}
+	if r.off != len(b) {
+		return Header{}, fmt.Errorf("disptrace: %d trailing bytes after header", len(b)-r.off)
+	}
+	return h, nil
+}
+
+// Encode serializes the trace to its on-disk byte form.
+func (t *Trace) Encode() []byte {
+	hdr := encodeHeader(t.Header)
+	body := binary.AppendUvarint(nil, uint64(len(hdr)))
+	body = append(body, hdr...)
+	body = binary.AppendUvarint(body, uint64(len(t.Segs)))
+	for _, s := range t.Segs {
+		body = binary.AppendUvarint(body, uint64(len(s.Data)))
+		body = binary.AppendUvarint(body, uint64(s.Records))
+	}
+	for _, s := range t.Segs {
+		body = append(body, s.Data...)
+	}
+
+	out := make([]byte, 0, 4+2+4+len(body))
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	return append(out, body...)
+}
+
+// Decode parses an encoded trace, validating the magic, version and
+// checksum and bounds-checking every field. Corrupt input yields an
+// error, never a panic.
+func Decode(b []byte) (*Trace, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("disptrace: %d bytes is too short for a trace", len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, fmt.Errorf("disptrace: bad magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
+		return nil, fmt.Errorf("disptrace: unsupported trace version %d (want %d)", v, Version)
+	}
+	body := b[10:]
+	if sum := binary.LittleEndian.Uint32(b[6:10]); sum != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("disptrace: checksum mismatch (corrupt trace)")
+	}
+
+	r := &byteReader{b: body}
+	hdrLen := r.uvarint()
+	if r.err == nil && hdrLen > uint64(len(body)) {
+		r.fail("disptrace: header length %d exceeds trace size", hdrLen)
+	}
+	hdrBytes := r.bytes(int(hdrLen))
+	if r.err != nil {
+		return nil, r.err
+	}
+	h, err := decodeHeader(hdrBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	segCount := r.uvarint()
+	if r.err == nil && segCount > uint64(len(body)) {
+		// Each segment costs at least one index byte, so this bounds
+		// the index allocation by the input size.
+		r.fail("disptrace: segment count %d exceeds trace size", segCount)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	type segInfo struct{ bytes, records uint64 }
+	infos := make([]segInfo, segCount)
+	var totalRecords uint64
+	for i := range infos {
+		infos[i].bytes = r.uvarint()
+		infos[i].records = r.uvarint()
+		totalRecords += infos[i].records
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if totalRecords != h.Records {
+		return nil, fmt.Errorf("disptrace: index holds %d records, header says %d", totalRecords, h.Records)
+	}
+
+	t := &Trace{Header: h, Segs: make([]Segment, segCount)}
+	for i := range t.Segs {
+		if infos[i].bytes > math.MaxInt32 || infos[i].records > math.MaxInt32 {
+			return nil, fmt.Errorf("disptrace: segment %d size out of range", i)
+		}
+		// Every record costs at least its tag byte, so a record count
+		// above the payload size is corrupt; checking here also keeps
+		// decode-time allocations proportional to the input.
+		if infos[i].records > infos[i].bytes {
+			return nil, fmt.Errorf("disptrace: segment %d claims %d records in %d bytes", i, infos[i].records, infos[i].bytes)
+		}
+		t.Segs[i] = Segment{Data: r.bytes(int(infos[i].bytes)), Records: int(infos[i].records)}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("disptrace: %d trailing bytes after segments", len(body)-r.off)
+	}
+	return t, nil
+}
+
+// Decode expands the segment into logical records, appending to dst
+// (which may be nil): fused step records come back as their
+// constituent Work/Fetch/Dispatch events. Delta bases start at zero,
+// matching the writer's per-segment reset.
+func (s Segment) Decode(dst []Record) ([]Record, error) {
+	r := &byteReader{b: s.Data}
+	var prevFetch, prevBranch, prevTarget uint64
+	if cap(dst)-len(dst) < s.Records {
+		grown := make([]Record, len(dst), len(dst)+s.Records)
+		copy(grown, dst)
+		dst = grown
+	}
+	for range s.Records {
+		tag := r.byte()
+		switch {
+		case tag >= tagWorkBase:
+			dst = append(dst, Record{Kind: KWork, A: uint64(tag - tagWorkBase)})
+		case tag == tagWorkExt:
+			dst = append(dst, Record{Kind: KWork, A: r.uvarint()})
+		case tag == tagFetch:
+			prevFetch += uint64(r.varint())
+			dst = append(dst, Record{Kind: KFetch, A: prevFetch, B: r.uvarint()})
+		case tag == tagDispatch:
+			prevBranch += uint64(r.varint())
+			hint := r.uvarint()
+			prevTarget += uint64(r.varint())
+			dst = append(dst, Record{Kind: KDispatch, A: prevBranch, B: hint, C: prevTarget})
+		case tag == tagStepSeq:
+			w := r.uvarint()
+			prevFetch += uint64(r.varint())
+			size := r.uvarint()
+			sw := r.uvarint()
+			dst = append(dst,
+				Record{Kind: KWork, A: w},
+				Record{Kind: KFetch, A: prevFetch, B: size},
+				Record{Kind: KWork, A: sw})
+		case tag == tagStepDisp:
+			w := r.uvarint()
+			prevFetch += uint64(r.varint())
+			size := r.uvarint()
+			dw := r.uvarint()
+			ds := r.uvarint()
+			prevBranch += uint64(r.varint())
+			hint := r.uvarint()
+			prevTarget += uint64(r.varint())
+			dst = append(dst,
+				Record{Kind: KWork, A: w},
+				Record{Kind: KFetch, A: prevFetch, B: size},
+				Record{Kind: KWork, A: dw},
+				Record{Kind: KFetch, A: prevBranch, B: ds},
+				Record{Kind: KDispatch, A: prevBranch, B: hint, C: prevTarget})
+			prevFetch = prevBranch // the step's last fetch was the branch
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if r.off != len(s.Data) {
+		return nil, fmt.Errorf("disptrace: %d trailing bytes after %d segment records", len(s.Data)-r.off, s.Records)
+	}
+	return dst, nil
+}
+
+// Records decodes the full record stream (all segments, in order).
+func (t *Trace) Records() ([]Record, error) {
+	var out []Record
+	if t.Header.Records <= math.MaxInt32 {
+		out = make([]Record, 0, t.Header.Records)
+	}
+	for _, s := range t.Segs {
+		var err error
+		if out, err = s.Decode(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+package disptrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"vmopt/internal/core"
+	"vmopt/internal/cpu"
+	"vmopt/internal/metrics"
+)
+
+// Replay drives sim over the trace: every recorded event is applied
+// through the same cpu.Sim entry points the engine used while
+// recording, in the same order, so the resulting counters — the float
+// cycle counters included — are byte-identical to the direct
+// simulation the trace was recorded from (on any machine model, since
+// the stream is machine-independent; see cpu.Sink).
+//
+// jobs > 1 decodes segments on that many goroutines while applying
+// them strictly in order (the predictor and I-cache are sequential
+// state machines; only the varint decode parallelizes). jobs <= 1
+// replays fully sequentially.
+//
+// Replay appends to sim's existing counters like a direct run would;
+// use a fresh sim for a fresh result. sim.Sink is ignored during
+// replay (replaying must not re-record).
+func Replay(t *Trace, sim *cpu.Sim, jobs int) error {
+	if jobs <= 1 || len(t.Segs) <= 1 {
+		return ReplayEach(t, []*cpu.Sim{sim})
+	}
+	savedSink := sim.Sink
+	sim.Sink = nil
+	defer func() { sim.Sink = savedSink }()
+
+	// The engine credits dynamic code bytes before stepping; neither
+	// ordering affects cycles (integer-only), so totals suffice.
+	sim.AddCodeBytes(t.Header.CodeBytes)
+	if err := applyParallel(t, sim, jobs); err != nil {
+		return err
+	}
+	sim.C.VMInstructions += t.Header.VMInstructions
+	return nil
+}
+
+// ReplayEach replays the trace into several simulators at once with a
+// single decode pass: per record, the event is applied to every sim
+// in order. This is how a grid that varies only the machine amortizes
+// the decode — one trace read serves N machines. Each sim sees the
+// exact event sequence a solo Replay would deliver, so the per-sim
+// counters stay byte-identical to direct simulation.
+func ReplayEach(t *Trace, sims []*cpu.Sim) error {
+	if len(sims) == 0 {
+		return nil
+	}
+	saved := make([]cpu.Sink, len(sims))
+	for i, sim := range sims {
+		saved[i], sim.Sink = sim.Sink, nil
+		sim.AddCodeBytes(t.Header.CodeBytes)
+	}
+	defer func() {
+		for i, sim := range sims {
+			sim.Sink = saved[i]
+		}
+	}()
+	for _, s := range t.Segs {
+		if err := s.applyEach(sims); err != nil {
+			return err
+		}
+	}
+	for _, sim := range sims {
+		sim.C.VMInstructions += t.Header.VMInstructions
+	}
+	return nil
+}
+
+// applyEach decodes the segment straight into the simulators, fused
+// in one pass: no intermediate Record slice is materialized, which is
+// what makes replay cheaper than re-running the interpreter (a trace
+// stores a few bytes per event, and streaming those bytes beats
+// writing and re-reading 32-byte records through the cache).
+func (s Segment) applyEach(sims []*cpu.Sim) error {
+	b := s.Data
+	var prevFetch, prevBranch, prevTarget uint64
+	i := 0
+	// uv/sv are inlined-fast-path varint reads; they set ok=false on
+	// malformed input and leave the error to the single check below.
+	ok := true
+	uv := func() uint64 {
+		if i < len(b) && b[i] < 0x80 {
+			v := uint64(b[i])
+			i++
+			return v
+		}
+		v, k := binary.Uvarint(b[i:])
+		if k <= 0 {
+			ok = false
+			return 0
+		}
+		i += k
+		return v
+	}
+	sv := func() int64 {
+		if i < len(b) && b[i] < 0x80 {
+			ux := uint64(b[i])
+			i++
+			return int64(ux>>1) ^ -int64(ux&1) // zigzag
+		}
+		v, k := binary.Varint(b[i:])
+		if k <= 0 {
+			ok = false
+			return 0
+		}
+		i += k
+		return v
+	}
+	for n := 0; n < s.Records; n++ {
+		if i >= len(b) {
+			return fmt.Errorf("disptrace: truncated segment at record %d", n)
+		}
+		tag := b[i]
+		i++
+		switch {
+		case tag >= tagWorkBase:
+			for _, sim := range sims {
+				sim.Work(int(tag - tagWorkBase))
+			}
+		case tag == tagWorkExt:
+			v := uv()
+			for _, sim := range sims {
+				sim.Work(int(v))
+			}
+		case tag == tagFetch:
+			prevFetch += uint64(sv())
+			size := uv()
+			for _, sim := range sims {
+				sim.Fetch(prevFetch, int(size))
+			}
+		case tag == tagDispatch:
+			prevBranch += uint64(sv())
+			hint := uv()
+			prevTarget += uint64(sv())
+			for _, sim := range sims {
+				sim.Dispatch(prevBranch, hint, prevTarget)
+			}
+		case tag == tagStepSeq:
+			w := uv()
+			prevFetch += uint64(sv())
+			size := uv()
+			sw := uv()
+			if !ok {
+				return fmt.Errorf("disptrace: malformed record %d", n)
+			}
+			for _, sim := range sims {
+				sim.Work(int(w))
+				sim.Fetch(prevFetch, int(size))
+				sim.Work(int(sw))
+			}
+		default: // tagStepDisp
+			w := uv()
+			prevFetch += uint64(sv())
+			size := uv()
+			dw := uv()
+			ds := uv()
+			prevBranch += uint64(sv())
+			hint := uv()
+			prevTarget += uint64(sv())
+			if !ok {
+				return fmt.Errorf("disptrace: malformed record %d", n)
+			}
+			for _, sim := range sims {
+				sim.Work(int(w))
+				sim.Fetch(prevFetch, int(size))
+				sim.Work(int(dw))
+				sim.Fetch(prevBranch, int(ds))
+				sim.Dispatch(prevBranch, hint, prevTarget)
+			}
+			prevFetch = prevBranch
+		}
+		if !ok {
+			return fmt.Errorf("disptrace: malformed record %d", n)
+		}
+	}
+	if i != len(b) {
+		return fmt.Errorf("disptrace: %d trailing bytes after %d segment records", len(b)-i, s.Records)
+	}
+	return nil
+}
+
+// ReplayMachine replays the trace on a fresh simulator for machine m
+// and returns the counters.
+func ReplayMachine(t *Trace, m cpu.Machine, jobs int) (metrics.Counters, error) {
+	sim := cpu.NewSim(m)
+	if err := Replay(t, sim, jobs); err != nil {
+		return metrics.Counters{}, err
+	}
+	return sim.C, nil
+}
+
+// apply feeds decoded records into the simulator.
+func apply(sim *cpu.Sim, recs []Record) {
+	for _, r := range recs {
+		switch r.Kind {
+		case KWork:
+			sim.Work(int(r.A))
+		case KFetch:
+			sim.Fetch(r.A, int(r.B))
+		case KDispatch:
+			sim.Dispatch(r.A, r.B, r.C)
+		}
+	}
+}
+
+// applyParallel decodes segments on a bounded pool and applies them
+// in order: decode i+1..i+jobs overlaps with applying segment i.
+func applyParallel(t *Trace, sim *cpu.Sim, jobs int) error {
+	type decoded struct {
+		recs []Record
+		err  error
+	}
+	// Buffered result slot per segment so decoders never block on the
+	// consumer; the semaphore bounds in-flight decoded segments.
+	slots := make([]chan decoded, len(t.Segs))
+	for i := range slots {
+		slots[i] = make(chan decoded, 1)
+	}
+	sem := make(chan struct{}, jobs)
+	go func() {
+		for i := range t.Segs {
+			sem <- struct{}{}
+			go func(i int) {
+				recs, err := t.Segs[i].Decode(nil)
+				slots[i] <- decoded{recs, err}
+			}(i)
+		}
+	}()
+	var firstErr error
+	for i := range t.Segs {
+		d := <-slots[i]
+		<-sem
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		if firstErr == nil {
+			apply(sim, d.recs)
+		}
+		// Keep draining so every decoder goroutine finishes even
+		// after an error.
+	}
+	return firstErr
+}
+
+// Verify checks the decoded stream against the header totals; a trace
+// that passes Decode's checksum should also pass this, but Verify
+// catches writer bugs and hand-edited traces.
+func (t *Trace) Verify() error {
+	var records, dispatches, fetches, work uint64
+	var recs []Record
+	for _, s := range t.Segs {
+		var err error
+		if recs, err = s.Decode(recs[:0]); err != nil {
+			return err
+		}
+		records += uint64(s.Records) // physical records; fused steps expand on decode
+		for _, r := range recs {
+			switch r.Kind {
+			case KWork:
+				work += r.A
+			case KFetch:
+				fetches++
+			case KDispatch:
+				dispatches++
+			}
+		}
+	}
+	h := t.Header
+	if records != h.Records || dispatches != h.Dispatches || fetches != h.Fetches || work != h.WorkInstrs {
+		return fmt.Errorf("disptrace: stream totals (%d records, %d dispatches, %d fetches, %d work) disagree with header (%d, %d, %d, %d)",
+			records, dispatches, fetches, work, h.Records, h.Dispatches, h.Fetches, h.WorkInstrs)
+	}
+	return nil
+}
+
+// HashISA fingerprints a VM instruction set: the name, opcode count
+// and every opcode's metadata. Trace keys include it so a trace
+// recorded under one ISA revision is never replayed against another
+// (the work/byte cost tables feed directly into the stream).
+func HashISA(isa core.ISA) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", isa.Name(), isa.NumOps())
+	for op := 0; op < isa.NumOps(); op++ {
+		m := isa.Meta(uint32(op))
+		fmt.Fprintf(h, "|%s,%v,%d,%d,%v,%v,%d,%d,%v,%v,%v,%v,%v",
+			m.Name, m.HasArg, m.Work, m.Bytes, m.Relocatable,
+			m.Quickable, m.QuickWork, m.QuickBytesMax,
+			m.Branch, m.Call, m.Return, m.Indirect, m.Stop)
+	}
+	return h.Sum64()
+}

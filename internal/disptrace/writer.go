@@ -1,0 +1,254 @@
+package disptrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Writer records the event stream of one simulated run into an
+// in-memory trace. It implements cpu.Sink: attach it to a cpu.Sim and
+// run the engine, then call Trace to finalize.
+//
+// The writer buffers up to four events to recognize the engine's
+// per-step shapes and emit them as fused step records (tagStepSeq /
+// tagStepDisp); any sequence that breaks a pattern is flushed as
+// plain records, so arbitrary streams remain encodable. Records are
+// buffered per segment with delta bases reset at every segment
+// boundary, so the finished trace decodes segment-parallel.
+type Writer struct {
+	h          Header
+	segLimit   int
+	cur        []byte
+	curRecords int
+	segs       []Segment
+
+	prevFetch, prevBranch, prevTarget uint64
+
+	// pending holds buffered events not yet emitted; only the prefix
+	// shapes [W], [W,F], [W,F,W], [W,F,W,F] occur.
+	pending [4]pendingEvent
+	npend   int
+}
+
+// pendingEvent is one buffered Work (a = n) or Fetch (a = addr,
+// b = size) awaiting pattern resolution.
+type pendingEvent struct {
+	kind Kind
+	a, b uint64
+}
+
+// NewWriter starts a trace with the given metadata (the writer fills
+// the stream totals itself).
+func NewWriter(h Header) *Writer {
+	h.VMInstructions = 0
+	h.CodeBytes = 0
+	h.Records = 0
+	h.Dispatches = 0
+	h.Fetches = 0
+	h.WorkInstrs = 0
+	return &Writer{h: h, segLimit: DefaultSegmentRecords}
+}
+
+// endRecord accounts one appended record and seals the segment at the
+// limit.
+func (w *Writer) endRecord() {
+	w.h.Records++
+	w.curRecords++
+	if w.curRecords >= w.segLimit {
+		w.flushSegment()
+	}
+}
+
+func (w *Writer) flushSegment() {
+	if w.curRecords == 0 {
+		return
+	}
+	w.segs = append(w.segs, Segment{Data: w.cur, Records: w.curRecords})
+	w.cur = nil
+	w.curRecords = 0
+	w.prevFetch, w.prevBranch, w.prevTarget = 0, 0, 0
+}
+
+// emitWork appends a plain work record.
+func (w *Writer) emitWork(n uint64) {
+	if n <= maxInlineWork {
+		w.cur = append(w.cur, byte(tagWorkBase+n))
+	} else {
+		w.cur = append(w.cur, tagWorkExt)
+		w.cur = binary.AppendUvarint(w.cur, n)
+	}
+	w.endRecord()
+}
+
+// emitFetch appends a plain fetch record.
+func (w *Writer) emitFetch(addr, size uint64) {
+	w.cur = append(w.cur, tagFetch)
+	w.cur = binary.AppendVarint(w.cur, int64(addr-w.prevFetch))
+	w.cur = binary.AppendUvarint(w.cur, size)
+	w.prevFetch = addr
+	w.endRecord()
+}
+
+// emitDispatch appends a plain dispatch record.
+func (w *Writer) emitDispatch(branch, hint, target uint64) {
+	w.cur = append(w.cur, tagDispatch)
+	w.cur = binary.AppendVarint(w.cur, int64(branch-w.prevBranch))
+	w.cur = binary.AppendUvarint(w.cur, hint)
+	w.cur = binary.AppendVarint(w.cur, int64(target-w.prevTarget))
+	w.prevBranch, w.prevTarget = branch, target
+	w.endRecord()
+}
+
+// emitStepSeq fuses pending [W, F, W] into one record.
+func (w *Writer) emitStepSeq() {
+	p := &w.pending
+	w.cur = append(w.cur, tagStepSeq)
+	w.cur = binary.AppendUvarint(w.cur, p[0].a)
+	w.cur = binary.AppendVarint(w.cur, int64(p[1].a-w.prevFetch))
+	w.cur = binary.AppendUvarint(w.cur, p[1].b)
+	w.cur = binary.AppendUvarint(w.cur, p[2].a)
+	w.prevFetch = p[1].a
+	w.npend = 0
+	w.endRecord()
+}
+
+// emitStepDisp fuses pending [W, F, W, F] plus the dispatch (whose
+// branch equals the second fetch address) into one record.
+func (w *Writer) emitStepDisp(branch, hint, target uint64) {
+	p := &w.pending
+	w.cur = append(w.cur, tagStepDisp)
+	w.cur = binary.AppendUvarint(w.cur, p[0].a)
+	w.cur = binary.AppendVarint(w.cur, int64(p[1].a-w.prevFetch))
+	w.cur = binary.AppendUvarint(w.cur, p[1].b)
+	w.cur = binary.AppendUvarint(w.cur, p[2].a)
+	w.cur = binary.AppendUvarint(w.cur, p[3].b)
+	w.cur = binary.AppendVarint(w.cur, int64(branch-w.prevBranch))
+	w.cur = binary.AppendUvarint(w.cur, hint)
+	w.cur = binary.AppendVarint(w.cur, int64(target-w.prevTarget))
+	w.prevFetch = branch // the step's last fetch
+	w.prevBranch, w.prevTarget = branch, target
+	w.npend = 0
+	w.endRecord()
+}
+
+// flushPending emits every buffered event as plain records.
+func (w *Writer) flushPending() {
+	for i := 0; i < w.npend; i++ {
+		p := w.pending[i]
+		if p.kind == KWork {
+			w.emitWork(p.a)
+		} else {
+			w.emitFetch(p.a, p.b)
+		}
+	}
+	w.npend = 0
+}
+
+// RecordWork implements cpu.Sink.
+func (w *Writer) RecordWork(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w.h.WorkInstrs += uint64(n)
+	switch w.npend {
+	case 0:
+		// Starts a step pattern.
+	case 2:
+		// [W, F] + W: still a valid prefix of both patterns.
+	case 3:
+		// [W, F, W] + W: the buffered events are a complete
+		// fall-through step; the new work starts the next one.
+		w.emitStepSeq()
+	default:
+		// [W] + W or [W, F, W, F] + W: no pattern fits.
+		w.flushPending()
+	}
+	w.pending[w.npend] = pendingEvent{kind: KWork, a: uint64(n)}
+	w.npend++
+}
+
+// RecordFetch implements cpu.Sink.
+func (w *Writer) RecordFetch(addr uint64, size int) {
+	if size < 0 {
+		size = 0
+	}
+	w.h.Fetches++
+	switch w.npend {
+	case 1, 3:
+		// [W] + F or [W, F, W] + F: valid prefix, keep buffering.
+		w.pending[w.npend] = pendingEvent{kind: KFetch, a: addr, b: uint64(size)}
+		w.npend++
+	default:
+		// A fetch can only follow a work inside a pattern.
+		w.flushPending()
+		w.emitFetch(addr, uint64(size))
+	}
+}
+
+// RecordDispatch implements cpu.Sink.
+func (w *Writer) RecordDispatch(branch, hint, target uint64) {
+	w.h.Dispatches++
+	if w.npend == 4 && w.pending[3].a == branch {
+		w.emitStepDisp(branch, hint, target)
+		return
+	}
+	w.flushPending()
+	w.emitDispatch(branch, hint, target)
+}
+
+// RecordVMInst implements cpu.Sink.
+func (w *Writer) RecordVMInst() { w.h.VMInstructions++ }
+
+// RecordCodeBytes implements cpu.Sink.
+func (w *Writer) RecordCodeBytes(n uint64) { w.h.CodeBytes += n }
+
+// Trace seals pending events and the current segment and returns the
+// finished trace. The writer must not be used afterwards.
+func (w *Writer) Trace() *Trace {
+	w.flushPending()
+	w.flushSegment()
+	return &Trace{Header: w.h, Segs: w.segs}
+}
+
+// Save writes the trace to path atomically (temp file + rename), so a
+// crashed or concurrent writer never leaves a half-written trace
+// behind for readers to trip over.
+func (t *Trace) Save(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("disptrace: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".vmdt-*")
+	if err != nil {
+		return fmt.Errorf("disptrace: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(t.Encode())
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("disptrace: saving %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Load reads and decodes a trace file.
+func Load(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("disptrace: %w", err)
+	}
+	t, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("disptrace: loading %s: %w", path, err)
+	}
+	return t, nil
+}

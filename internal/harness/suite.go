@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"vmopt/internal/core"
 	"vmopt/internal/cpu"
+	"vmopt/internal/disptrace"
 	"vmopt/internal/metrics"
 	"vmopt/internal/runner"
 	"vmopt/internal/superinst"
@@ -17,7 +17,9 @@ import (
 // Suite runs benchmark/variant/machine combinations with caching of
 // both results and trained static instruction sets. Experiment grids
 // execute on the internal/runner worker pool; Jobs, Progress and Ctx
-// control that pool for every experiment the suite runs.
+// control that pool for every experiment the suite runs. In-memory
+// caches sit behind runner.Group, so a parallel grid computes each
+// training profile and each result exactly once.
 type Suite struct {
 	// ScaleDiv divides each workload's default scale (tests and
 	// parameter sweeps use > 1 to stay fast). 0 or 1 means full
@@ -36,62 +38,17 @@ type Suite struct {
 	// reports the skipped jobs. Experiment methods keep their plain
 	// signatures; the suite owns the run lifecycle.
 	Ctx context.Context
+	// Traces, when non-nil, turns on record-once-replay-many: the
+	// dispatch stream of each (benchmark, variant, scale) is
+	// recorded on first use into this on-disk cache and every other
+	// machine's counters are produced by replaying it. Replayed
+	// counters are byte-identical to direct simulation (see
+	// internal/disptrace), so enabling the cache never changes
+	// results.
+	Traces *disptrace.Cache
 
-	mu       sync.Mutex
-	results  map[resultKey]metrics.Counters
-	inflight map[resultKey]*flight[metrics.Counters]
-	profiles map[string]*profileData
-	training map[string]*flight[*profileData]
-}
-
-// flight is one in-progress single-flight computation.
-type flight[V any] struct {
-	done chan struct{}
-	v    V
-	err  error
-}
-
-// singleflight returns cache[key] if present, else computes it
-// exactly once: with a parallel grid many jobs need the same training
-// profile or the same cached run at once; the first caller computes,
-// concurrent callers wait and share the outcome, and successful
-// results land in cache.
-func singleflight[K comparable, V any](mu *sync.Mutex, cache map[K]V, inflight map[K]*flight[V], key K, compute func() (V, error)) (V, error) {
-	mu.Lock()
-	if v, ok := cache[key]; ok {
-		mu.Unlock()
-		return v, nil
-	}
-	if f, ok := inflight[key]; ok {
-		mu.Unlock()
-		<-f.done
-		return f.v, f.err
-	}
-	f := &flight[V]{done: make(chan struct{})}
-	inflight[key] = f
-	mu.Unlock()
-
-	f.v, f.err = compute()
-	mu.Lock()
-	delete(inflight, key)
-	if f.err == nil {
-		cache[key] = f.v
-	}
-	mu.Unlock()
-	close(f.done)
-	return f.v, f.err
-}
-
-// init lazily allocates the cache maps.
-func (s *Suite) init() {
-	s.mu.Lock()
-	if s.results == nil {
-		s.results = make(map[resultKey]metrics.Counters)
-		s.inflight = make(map[resultKey]*flight[metrics.Counters])
-		s.profiles = make(map[string]*profileData)
-		s.training = make(map[string]*flight[*profileData])
-	}
-	s.mu.Unlock()
+	results  runner.Group[resultKey, metrics.Counters]
+	profiles runner.Group[string, *profileData]
 }
 
 type resultKey struct {
@@ -182,11 +139,30 @@ func JavaVariants() []Variant {
 	}
 }
 
+// VariantByName resolves a variant label for a workload's language:
+// the Section 7.1 variant lists of ForthVariants/JavaVariants plus
+// "switch" (the Section 3 dispatch baseline). cmd/vmtrace uses it to
+// reconstruct a recording configuration from a trace header.
+func VariantByName(w *workload.Workload, name string) (Variant, error) {
+	if name == "switch" {
+		return Variant{Name: "switch", Technique: core.TSwitch}, nil
+	}
+	vs := JavaVariants()
+	if w.Lang == "forth" {
+		vs = ForthVariants()
+	}
+	for _, v := range vs {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("harness: unknown variant %q for %s (%s)", name, w.Name, w.Lang)
+}
+
 // profile returns the cached training profile of a workload.
 // Concurrent callers for the same workload share one training run.
 func (s *Suite) profile(w *workload.Workload) (*profileData, error) {
-	s.init()
-	return singleflight(&s.mu, s.profiles, s.training, w.Name,
+	return s.profiles.Do(w.Name,
 		func() (*profileData, error) { return s.profileUncached(w) })
 }
 
@@ -354,15 +330,47 @@ func (s *Suite) configFor(w *workload.Workload, v Variant) (core.Config, error) 
 
 // Run executes one benchmark under one variant on one machine,
 // caching the result. Concurrent callers for the same key share one
-// simulation.
+// simulation. With a trace cache attached, the first machine to need
+// a (benchmark, variant) pair records its dispatch stream and every
+// other machine replays it instead of re-executing the guest VM.
 func (s *Suite) Run(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
 	key := resultKey{bench: w.Name, variant: v.Name, machine: m.Name, scale: s.scale(w)}
-	s.init()
-	return singleflight(&s.mu, s.results, s.inflight, key,
+	return s.results.Do(key,
 		func() (metrics.Counters, error) { return s.runUncached(w, v, m) })
 }
 
 func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
+	if s.Traces == nil {
+		return s.simulate(w, v, m, nil)
+	}
+	// The recording run is itself a direct simulation on m, so when
+	// this cell is the one that records, its counters are used as-is
+	// (replaying its own trace would reproduce them byte for byte).
+	var recorded *metrics.Counters
+	tr, _, err := s.Traces.GetOrRecord(s.TraceKey(w, v), func() (*disptrace.Trace, error) {
+		tr, c, err := s.RecordTrace(w, v, m)
+		if err != nil {
+			return nil, err
+		}
+		recorded = &c
+		return tr, nil
+	})
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	if recorded != nil {
+		return *recorded, nil
+	}
+	sim := cpu.NewSim(m)
+	if err := disptrace.Replay(tr, sim, 1); err != nil {
+		return metrics.Counters{}, fmt.Errorf("%s/%s on %s: replaying trace: %w", w.Name, v.Name, m.Name, err)
+	}
+	return sim.C, nil
+}
+
+// simulate runs one cell by direct simulation, optionally recording
+// the event stream into sink.
+func (s *Suite) simulate(w *workload.Workload, v Variant, m cpu.Machine, sink cpu.Sink) (metrics.Counters, error) {
 	cfg, err := s.configFor(w, v)
 	if err != nil {
 		return metrics.Counters{}, err
@@ -377,11 +385,45 @@ func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (met
 		return metrics.Counters{}, fmt.Errorf("%s/%s: %w", w.Name, v.Name, err)
 	}
 	sim := cpu.NewSim(m)
+	sim.Sink = sink
 	c, err := core.Run(proc, plan, sim, s.MaxSteps)
 	if err != nil {
 		return metrics.Counters{}, fmt.Errorf("%s/%s on %s: %w", w.Name, v.Name, m.Name, err)
 	}
 	return c, nil
+}
+
+// TraceKey identifies the dispatch stream of one (benchmark, variant)
+// pair at the suite's scale — the content address under which the
+// trace cache stores its recording.
+func (s *Suite) TraceKey(w *workload.Workload, v Variant) disptrace.Key {
+	div := s.ScaleDiv
+	if div < 1 {
+		div = 1
+	}
+	return disptrace.Key{
+		Workload:  w.Name,
+		Lang:      w.Lang,
+		Variant:   v.Name,
+		Technique: v.Technique.String(),
+		Scale:     uint64(s.scale(w)),
+		ScaleDiv:  uint64(div),
+		MaxSteps:  s.MaxSteps,
+		ISAHash:   disptrace.HashISA(w.ISA()),
+	}
+}
+
+// RecordTrace records the dispatch stream of one (benchmark, variant)
+// pair by direct simulation on machine m, bypassing both caches. It
+// returns the trace together with the recording run's counters (the
+// direct-simulation result for m).
+func (s *Suite) RecordTrace(w *workload.Workload, v Variant, m cpu.Machine) (*disptrace.Trace, metrics.Counters, error) {
+	tw := disptrace.NewWriter(s.TraceKey(w, v).Header())
+	c, err := s.simulate(w, v, m, tw)
+	if err != nil {
+		return nil, metrics.Counters{}, err
+	}
+	return tw.Trace(), c, nil
 }
 
 // RunSpec is one (workload, variant, machine) cell of an experiment
@@ -404,13 +446,133 @@ func (s *Suite) context() context.Context {
 // counters in spec order. All failures are collected: the returned
 // error joins every failed cell, and the counters of successful cells
 // are still valid (failed cells hold zero counters).
+//
+// With a trace cache attached, cells that share a (benchmark,
+// variant) pair are grouped: the group loads (or records) the
+// dispatch trace once and replays it into every machine's simulator
+// in a single decode pass, so the pool parallelism is over groups
+// rather than cells and Progress counts groups.
 func (s *Suite) RunSpecs(specs []RunSpec) ([]metrics.Counters, error) {
+	if s.Traces != nil {
+		return s.runSpecsTraced(specs)
+	}
 	return runner.Map(s.context(), len(specs),
 		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
 		func(ctx context.Context, i int) (metrics.Counters, error) {
 			sp := specs[i]
 			return s.Run(sp.W, sp.V, sp.M)
 		})
+}
+
+// runSpecsTraced is the record-once-replay-many grid schedule: one
+// pool job per (benchmark, variant) group.
+func (s *Suite) runSpecsTraced(specs []RunSpec) ([]metrics.Counters, error) {
+	type groupKey struct {
+		bench, variant string
+		scale          int
+	}
+	var order []groupKey
+	groups := make(map[groupKey][]int)
+	for i, sp := range specs {
+		k := groupKey{sp.W.Name, sp.V.Name, s.scale(sp.W)}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	results := make([]metrics.Counters, len(specs))
+	_, err := runner.Map(s.context(), len(order),
+		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
+		func(ctx context.Context, gi int) (struct{}, error) {
+			idxs := groups[order[gi]]
+			cs, err := s.runGroup(specs, idxs)
+			if err != nil {
+				return struct{}{}, err
+			}
+			for j, i := range idxs {
+				results[i] = cs[j]
+			}
+			return struct{}{}, nil
+		})
+	return results, err
+}
+
+// runGroup computes the cells at idxs (all sharing one workload and
+// variant) from one trace: machines whose results are already cached
+// are taken from the cache, the rest are replayed together. Every
+// result is published into the suite's result cache so later Run
+// calls and Snapshot see it.
+func (s *Suite) runGroup(specs []RunSpec, idxs []int) ([]metrics.Counters, error) {
+	w, v := specs[idxs[0]].W, specs[idxs[0]].V
+	scale := s.scale(w)
+
+	// Machines still needing a run, deduplicated in first-seen order.
+	var need []cpu.Machine
+	seen := make(map[string]bool)
+	for _, i := range idxs {
+		m := specs[i].M
+		key := resultKey{bench: w.Name, variant: v.Name, machine: m.Name, scale: scale}
+		if _, ok := s.results.Get(key); ok || seen[m.Name] {
+			continue
+		}
+		seen[m.Name] = true
+		need = append(need, m)
+	}
+
+	if len(need) > 0 {
+		// Record on the first needed machine, or load the trace; the
+		// recording run doubles as that machine's result.
+		var recorded *metrics.Counters
+		tr, _, err := s.Traces.GetOrRecord(s.TraceKey(w, v), func() (*disptrace.Trace, error) {
+			tr, c, err := s.RecordTrace(w, v, need[0])
+			if err != nil {
+				return nil, err
+			}
+			recorded = &c
+			return tr, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		replay := need
+		computed := make(map[string]metrics.Counters, len(need))
+		if recorded != nil {
+			computed[need[0].Name] = *recorded
+			replay = need[1:]
+		}
+		if len(replay) > 0 {
+			sims := make([]*cpu.Sim, len(replay))
+			for k, m := range replay {
+				sims[k] = cpu.NewSim(m)
+			}
+			if err := disptrace.ReplayEach(tr, sims); err != nil {
+				return nil, fmt.Errorf("%s/%s: replaying trace: %w", w.Name, v.Name, err)
+			}
+			for k, m := range replay {
+				computed[m.Name] = sims[k].C
+			}
+		}
+		// Publish into the result cache (keeps single-cell Run and
+		// Snapshot coherent; an identical concurrent result wins
+		// harmlessly).
+		for name, c := range computed {
+			key := resultKey{bench: w.Name, variant: v.Name, machine: name, scale: scale}
+			if _, err := s.results.Do(key, func() (metrics.Counters, error) { return c, nil }); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := make([]metrics.Counters, len(idxs))
+	for j, i := range idxs {
+		c, err := s.Run(specs[i].W, specs[i].V, specs[i].M)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = c
+	}
+	return out, nil
 }
 
 // RunAll runs every (benchmark, variant) pair on a machine and
@@ -439,12 +601,11 @@ func (s *Suite) RunAll(ws []*workload.Workload, vs []Variant, m cpu.Machine) (ma
 // sorted by key — the machine-readable layer behind vmbench's JSON
 // and CSV output.
 func (s *Suite) Snapshot() []runner.Run {
-	s.mu.Lock()
-	runs := make([]runner.Run, 0, len(s.results))
-	for k, c := range s.results {
+	cached := s.results.Cached()
+	runs := make([]runner.Run, 0, len(cached))
+	for k, c := range cached {
 		runs = append(runs, runner.NewRun(k.bench, k.variant, k.machine, k.scale, c))
 	}
-	s.mu.Unlock()
 	sort.Slice(runs, func(i, j int) bool { return runs[i].Key() < runs[j].Key() })
 	return runs
 }
