@@ -28,7 +28,10 @@
 //
 // diff re-runs the experiments recorded in the baseline report (same
 // -exp and -scalediv) and exits non-zero when any run's cycles or
-// mispredictions regressed beyond -tol.
+// mispredictions regressed beyond -tol. With -trace-cache pointing at
+// a warm cache (for instance the one the preceding result run
+// populated), the baseline re-run replays dispatch traces instead of
+// re-simulating, making the regression gate near-instant.
 package main
 
 import (
@@ -100,15 +103,16 @@ func diffMain(args []string) error {
 	jobs := fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report run progress on stderr")
 	current := fs.String("current", "", "compare this report instead of re-running the baseline's experiments")
+	traceCache := fs.String("trace-cache", "", "replay baseline runs from this dispatch-trace cache instead of re-simulating")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: vmbench diff [-tol pct] [-jobs n] [-current results.json] <baseline.json>")
+		return fmt.Errorf("usage: vmbench diff [-tol pct] [-jobs n] [-current results.json] [-trace-cache dir] <baseline.json>")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
-	return runDiff(os.Stdout, ctx, fs.Arg(0), *current, *jobs, *tol, *progress)
+	return runDiff(os.Stdout, ctx, fs.Arg(0), *current, *traceCache, *jobs, *tol, *progress)
 }
 
 func newSuite(ctx context.Context, scaleDiv, jobs int, progress bool) *harness.Suite {
@@ -130,8 +134,12 @@ func newSuite(ctx context.Context, scaleDiv, jobs int, progress bool) *harness.S
 // runDiff compares a current report against the baseline and fails
 // when any run regressed beyond tol. With currentPath empty it
 // re-runs the baseline's experiments at the baseline's scale;
-// otherwise it reads the pre-computed report from currentPath.
-func runDiff(stdout io.Writer, ctx context.Context, baselinePath, currentPath string, jobs int, tol float64, progress bool) error {
+// otherwise it reads the pre-computed report from currentPath. A
+// non-empty traceCache attaches the shared dispatch-trace cache to
+// the re-run, so a warm cache (one the result-producing run already
+// populated) turns the baseline check into pure trace replay —
+// near-instant, and byte-identical to re-simulating.
+func runDiff(stdout io.Writer, ctx context.Context, baselinePath, currentPath, traceCache string, jobs int, tol float64, progress bool) error {
 	base, err := runner.ReadReportFile(baselinePath)
 	if err != nil {
 		return err
@@ -143,6 +151,9 @@ func runDiff(stdout io.Writer, ctx context.Context, baselinePath, currentPath st
 		}
 	} else {
 		s := newSuite(ctx, base.ScaleDiv, jobs, progress)
+		if traceCache != "" {
+			s.Traces = disptrace.NewCache(traceCache)
+		}
 		if cur, err = collect(s, base.Exp); err != nil {
 			return err
 		}

@@ -241,6 +241,76 @@ func TestSweepWithTraceCache(t *testing.T) {
 	}
 }
 
+// TestDiffWithTraceCache: the trace-cache-aware regression gate. A
+// result run populates the cache; the diff re-run replays from it and
+// reaches the same verdict as a direct re-simulation — pass against
+// the true baseline, fail against a perturbed one — while recording
+// nothing new (the near-instant CI path).
+func TestDiffWithTraceCache(t *testing.T) {
+	ctx := context.Background()
+	cacheDir := t.TempDir()
+
+	s := testSuite(50)
+	s.Traces = disptrace.NewCache(cacheDir)
+	rep, err := collect(s, "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := filepath.Glob(filepath.Join(cacheDir, "*.vmdt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("result run populated no traces")
+	}
+
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	f, err := os.Create(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runDiff(io.Discard, ctx, baseline, "", cacheDir, 0, 0.02, false); err != nil {
+		t.Errorf("cached diff against own baseline should pass: %v", err)
+	}
+	after, err := filepath.Glob(filepath.Join(cacheDir, "*.vmdt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(traces) {
+		t.Errorf("cached diff changed the cache: %d traces before, %d after", len(traces), len(after))
+	}
+
+	perturbed, err := runner.ReadReportFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perturbed.Runs {
+		perturbed.Runs[i].Counters.Cycles *= 0.8
+	}
+	bad := filepath.Join(dir, "perturbed.json")
+	bf, err := os.Create(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perturbed.WriteJSON(bf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff(io.Discard, ctx, bad, "", cacheDir, 0, 0.02, false); err == nil {
+		t.Error("cached diff against perturbed baseline should fail")
+	}
+}
+
 // TestDiffCleanAndPerturbed: diff against a matching baseline passes;
 // against a perturbed baseline (faster cycles than we can reproduce)
 // it must fail.
@@ -267,11 +337,11 @@ func TestDiffCleanAndPerturbed(t *testing.T) {
 	}
 
 	clean := write("baseline.json", rep)
-	if err := runDiff(io.Discard, ctx, clean, "", 0, 0.02, false); err != nil {
+	if err := runDiff(io.Discard, ctx, clean, "", "", 0, 0.02, false); err != nil {
 		t.Errorf("diff against own baseline should pass: %v", err)
 	}
 	// -current: compare a pre-computed report without re-running.
-	if err := runDiff(io.Discard, ctx, clean, clean, 0, 0.02, false); err != nil {
+	if err := runDiff(io.Discard, ctx, clean, clean, "", 0, 0.02, false); err != nil {
 		t.Errorf("diff with -current against itself should pass: %v", err)
 	}
 
@@ -285,7 +355,7 @@ func TestDiffCleanAndPerturbed(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	bad := write("perturbed.json", perturbed)
-	if err := runDiff(&buf, ctx, bad, "", 0, 0.02, false); err == nil {
+	if err := runDiff(&buf, ctx, bad, "", "", 0, 0.02, false); err == nil {
 		t.Error("diff against perturbed baseline should fail")
 	}
 	if !strings.Contains(buf.String(), "REGRESSION") {

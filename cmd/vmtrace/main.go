@@ -12,11 +12,14 @@
 //	vmtrace info gray.vmdt
 //
 // record runs one (benchmark, variant) pair by direct simulation and
-// writes its dispatch trace. replay drives a machine model over a
-// trace and prints the counters; -verify additionally re-runs the
-// direct simulation from the trace's recorded configuration and fails
-// unless every counter matches byte for byte (the CI equivalence
-// smoke). info prints a trace's metadata and stream statistics.
+// writes its dispatch trace (flate-compressed segments by default;
+// -codec raw opts out). replay drives a machine model over a trace
+// and prints the counters; -verify additionally re-runs the direct
+// simulation from the trace's recorded configuration and fails unless
+// every counter matches byte for byte (the CI equivalence smoke).
+// info prints a trace's metadata, stream statistics and the per-codec
+// storage breakdown with its compression ratio; -segments lists every
+// segment's codec and stored vs raw byte size.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vmopt/internal/cpu"
 	"vmopt/internal/disptrace"
@@ -41,9 +45,9 @@ func main() {
 
 func usage() error {
 	return fmt.Errorf("usage: vmtrace <record|replay|info> [flags]\n" +
-		"  record -bench NAME -variant NAME [-scalediv N] [-maxsteps N] [-machine NAME] -o FILE\n" +
+		"  record -bench NAME -variant NAME [-scalediv N] [-maxsteps N] [-machine NAME] [-codec raw|flate] -o FILE\n" +
 		"  replay [-machine NAME] [-jobs N] [-verify] FILE\n" +
-		"  info FILE")
+		"  info [-segments] FILE")
 }
 
 func run(stdout io.Writer, args []string) error {
@@ -69,12 +73,17 @@ func recordMain(stdout io.Writer, args []string) error {
 	scaleDiv := fs.Int("scalediv", 1, "divide the workload's default scale by this factor")
 	maxSteps := fs.Uint64("maxsteps", 200_000_000, "VM step bound")
 	machine := fs.String("machine", cpu.Celeron800.Name, "machine model of the recording run")
+	codec := fs.String("codec", "flate", "segment payload codec (raw or flate)")
 	out := fs.String("o", "", "output trace file (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *bench == "" || *out == "" {
 		return fmt.Errorf("record: -bench and -o are required")
+	}
+	c, err := disptrace.CodecByName(*codec)
+	if err != nil {
+		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("record: unexpected argument %q", fs.Arg(0))
@@ -95,23 +104,29 @@ func recordMain(stdout io.Writer, args []string) error {
 	s.ScaleDiv = *scaleDiv
 	s.MaxSteps = *maxSteps
 
-	tr, c, err := s.RecordTrace(w, v, m)
+	tr, counters, err := s.RecordTrace(w, v, m)
 	if err != nil {
 		return err
 	}
-	if err := tr.Save(*out); err != nil {
+	if err := tr.SaveCodec(*out, c); err != nil {
+		return err
+	}
+	// Report what landed on disk (codec and compressed sizes), not the
+	// in-memory raw segments.
+	saved, err := disptrace.Load(*out)
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "recorded %s/%s (scale %d) to %s\n", w.Name, v.Name, tr.Header.Scale, *out)
-	printStreamStats(stdout, tr)
-	fmt.Fprintf(stdout, "recording run on %s: %v\n", m.Name, c)
+	printStreamStats(stdout, saved, false)
+	fmt.Fprintf(stdout, "recording run on %s: %v\n", m.Name, counters)
 	return nil
 }
 
 func replayMain(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	machine := fs.String("machine", cpu.Celeron800.Name, "machine model to replay on")
-	jobs := fs.Int("jobs", 4, "parallel segment-decode goroutines")
+	jobs := fs.Int("jobs", 0, "parallel segment-decode goroutines (0 = auto)")
 	verify := fs.Bool("verify", false, "re-run the direct simulation and require byte-identical counters")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -178,6 +193,7 @@ func directRun(tr *disptrace.Trace, m cpu.Machine) (metrics.Counters, error) {
 
 func infoMain(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	segments := fs.Bool("segments", false, "list every segment (codec, stored -> raw bytes, records)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,17 +209,42 @@ func infoMain(stdout io.Writer, args []string) error {
 	fmt.Fprintf(stdout, "variant:    %s (technique %s)\n", h.Variant, h.Technique)
 	fmt.Fprintf(stdout, "scale:      %d (scalediv %d, maxsteps %d)\n", h.Scale, h.ScaleDiv, h.MaxSteps)
 	fmt.Fprintf(stdout, "isa hash:   %#016x\n", h.ISAHash)
-	printStreamStats(stdout, tr)
+	printStreamStats(stdout, tr, *segments)
 	return tr.Verify()
 }
 
-func printStreamStats(w io.Writer, tr *disptrace.Trace) {
+// printStreamStats reports the stream totals plus the per-codec
+// storage picture: stored (possibly compressed) versus raw payload
+// bytes and the overall compression ratio. listSegments additionally
+// prints one line per segment.
+func printStreamStats(w io.Writer, tr *disptrace.Trace, listSegments bool) {
 	h := tr.Header
-	var bytes int
+	var stored, raw int
+	codecSegs := map[disptrace.Codec]int{}
 	for _, s := range tr.Segs {
-		bytes += len(s.Data)
+		stored += len(s.Data)
+		raw += s.RawLen()
+		codecSegs[s.Codec]++
 	}
-	fmt.Fprintf(w, "stream:     %d records (%d dispatches, %d fetches, %d work instrs) in %d segments, %d payload bytes\n",
-		h.Records, h.Dispatches, h.Fetches, h.WorkInstrs, len(tr.Segs), bytes)
+	fmt.Fprintf(w, "stream:     %d records (%d dispatches, %d fetches, %d work instrs) in %d segments\n",
+		h.Records, h.Dispatches, h.Fetches, h.WorkInstrs, len(tr.Segs))
+	var codecs []string
+	for _, c := range []disptrace.Codec{disptrace.CodecRaw, disptrace.CodecFlate} {
+		if n := codecSegs[c]; n > 0 {
+			codecs = append(codecs, fmt.Sprintf("%d %s", n, c))
+		}
+	}
+	ratio := 1.0
+	if stored > 0 {
+		ratio = float64(raw) / float64(stored)
+	}
+	fmt.Fprintf(w, "payload:    %d bytes stored (%s), %d raw, %.2fx compression\n",
+		stored, strings.Join(codecs, ", "), raw, ratio)
 	fmt.Fprintf(w, "totals:     %d VM instructions, %d generated code bytes\n", h.VMInstructions, h.CodeBytes)
+	if listSegments {
+		for i, s := range tr.Segs {
+			fmt.Fprintf(w, "  seg %4d: %-5s %8d -> %8d bytes, %7d records\n",
+				i, s.Codec, len(s.Data), s.RawLen(), s.Records)
+		}
+	}
 }

@@ -159,3 +159,82 @@ func TestPentiumMPredictsInterpreterLoop(t *testing.T) {
 		t.Errorf("Pentium M mispredictions = %d, want far below BTB's %d", pmMisp, btbMisp)
 	}
 }
+
+// TestApplyMatchesPerEventCalls: the batched Apply entry point must
+// accumulate exactly the counters of the equivalent per-event
+// Work/Fetch/Dispatch calls — float cycle counters included, since
+// trace replay's byte-identity guarantee rests on it — on every
+// predictor kind and CPI regime.
+func TestApplyMatchesPerEventCalls(t *testing.T) {
+	var ops []Op
+	addr := uint64(0x2000)
+	for i := 0; i < 4096; i++ {
+		switch i % 5 {
+		case 0, 3:
+			ops = append(ops, Op{Kind: OpWork, A: uint64(i % 37)})
+		case 1, 4:
+			addr += uint64(i%29) * 16
+			ops = append(ops, Op{Kind: OpFetch, A: addr, B: uint64(8 + i%56)})
+		default:
+			ops = append(ops, Op{Kind: OpDispatch, A: addr + 32, B: uint64(i % 11), C: addr ^ uint64(i%3)<<7})
+		}
+	}
+	machines := []Machine{
+		Celeron800,
+		Pentium4Northwood, // CPI 0.7: fractional cycle accumulation
+		PentiumM,          // two-level predictor
+		Celeron800.WithPredictor(PredictBTB2bc),
+		Celeron800.WithPredictor(PredictCaseBlock), // operand-keyed
+		Celeron800.WithBTBEntries(16),              // capacity-miss regime
+	}
+	for _, m := range machines {
+		perCall := NewSim(m)
+		for _, op := range ops {
+			switch op.Kind {
+			case OpWork:
+				perCall.Work(int(op.A))
+			case OpFetch:
+				perCall.Fetch(op.A, int(op.B))
+			case OpDispatch:
+				perCall.Dispatch(op.A, op.B, op.C)
+			}
+		}
+		batched := NewSim(m)
+		// Split the batch to prove Apply composes like the call stream
+		// does (replay hands segments to Apply one at a time).
+		batched.Apply(ops[:len(ops)/3])
+		batched.Apply(ops[len(ops)/3:])
+		if batched.C != perCall.C {
+			t.Errorf("%s: Apply diverged from per-event calls:\n  calls %+v\n  apply %+v",
+				m.Name, perCall.C, batched.C)
+		}
+	}
+}
+
+// TestApplyIgnoresSink: Apply exists for replay, which must never
+// re-record; an attached Sink stays silent.
+func TestApplyIgnoresSink(t *testing.T) {
+	s := NewSim(Celeron800)
+	n := 0
+	s.Sink = countingSink{&n}
+	s.Apply([]Op{
+		{Kind: OpWork, A: 5},
+		{Kind: OpFetch, A: 0x2000, B: 16},
+		{Kind: OpDispatch, A: 0x2040, B: 1, C: 0x2100},
+	})
+	if n != 0 {
+		t.Errorf("Apply drove %d events into the Sink; replay must not re-record", n)
+	}
+	if s.C.Instructions != 5 || s.C.Dispatches != 1 || s.C.ICacheMisses == 0 {
+		t.Errorf("Apply accounting wrong: %+v", s.C)
+	}
+}
+
+// countingSink counts observed events.
+type countingSink struct{ n *int }
+
+func (c countingSink) RecordWork(int)                        { *c.n++ }
+func (c countingSink) RecordFetch(uint64, int)               { *c.n++ }
+func (c countingSink) RecordDispatch(uint64, uint64, uint64) { *c.n++ }
+func (c countingSink) RecordVMInst()                         { *c.n++ }
+func (c countingSink) RecordCodeBytes(uint64)                { *c.n++ }

@@ -114,6 +114,61 @@ func (s *Sim) AddCodeBytes(n uint64) {
 	s.C.CodeBytes += n
 }
 
+// OpKind classifies one batched replay event.
+type OpKind uint8
+
+const (
+	// OpWork is Work(A).
+	OpWork OpKind = iota
+	// OpFetch is Fetch(A, B).
+	OpFetch
+	// OpDispatch is Dispatch(A, B, C).
+	OpDispatch
+)
+
+// Op is one pre-decoded simulator event for Apply. A batch of Ops is
+// immutable shared data: trace replay decodes a segment once and
+// hands the same batch to every machine's simulator.
+type Op struct {
+	A, B, C uint64
+	Kind    OpKind
+}
+
+// Apply drives a batch of events through the simulator with exactly
+// the accounting of per-event Work/Fetch/Dispatch calls — the same
+// float additions in the same order, so replayed counters stay
+// byte-identical to a direct run — while amortizing the per-event
+// overhead (one call, no per-event Sink checks) that dominates
+// replay's apply side. The Sink is NOT observed: Apply exists for
+// replay, and replaying must not re-record.
+func (s *Sim) Apply(ops []Op) {
+	c := &s.C
+	m := &s.Machine
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpWork:
+			c.Instructions += op.A
+			c.Cycles += float64(int(op.A)) * m.CPI
+		case OpFetch:
+			misses := s.IC.Touch(op.A, int(op.B))
+			if misses > 0 {
+				c.ICacheMisses += uint64(misses)
+				penalty := float64(misses) * m.ICacheMissPenalty
+				c.Cycles += penalty
+				c.MissCycles += penalty
+			}
+		case OpDispatch:
+			c.Dispatches++
+			c.IndirectBranches++
+			if !s.Pred.Access(op.A, op.B, op.C) {
+				c.Mispredicted++
+				c.Cycles += m.MispredictPenalty
+			}
+		}
+	}
+}
+
 // Reset clears counters, predictor and cache state.
 func (s *Sim) Reset() {
 	s.C = metrics.Counters{}

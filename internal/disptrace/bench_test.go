@@ -1,0 +1,204 @@
+package disptrace_test
+
+import (
+	"sync"
+	"testing"
+
+	"vmopt/internal/cpu"
+	"vmopt/internal/disptrace"
+	"vmopt/internal/harness"
+	"vmopt/internal/workload"
+)
+
+// The replay-pipeline benchmarks measure every layer of the trace
+// data path on one real dispatch stream (gray/plain at reduced
+// scale): codec encode/decode, single-sim apply, and the multi-sim
+// parallel-apply schedule, plus the direct simulation the replay has
+// to beat. Results are captured in BENCH_replay.json at the repo
+// root.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/disptrace/
+
+var benchState struct {
+	once sync.Once
+	tr   *disptrace.Trace // writer-produced (raw segments)
+	wire *disptrace.Trace // decoded from v2 bytes (flate segments)
+	v2   []byte
+	v1   []byte
+	ops  []cpu.Op // fully decoded stream, one batch
+	err  error
+}
+
+func benchSetup(b *testing.B) {
+	benchState.once.Do(func() {
+		w, err := workload.ByName("gray")
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		v, err := harness.VariantByName(w, "plain")
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		s := harness.NewTestSuite()
+		s.ScaleDiv = 10
+		tr, _, err := s.RecordTrace(w, v, cpu.Celeron800)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		benchState.tr = tr
+		benchState.v2 = tr.Encode()
+		benchState.v1 = disptrace.EncodeV1(tr)
+		if benchState.wire, err = disptrace.Decode(benchState.v2); err != nil {
+			benchState.err = err
+			return
+		}
+		for _, seg := range tr.Segs {
+			if benchState.ops, err = seg.DecodeOps(benchState.ops); err != nil {
+				benchState.err = err
+				return
+			}
+		}
+	})
+	if benchState.err != nil {
+		b.Fatal(benchState.err)
+	}
+}
+
+func BenchmarkEncodeFlate(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.SetBytes(int64(len(benchState.v1))) // raw payload throughput
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchState.tr.Encode()
+	}
+	b.ReportMetric(float64(len(benchState.v1))/float64(len(benchState.v2)), "ratio")
+}
+
+func BenchmarkEncodeRaw(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.SetBytes(int64(len(benchState.v1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchState.tr.EncodeCodec(disptrace.CodecRaw)
+	}
+}
+
+// decodeAll parses the container and expands every segment to ops —
+// the full wire-to-events cost a replay pays.
+func decodeAll(b *testing.B, wire []byte) {
+	b.Helper()
+	b.ResetTimer()
+	b.SetBytes(int64(len(benchState.v1)))
+	b.ReportAllocs()
+	var ops []cpu.Op
+	for i := 0; i < b.N; i++ {
+		tr, err := disptrace.Decode(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, seg := range tr.Segs {
+			if ops, err = seg.DecodeOps(ops[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDecodeV2(b *testing.B) { benchSetup(b); decodeAll(b, benchState.v2) }
+func BenchmarkDecodeV1(b *testing.B) { benchSetup(b); decodeAll(b, benchState.v1) }
+
+// BenchmarkApply is the pure apply side: one pre-decoded batch driven
+// through a single simulator (predictor + I-cache state machines).
+func BenchmarkApply(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cpu.NewSim(cpu.Celeron800).Apply(benchState.ops)
+	}
+	b.ReportMetric(float64(len(benchState.ops)), "events/op")
+}
+
+// BenchmarkReplay is the end-to-end single-sim path from compressed
+// wire segments (the warm trace-cache hit): inflate + decode + apply.
+func BenchmarkReplay(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := disptrace.ReplayMachine(benchState.wire, cpu.Celeron800, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMachines is a 5-machine grid group, the ReplayEach shape the
+// suite's machine sweeps produce.
+func benchMachines() []cpu.Machine {
+	return []cpu.Machine{
+		cpu.Celeron800,
+		cpu.Pentium4Northwood,
+		cpu.PentiumM,
+		cpu.Celeron800.WithPredictor(cpu.PredictBTB2bc),
+		cpu.Celeron800.WithBTBEntries(64),
+	}
+}
+
+// BenchmarkReplayEach5 replays one decode pass into 5 machines with
+// the parallel-apply pipeline.
+func BenchmarkReplayEach5(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sims := make([]*cpu.Sim, 0, 5)
+		for _, m := range benchMachines() {
+			sims = append(sims, cpu.NewSim(m))
+		}
+		if err := disptrace.ReplayEach(benchState.wire, sims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplaySequential5 is the same 5-machine group replayed one
+// sim at a time — the pre-sharding schedule ReplayEach5 is measured
+// against.
+func BenchmarkReplaySequential5(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range benchMachines() {
+			if _, err := disptrace.ReplayMachine(benchState.wire, m, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDirectSimulate is the interpreter run a replay replaces —
+// the bar every decode+apply number above has to clear.
+func BenchmarkDirectSimulate(b *testing.B) {
+	w, err := workload.ByName("gray")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := harness.VariantByName(w, "plain")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := harness.NewTestSuite()
+		s.ScaleDiv = 10
+		if _, err := s.Run(w, v, cpu.Celeron800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

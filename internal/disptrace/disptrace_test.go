@@ -1,6 +1,8 @@
 package disptrace_test
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -157,6 +159,189 @@ func TestDecodeCorrupt(t *testing.T) {
 	}
 }
 
+// TestV1BackwardCompat: traces written in the legacy v1 layout (raw
+// payloads, no codec byte) must still decode to the identical record
+// stream and header.
+func TestV1BackwardCompat(t *testing.T) {
+	recs := []disptrace.Record{
+		{Kind: disptrace.KWork, A: 7},
+		{Kind: disptrace.KFetch, A: 0x2000, B: 24},
+		{Kind: disptrace.KDispatch, A: 0x2040, B: 3, C: 0x2100},
+		{Kind: disptrace.KWork, A: 1 << 40},
+	}
+	w := disptrace.NewWriter(testHeader())
+	feed(w, recs)
+	tr := w.Trace()
+
+	got, err := disptrace.Decode(disptrace.EncodeV1(tr))
+	if err != nil {
+		t.Fatalf("decoding v1 trace: %v", err)
+	}
+	if got.Header != tr.Header {
+		t.Fatalf("v1 header round trip: got %+v want %+v", got.Header, tr.Header)
+	}
+	for _, s := range got.Segs {
+		if s.Codec != disptrace.CodecRaw {
+			t.Errorf("v1 segment decoded with codec %v, want raw", s.Codec)
+		}
+	}
+	back, err := got.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+// TestCompressionRatio: a real dispatch stream must shrink at least
+// 3x on disk under the v2 flate codec (the measured ratio is 60x+;
+// the assertion leaves headroom for codec-irrelevant stream changes).
+func TestCompressionRatio(t *testing.T) {
+	pair := tracePairs(t)[0]
+	s := harness.NewTestSuite()
+	s.ScaleDiv = 40
+	tr, _, err := s.RecordTrace(pair.w, pair.v, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := tr.Encode()
+	v1 := disptrace.EncodeV1(tr)
+	if len(v2)*3 > len(v1) {
+		t.Errorf("v2 trace is %d bytes, v1 %d: compression under 3x", len(v2), len(v1))
+	}
+	// And the compressed form still decodes to the same stream.
+	got, err := disptrace.Decode(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(back), len(want))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("record %d diverged through compression: got %+v want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+// fixCRC recomputes the container checksum after a test mutates the
+// body, so corruption below the crc layer reaches the segment
+// decoders.
+func fixCRC(enc []byte) {
+	binary.LittleEndian.PutUint32(enc[6:10], crc32.ChecksumIEEE(enc[10:]))
+}
+
+// TestCorruptCompressedSegments: damage inside a flate payload —
+// garbled bytes, truncation, or a lying raw-size field — must surface
+// as a decode error from every decode entry point, never a panic, even
+// when the container checksum has been fixed up to pass.
+func TestCorruptCompressedSegments(t *testing.T) {
+	// A payload long and varied enough that flate actually compresses
+	// it (forcing the CodecFlate path).
+	var recs []disptrace.Record
+	addr := uint64(0x4000)
+	for i := range 4096 {
+		addr += uint64(i%13) * 8
+		recs = append(recs,
+			disptrace.Record{Kind: disptrace.KWork, A: uint64(i % 7)},
+			disptrace.Record{Kind: disptrace.KFetch, A: addr, B: 16},
+			disptrace.Record{Kind: disptrace.KDispatch, A: addr + 8, B: uint64(i % 97), C: addr ^ 0x40})
+	}
+	w := disptrace.NewWriter(testHeader())
+	feed(w, recs)
+	tr := w.Trace()
+	enc := tr.Encode()
+	probe, err := disptrace.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Segs) == 0 || probe.Segs[0].Codec != disptrace.CodecFlate {
+		t.Fatalf("test stream did not compress (codec %v); cannot exercise the flate path", probe.Segs[0].Codec)
+	}
+
+	decodeAll := func(tr *disptrace.Trace) error {
+		if _, err := tr.Records(); err != nil {
+			return err
+		}
+		for _, s := range tr.Segs {
+			if _, err := s.DecodeOps(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Garble bytes inside the first segment payload (the payload area
+	// starts after header block and index; flipping tail bytes of the
+	// file lands in segment data) and fix the crc so the container
+	// decodes.
+	garbled := append([]byte(nil), enc...)
+	for i := len(garbled) - 64; i < len(garbled); i++ {
+		garbled[i] ^= 0xa5
+	}
+	fixCRC(garbled)
+	if dec, err := disptrace.Decode(garbled); err == nil {
+		if decodeAll(dec) == nil {
+			t.Error("garbled flate payload decoded cleanly")
+		}
+	}
+
+	// Truncated and garbled payloads, and a lying RawBytes, fed
+	// straight to the segment decoders.
+	seg := probe.Segs[0]
+	for name, bad := range map[string]disptrace.Segment{
+		"truncated": {Data: seg.Data[:len(seg.Data)/2], Records: seg.Records, Codec: disptrace.CodecFlate, RawBytes: seg.RawBytes},
+		"empty":     {Data: nil, Records: seg.Records, Codec: disptrace.CodecFlate, RawBytes: seg.RawBytes},
+		"raw-short": {Data: seg.Data, Records: seg.Records, Codec: disptrace.CodecFlate, RawBytes: seg.RawBytes / 2},
+		"raw-long":  {Data: seg.Data, Records: seg.Records, Codec: disptrace.CodecFlate, RawBytes: seg.RawBytes * 2},
+		"raw-huge":  {Data: seg.Data, Records: seg.Records, Codec: disptrace.CodecFlate, RawBytes: 1 << 30},
+		"codec-99":  {Data: seg.Data, Records: seg.Records, Codec: disptrace.Codec(99), RawBytes: seg.RawBytes},
+		// A huge-but-raw-consistent record count must be rejected
+		// before any allocation keyed on it (a max-ratio DEFLATE
+		// stream can declare ~1000x its stored size, so the count is
+		// no longer bounded by the input bytes).
+		"records-huge": {Data: seg.Data, Records: 1 << 29, Codec: disptrace.CodecFlate, RawBytes: 1 << 30},
+	} {
+		if _, err := bad.Decode(nil); err == nil {
+			t.Errorf("%s: Decode accepted a corrupt flate segment", name)
+		}
+		if _, err := bad.DecodeOps(nil); err == nil {
+			t.Errorf("%s: DecodeOps accepted a corrupt flate segment", name)
+		}
+	}
+
+	// An unknown codec byte in the wire index must be rejected by the
+	// container decoder. The index begins right after the
+	// length-prefixed header block; its first byte is segment 0's
+	// codec.
+	mut := append([]byte(nil), enc...)
+	hdrLen, n := binary.Uvarint(mut[10:])
+	codecOff := 10 + n + int(hdrLen)
+	segCount, n2 := binary.Uvarint(mut[codecOff:])
+	if segCount != uint64(len(probe.Segs)) {
+		t.Fatalf("index offset wrong: read %d segments, want %d", segCount, len(probe.Segs))
+	}
+	mut[codecOff+n2] = 99
+	fixCRC(mut)
+	if _, err := disptrace.Decode(mut); err == nil {
+		t.Error("unknown codec byte in index not rejected")
+	}
+}
+
 // tracePairs are the (workload, variant) pairs of the equivalence
 // tests: three pairs spanning both VMs and static, dynamic and plain
 // techniques (quickening included via the JVM workload).
@@ -229,17 +414,65 @@ func TestReplayEquivalence(t *testing.T) {
 				t.Errorf("%s/%s on %s: replay diverged:\n  direct   %+v\n  replayed %+v",
 					pair.w.Name, pair.v.Name, m.Name, direct, replayed)
 			}
-			// And through the serialized form.
-			decoded, err := disptrace.Decode(tr.Encode())
+			// And through the serialized forms: current (v2,
+			// compressed) and legacy v1.
+			for enc, bytes := range map[string][]byte{
+				"v2": tr.Encode(),
+				"v1": disptrace.EncodeV1(tr),
+			} {
+				decoded, err := disptrace.Decode(bytes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reloaded, err := disptrace.ReplayMachine(decoded, m, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if reloaded != direct {
+					t.Errorf("%s/%s on %s: replay after %s encode/decode diverged", pair.w.Name, pair.v.Name, m.Name, enc)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayEachMatchesSolo: the parallel-apply broadcast (one decode
+// pass, one applier goroutine per sim) must deliver every machine the
+// counters a solo sequential replay produces, from both raw and
+// compressed segments.
+func TestReplayEachMatchesSolo(t *testing.T) {
+	pair := tracePairs(t)[0]
+	s := harness.NewTestSuite()
+	s.ScaleDiv = 40
+	tr, _, err := s.RecordTrace(pair.w, pair.v, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := disptrace.Decode(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []cpu.Machine{
+		cpu.Celeron800, cpu.PentiumM, cpu.Pentium4Northwood,
+		cpu.Celeron800.WithPredictor(cpu.PredictBTB2bc),
+		cpu.Celeron800.WithBTBEntries(64),
+	}
+	for name, src := range map[string]*disptrace.Trace{"raw": tr, "flate": wire} {
+		sims := make([]*cpu.Sim, len(machines))
+		for i, m := range machines {
+			sims[i] = cpu.NewSim(m)
+		}
+		if err := disptrace.ReplayEach(src, sims); err != nil {
+			t.Fatalf("%s: ReplayEach: %v", name, err)
+		}
+		for i, m := range machines {
+			solo, err := disptrace.ReplayMachine(tr, m, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			reloaded, err := disptrace.ReplayMachine(decoded, m, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if reloaded != direct {
-				t.Errorf("%s/%s on %s: replay after encode/decode diverged", pair.w.Name, pair.v.Name, m.Name)
+			if sims[i].C != solo {
+				t.Errorf("%s: machine %s diverged under parallel apply:\n  solo %+v\n  each %+v",
+					name, m.Name, solo, sims[i].C)
 			}
 		}
 	}

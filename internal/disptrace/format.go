@@ -17,13 +17,16 @@
 //
 //	magic "VMDT" | version u16 LE | crc32 u32 LE (of everything after)
 //	header block  (length-prefixed; versioned metadata + totals)
-//	segment index (record count and byte length per segment)
+//	segment index (per segment: codec, stored bytes, records, raw bytes)
 //	segment payloads
 //
 // Records are varint-encoded with per-segment delta bases for
 // addresses, so each segment decodes independently and a replay can
 // decode segments on parallel goroutines while applying them in
-// order.
+// order. Format v2 added a codec byte per segment (see Codec):
+// payloads are flate-compressed on disk when that shrinks them,
+// typically 3-6x for interpreter dispatch streams. v1 traces (raw
+// payloads, no codec byte in the index) still decode.
 package disptrace
 
 import (
@@ -34,17 +37,27 @@ import (
 )
 
 // Version is the trace format version this package writes. Readers
-// reject other versions.
-const Version = 1
+// accept it and every older version listed below.
+const Version = 2
+
+// versionV1 is the legacy format: raw segment payloads only, no codec
+// byte or raw-size field in the segment index.
+const versionV1 = 1
 
 // magic identifies a dispatch trace file.
 var magic = [4]byte{'V', 'M', 'D', 'T'}
 
 // DefaultSegmentRecords is the number of records per segment the
 // writer targets: small enough for parallel decode granularity and
-// bounded per-segment decode memory, large enough to amortize
-// per-segment overhead.
-const DefaultSegmentRecords = 1 << 16
+// bounded per-segment decode memory (a sealed segment expands to at
+// most 5x as many logical events on decode, so this also caps the
+// batch size the replay pipeline hands each applier), large enough to
+// amortize per-segment and per-batch overhead. Tuned against the
+// decode/apply overlap benchmarks in bench_test.go: 1<<14 keeps
+// appliers fed without multi-megabyte in-flight batches; larger
+// segments measured no faster, smaller ones lose compression ratio
+// and add channel traffic.
+const DefaultSegmentRecords = 1 << 14
 
 // Record tag space. Tags >= tagWorkBase inline small work counts into
 // the tag byte itself.
@@ -136,10 +149,53 @@ type Header struct {
 // Segment is one independently decodable chunk of the record stream.
 type Segment struct {
 	// Data is the encoded payload (delta bases reset at the segment
-	// start).
+	// start), stored under Codec.
 	Data []byte
-	// Records is the number of records encoded in Data.
+	// Records is the number of records encoded in the payload.
 	Records int
+	// Codec is the payload encoding of Data. The zero value CodecRaw
+	// matches writer-produced in-memory segments.
+	Codec Codec
+	// RawBytes is the decoded payload size when Codec != CodecRaw
+	// (ignored for raw segments, whose size is len(Data)).
+	RawBytes int
+}
+
+// RawLen returns the decoded payload size in bytes — what the stored
+// Data inflates to (equal to len(Data) for raw segments). vmtrace
+// info reports compression ratios with it.
+func (s Segment) RawLen() int {
+	if s.Codec == CodecRaw {
+		return len(s.Data)
+	}
+	return s.RawBytes
+}
+
+// payload returns the raw (decompressed) record bytes.
+func (s Segment) payload() ([]byte, error) {
+	raw, _, err := s.payloadScratch(nil)
+	return raw, err
+}
+
+// payloadScratch is payload with a reusable decompression buffer:
+// scratch is reused when it has the capacity, and the returned
+// scratch (the inflate buffer, possibly grown) can be handed to the
+// next call — sequential replay decompresses a whole trace with one
+// allocation. Raw segments return their stored Data and pass scratch
+// through untouched.
+func (s Segment) payloadScratch(scratch []byte) (raw, newScratch []byte, err error) {
+	switch s.Codec {
+	case CodecRaw:
+		return s.Data, scratch, nil
+	case CodecFlate:
+		raw, err = inflate(s.Data, s.RawBytes, scratch)
+		if err != nil {
+			return nil, scratch, err
+		}
+		return raw, raw, nil
+	default:
+		return nil, scratch, fmt.Errorf("disptrace: unknown segment codec %d", s.Codec)
+	}
 }
 
 // Trace is a complete dispatch trace: header plus encoded segments.
@@ -151,6 +207,22 @@ type Trace struct {
 // maxStringLen bounds length-prefixed strings during decoding so a
 // corrupt header cannot force a huge allocation.
 const maxStringLen = 1 << 16
+
+// maxSegmentRecords bounds the per-segment record count a reader
+// accepts. The writer seals segments at DefaultSegmentRecords (16Ki;
+// 64Ki historically), so this leaves 4x headroom for retuning while
+// capping decode-time allocations: with compressed payloads the
+// records-fit-in-raw-bytes check no longer ties the count to the
+// input size (DEFLATE expands up to ~1032x), and an unbounded count
+// would let a small crafted trace force a fatal multi-GB reservation
+// instead of a decode error.
+const maxSegmentRecords = 1 << 18
+
+// maxRecordsPrealloc caps the capacity hint Records derives from the
+// header total; genuinely larger streams grow by append instead of
+// trusting an attacker-controlled field with one huge up-front
+// allocation.
+const maxRecordsPrealloc = 1 << 22
 
 // byteReader is a bounds-checked cursor over an encoded buffer. After
 // any method reports failure the cursor stays failed ("sticky
@@ -278,17 +350,36 @@ func decodeHeader(b []byte) (Header, error) {
 	return h, nil
 }
 
-// Encode serializes the trace to its on-disk byte form.
-func (t *Trace) Encode() []byte {
+// Encode serializes the trace to its on-disk byte form, compressing
+// raw segment payloads with DefaultCodec (per segment, only when that
+// shrinks them).
+func (t *Trace) Encode() []byte { return t.EncodeCodec(DefaultCodec) }
+
+// EncodeCodec is Encode with an explicit codec for raw segments.
+// Segments already carrying a non-raw codec (a decoded v2 trace being
+// re-encoded) are stored as they are.
+func (t *Trace) EncodeCodec(c Codec) []byte {
+	stored := make([]Segment, len(t.Segs))
+	for i, s := range t.Segs {
+		if s.Codec != CodecRaw {
+			stored[i] = s
+			continue
+		}
+		data, codec := encodePayload(s.Data, c)
+		stored[i] = Segment{Data: data, Records: s.Records, Codec: codec, RawBytes: len(s.Data)}
+	}
+
 	hdr := encodeHeader(t.Header)
 	body := binary.AppendUvarint(nil, uint64(len(hdr)))
 	body = append(body, hdr...)
-	body = binary.AppendUvarint(body, uint64(len(t.Segs)))
-	for _, s := range t.Segs {
+	body = binary.AppendUvarint(body, uint64(len(stored)))
+	for _, s := range stored {
+		body = append(body, byte(s.Codec))
 		body = binary.AppendUvarint(body, uint64(len(s.Data)))
 		body = binary.AppendUvarint(body, uint64(s.Records))
+		body = binary.AppendUvarint(body, uint64(s.RawBytes))
 	}
-	for _, s := range t.Segs {
+	for _, s := range stored {
 		body = append(body, s.Data...)
 	}
 
@@ -309,8 +400,9 @@ func Decode(b []byte) (*Trace, error) {
 	if [4]byte(b[:4]) != magic {
 		return nil, fmt.Errorf("disptrace: bad magic %q", b[:4])
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
-		return nil, fmt.Errorf("disptrace: unsupported trace version %d (want %d)", v, Version)
+	version := binary.LittleEndian.Uint16(b[4:6])
+	if version != Version && version != versionV1 {
+		return nil, fmt.Errorf("disptrace: unsupported trace version %d (want %d or %d)", version, versionV1, Version)
 	}
 	body := b[10:]
 	if sum := binary.LittleEndian.Uint32(b[6:10]); sum != crc32.ChecksumIEEE(body) {
@@ -340,12 +432,23 @@ func Decode(b []byte) (*Trace, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	type segInfo struct{ bytes, records uint64 }
+	type segInfo struct {
+		codec               Codec
+		bytes, records, raw uint64
+	}
 	infos := make([]segInfo, segCount)
 	var totalRecords uint64
 	for i := range infos {
+		if version >= 2 {
+			infos[i].codec = Codec(r.byte())
+		}
 		infos[i].bytes = r.uvarint()
 		infos[i].records = r.uvarint()
+		if version >= 2 {
+			infos[i].raw = r.uvarint()
+		} else {
+			infos[i].raw = infos[i].bytes
+		}
 		totalRecords += infos[i].records
 	}
 	if r.err != nil {
@@ -357,16 +460,28 @@ func Decode(b []byte) (*Trace, error) {
 
 	t := &Trace{Header: h, Segs: make([]Segment, segCount)}
 	for i := range t.Segs {
-		if infos[i].bytes > math.MaxInt32 || infos[i].records > math.MaxInt32 {
+		in := infos[i]
+		if !knownCodec(in.codec) {
+			return nil, fmt.Errorf("disptrace: segment %d has unknown codec %d", i, in.codec)
+		}
+		if in.bytes > math.MaxInt32 || in.records > math.MaxInt32 || in.raw > math.MaxInt32 {
 			return nil, fmt.Errorf("disptrace: segment %d size out of range", i)
 		}
-		// Every record costs at least its tag byte, so a record count
-		// above the payload size is corrupt; checking here also keeps
-		// decode-time allocations proportional to the input.
-		if infos[i].records > infos[i].bytes {
-			return nil, fmt.Errorf("disptrace: segment %d claims %d records in %d bytes", i, infos[i].records, infos[i].bytes)
+		if in.codec == CodecRaw && in.raw != in.bytes {
+			return nil, fmt.Errorf("disptrace: raw segment %d declares %d raw bytes for a %d-byte payload", i, in.raw, in.bytes)
 		}
-		t.Segs[i] = Segment{Data: r.bytes(int(infos[i].bytes)), Records: int(infos[i].records)}
+		// Every record costs at least its tag byte, so a record count
+		// above the raw payload size is corrupt; checking here also
+		// keeps decode-time allocations proportional to the input
+		// (inflate additionally bounds raw against the compressed
+		// size).
+		if in.records > in.raw {
+			return nil, fmt.Errorf("disptrace: segment %d claims %d records in %d bytes", i, in.records, in.raw)
+		}
+		if in.records > maxSegmentRecords {
+			return nil, fmt.Errorf("disptrace: segment %d claims %d records (limit %d)", i, in.records, maxSegmentRecords)
+		}
+		t.Segs[i] = Segment{Data: r.bytes(int(in.bytes)), Records: int(in.records), Codec: in.codec, RawBytes: int(in.raw)}
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -379,10 +494,18 @@ func Decode(b []byte) (*Trace, error) {
 
 // Decode expands the segment into logical records, appending to dst
 // (which may be nil): fused step records come back as their
-// constituent Work/Fetch/Dispatch events. Delta bases start at zero,
-// matching the writer's per-segment reset.
+// constituent Work/Fetch/Dispatch events, and compressed payloads are
+// inflated first. Delta bases start at zero, matching the writer's
+// per-segment reset.
 func (s Segment) Decode(dst []Record) ([]Record, error) {
-	r := &byteReader{b: s.Data}
+	if s.Records > maxSegmentRecords {
+		return nil, fmt.Errorf("disptrace: segment claims %d records (limit %d)", s.Records, maxSegmentRecords)
+	}
+	raw, err := s.payload()
+	if err != nil {
+		return nil, err
+	}
+	r := &byteReader{b: raw}
 	var prevFetch, prevBranch, prevTarget uint64
 	if cap(dst)-len(dst) < s.Records {
 		grown := make([]Record, len(dst), len(dst)+s.Records)
@@ -434,8 +557,8 @@ func (s Segment) Decode(dst []Record) ([]Record, error) {
 			return nil, r.err
 		}
 	}
-	if r.off != len(s.Data) {
-		return nil, fmt.Errorf("disptrace: %d trailing bytes after %d segment records", len(s.Data)-r.off, s.Records)
+	if r.off != len(raw) {
+		return nil, fmt.Errorf("disptrace: %d trailing bytes after %d segment records", len(raw)-r.off, s.Records)
 	}
 	return dst, nil
 }
@@ -443,7 +566,7 @@ func (s Segment) Decode(dst []Record) ([]Record, error) {
 // Records decodes the full record stream (all segments, in order).
 func (t *Trace) Records() ([]Record, error) {
 	var out []Record
-	if t.Header.Records <= math.MaxInt32 {
+	if t.Header.Records <= maxRecordsPrealloc {
 		out = make([]Record, 0, t.Header.Records)
 	}
 	for _, s := range t.Segs {

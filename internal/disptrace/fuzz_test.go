@@ -41,21 +41,26 @@ func recordsFromBytes(data []byte) []disptrace.Record {
 	return recs
 }
 
-// FuzzTraceRoundTrip checks the two codec guarantees the subsystem
-// rests on: (1) any record stream encodes and decodes back
-// bit-exactly, and (2) arbitrary bytes — corrupt headers included —
-// fed to Decode produce an error or a valid trace, never a panic.
+// FuzzTraceRoundTrip checks the codec guarantees the subsystem rests
+// on: (1) any record stream encodes and decodes back bit-exactly
+// through the compressed v2 form, (2) arbitrary bytes — corrupt
+// headers and flate payloads included — fed to Decode produce an
+// error or a valid trace, never a panic, and (3) arbitrary bytes
+// interpreted as a compressed segment payload error cleanly out of
+// both segment decoders.
 func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add(bytes.Repeat([]byte{2, 0xff}, 64)) // dispatch-heavy
-	// A valid encoded trace as a seed for the raw-decode arm.
+	// Valid encoded traces as seeds for the raw-decode arm: the
+	// compressed v2 form and the legacy v1 form.
 	{
 		w := disptrace.NewWriter(disptrace.Header{Workload: "seed", Lang: "forth"})
 		w.RecordWork(7)
 		w.RecordFetch(0x2000, 16)
 		w.RecordDispatch(0x2040, 3, 0x2100)
 		f.Add(w.Trace().Encode())
+		f.Add(disptrace.EncodeV1(w.Trace()))
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -73,7 +78,25 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			}
 		}
 
-		// Arm 2: structured round trip — bit-exact.
+		// Arm 2: raw bytes as a flate segment payload — truncated or
+		// garbled DEFLATE streams and lying raw sizes must error, not
+		// panic, from both segment decoders.
+		for _, rawBytes := range []int{0, 1, 64, 1 << 16} {
+			seg := disptrace.Segment{
+				Data:     data,
+				Records:  len(data)/4 + 1,
+				Codec:    disptrace.CodecFlate,
+				RawBytes: rawBytes,
+			}
+			if recs, err := seg.Decode(nil); err == nil {
+				_ = recs // a fuzz-built payload that inflates and decodes is fine
+			}
+			if ops, err := seg.DecodeOps(nil); err == nil {
+				_ = ops
+			}
+		}
+
+		// Arm 3: structured round trip — bit-exact.
 		recs := recordsFromBytes(data)
 		w := disptrace.NewWriter(disptrace.Header{Workload: "fuzz", Lang: "forth", Scale: 1})
 		for _, r := range recs {

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sync"
 
 	"vmopt/internal/core"
 	"vmopt/internal/cpu"
@@ -11,51 +13,75 @@ import (
 )
 
 // Replay drives sim over the trace: every recorded event is applied
-// through the same cpu.Sim entry points the engine used while
-// recording, in the same order, so the resulting counters — the float
-// cycle counters included — are byte-identical to the direct
-// simulation the trace was recorded from (on any machine model, since
-// the stream is machine-independent; see cpu.Sink).
+// with the same accounting as the cpu.Sim entry points the engine
+// used while recording, in the same order, so the resulting counters
+// — the float cycle counters included — are byte-identical to the
+// direct simulation the trace was recorded from (on any machine
+// model, since the stream is machine-independent; see cpu.Sink).
 //
-// jobs > 1 decodes segments on that many goroutines while applying
-// them strictly in order (the predictor and I-cache are sequential
-// state machines; only the varint decode parallelizes). jobs <= 1
-// replays fully sequentially.
+// jobs > 1 decodes (and decompresses) segments on that many
+// goroutines while the decoded batches are applied strictly in order;
+// jobs == 1 replays fully sequentially on the calling goroutine, and
+// jobs <= 0 picks automatically (sequential on a single-core box,
+// pipelined decode otherwise).
 //
 // Replay appends to sim's existing counters like a direct run would;
 // use a fresh sim for a fresh result. sim.Sink is ignored during
 // replay (replaying must not re-record).
 func Replay(t *Trace, sim *cpu.Sim, jobs int) error {
-	if jobs <= 1 || len(t.Segs) <= 1 {
-		return ReplayEach(t, []*cpu.Sim{sim})
-	}
-	savedSink := sim.Sink
-	sim.Sink = nil
-	defer func() { sim.Sink = savedSink }()
-
-	// The engine credits dynamic code bytes before stepping; neither
-	// ordering affects cycles (integer-only), so totals suffice.
-	sim.AddCodeBytes(t.Header.CodeBytes)
-	if err := applyParallel(t, sim, jobs); err != nil {
-		return err
-	}
-	sim.C.VMInstructions += t.Header.VMInstructions
-	return nil
+	return replayEach(t, []*cpu.Sim{sim}, jobs)
 }
 
 // ReplayEach replays the trace into several simulators at once with a
-// single decode pass: per record, the event is applied to every sim
-// in order. This is how a grid that varies only the machine amortizes
-// the decode — one trace read serves N machines. Each sim sees the
-// exact event sequence a solo Replay would deliver, so the per-sim
-// counters stay byte-identical to direct simulation.
+// single decode pass: each segment is decoded (and decompressed) into
+// one immutable batch of cpu.Op events, and the batch is broadcast to
+// one applier goroutine per simulator, so the N machines of a grid
+// group apply in parallel while later segments decode. This is how a
+// grid that varies only the machine amortizes the decode — one trace
+// read serves N machines — and how wide machine grids use the cores
+// the sequential predictor/I-cache state machines would otherwise
+// leave idle. Each sim sees the exact event sequence a solo Replay
+// would deliver, so the per-sim counters stay byte-identical to
+// direct simulation.
 func ReplayEach(t *Trace, sims []*cpu.Sim) error {
+	return replayEach(t, sims, defaultDecodeJobs())
+}
+
+// defaultDecodeJobs sizes the decode side of the replay pipeline.
+// Decoding is much cheaper than applying, so a few goroutines keep
+// any number of appliers fed; more would only grow the in-flight
+// batch window.
+func defaultDecodeJobs() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// applyQueueDepth is the per-applier channel buffer: enough to ride
+// out scheduling jitter between appliers without holding many decoded
+// batches alive.
+const applyQueueDepth = 2
+
+// replayEach is the shared replay path: detach sinks, credit the
+// stream totals, and run the decode/apply schedule.
+func replayEach(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 	if len(sims) == 0 {
 		return nil
+	}
+	if decodeJobs <= 0 {
+		decodeJobs = defaultDecodeJobs()
 	}
 	saved := make([]cpu.Sink, len(sims))
 	for i, sim := range sims {
 		saved[i], sim.Sink = sim.Sink, nil
+		// The engine credits dynamic code bytes before stepping;
+		// neither ordering affects cycles (integer-only), so totals
+		// suffice.
 		sim.AddCodeBytes(t.Header.CodeBytes)
 	}
 	defer func() {
@@ -63,10 +89,15 @@ func ReplayEach(t *Trace, sims []*cpu.Sim) error {
 			sim.Sink = saved[i]
 		}
 	}()
-	for _, s := range t.Segs {
-		if err := s.applyEach(sims); err != nil {
-			return err
-		}
+
+	var err error
+	if len(sims) == 1 && (decodeJobs <= 1 || len(t.Segs) <= 1) {
+		err = replaySequential(t, sims[0])
+	} else {
+		err = replayPipelined(t, sims, decodeJobs)
+	}
+	if err != nil {
+		return err
 	}
 	for _, sim := range sims {
 		sim.C.VMInstructions += t.Header.VMInstructions
@@ -74,13 +105,116 @@ func ReplayEach(t *Trace, sims []*cpu.Sim) error {
 	return nil
 }
 
-// applyEach decodes the segment straight into the simulators, fused
-// in one pass: no intermediate Record slice is materialized, which is
-// what makes replay cheaper than re-running the interpreter (a trace
-// stores a few bytes per event, and streaming those bytes beats
-// writing and re-reading 32-byte records through the cache).
-func (s Segment) applyEach(sims []*cpu.Sim) error {
-	b := s.Data
+// replaySequential decodes and applies on one goroutine, reusing one
+// op buffer and one inflate scratch buffer across segments.
+func replaySequential(t *Trace, sim *cpu.Sim) error {
+	var ops []cpu.Op
+	var scratch []byte
+	for _, s := range t.Segs {
+		var err error
+		if ops, scratch, err = s.decodeOps(ops[:0], scratch); err != nil {
+			return err
+		}
+		sim.Apply(ops)
+	}
+	return nil
+}
+
+// replayPipelined is the sharded schedule: a bounded pool decodes
+// segments out of order, a coordinator forwards each decoded batch in
+// stream order to every simulator's applier goroutine, and the
+// appliers run independently — the only cross-sim synchronization is
+// the batch hand-off. Batches are read-only after decode, so sharing
+// one batch across appliers is race-free.
+func replayPipelined(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
+	if decodeJobs < 1 {
+		decodeJobs = 1
+	}
+	type decoded struct {
+		ops []cpu.Op
+		err error
+	}
+	// Buffered result slot per segment so decoders never block on the
+	// coordinator; the semaphore bounds in-flight decoded segments.
+	slots := make([]chan decoded, len(t.Segs))
+	for i := range slots {
+		slots[i] = make(chan decoded, 1)
+	}
+	sem := make(chan struct{}, decodeJobs)
+	go func() {
+		for i := range t.Segs {
+			sem <- struct{}{}
+			go func(i int) {
+				ops, err := t.Segs[i].DecodeOps(nil)
+				slots[i] <- decoded{ops, err}
+			}(i)
+		}
+	}()
+
+	feeds := make([]chan []cpu.Op, len(sims))
+	var wg sync.WaitGroup
+	for k, sim := range sims {
+		feeds[k] = make(chan []cpu.Op, applyQueueDepth)
+		wg.Add(1)
+		go func(sim *cpu.Sim, ch <-chan []cpu.Op) {
+			defer wg.Done()
+			for ops := range ch {
+				sim.Apply(ops)
+			}
+		}(sim, feeds[k])
+	}
+
+	var firstErr error
+	for i := range t.Segs {
+		d := <-slots[i]
+		<-sem
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		if firstErr == nil {
+			for _, ch := range feeds {
+				ch <- d.ops
+			}
+		}
+		// Keep draining so every decoder goroutine finishes even
+		// after an error.
+	}
+	for _, ch := range feeds {
+		close(ch)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// DecodeOps expands the segment into a batch of cpu.Op events,
+// appending to dst (which may be nil): fused step records come back
+// as their constituent Work/Fetch/Dispatch events and compressed
+// payloads are inflated first. A batch stores the already-resolved
+// addresses (delta decoding happens here, once), so applying it is a
+// tight loop over a slice — the form cpu.Sim.Apply consumes.
+func (s Segment) DecodeOps(dst []cpu.Op) ([]cpu.Op, error) {
+	ops, _, err := s.decodeOps(dst, nil)
+	return ops, err
+}
+
+// decodeOps is DecodeOps with a reusable inflate scratch buffer (see
+// payloadScratch); sequential replay threads one buffer through every
+// segment.
+func (s Segment) decodeOps(dst []cpu.Op, scratch []byte) ([]cpu.Op, []byte, error) {
+	if s.Records > maxSegmentRecords {
+		return nil, scratch, fmt.Errorf("disptrace: segment claims %d records (limit %d)", s.Records, maxSegmentRecords)
+	}
+	b, scratch, err := s.payloadScratch(scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	// A record expands to at most 5 ops (tagStepDisp); reserving the
+	// bound up front keeps the hot append realloc-free.
+	if need := 5 * s.Records; cap(dst)-len(dst) < need {
+		grown := make([]cpu.Op, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	var prevFetch, prevBranch, prevTarget uint64
 	i := 0
 	// uv/sv are inlined-fast-path varint reads; they set ok=false on
@@ -116,46 +250,32 @@ func (s Segment) applyEach(sims []*cpu.Sim) error {
 	}
 	for n := 0; n < s.Records; n++ {
 		if i >= len(b) {
-			return fmt.Errorf("disptrace: truncated segment at record %d", n)
+			return nil, scratch, fmt.Errorf("disptrace: truncated segment at record %d", n)
 		}
 		tag := b[i]
 		i++
 		switch {
 		case tag >= tagWorkBase:
-			for _, sim := range sims {
-				sim.Work(int(tag - tagWorkBase))
-			}
+			dst = append(dst, cpu.Op{Kind: cpu.OpWork, A: uint64(tag - tagWorkBase)})
 		case tag == tagWorkExt:
-			v := uv()
-			for _, sim := range sims {
-				sim.Work(int(v))
-			}
+			dst = append(dst, cpu.Op{Kind: cpu.OpWork, A: uv()})
 		case tag == tagFetch:
 			prevFetch += uint64(sv())
-			size := uv()
-			for _, sim := range sims {
-				sim.Fetch(prevFetch, int(size))
-			}
+			dst = append(dst, cpu.Op{Kind: cpu.OpFetch, A: prevFetch, B: uv()})
 		case tag == tagDispatch:
 			prevBranch += uint64(sv())
 			hint := uv()
 			prevTarget += uint64(sv())
-			for _, sim := range sims {
-				sim.Dispatch(prevBranch, hint, prevTarget)
-			}
+			dst = append(dst, cpu.Op{Kind: cpu.OpDispatch, A: prevBranch, B: hint, C: prevTarget})
 		case tag == tagStepSeq:
 			w := uv()
 			prevFetch += uint64(sv())
 			size := uv()
 			sw := uv()
-			if !ok {
-				return fmt.Errorf("disptrace: malformed record %d", n)
-			}
-			for _, sim := range sims {
-				sim.Work(int(w))
-				sim.Fetch(prevFetch, int(size))
-				sim.Work(int(sw))
-			}
+			dst = append(dst,
+				cpu.Op{Kind: cpu.OpWork, A: w},
+				cpu.Op{Kind: cpu.OpFetch, A: prevFetch, B: size},
+				cpu.Op{Kind: cpu.OpWork, A: sw})
 		default: // tagStepDisp
 			w := uv()
 			prevFetch += uint64(sv())
@@ -165,26 +285,22 @@ func (s Segment) applyEach(sims []*cpu.Sim) error {
 			prevBranch += uint64(sv())
 			hint := uv()
 			prevTarget += uint64(sv())
-			if !ok {
-				return fmt.Errorf("disptrace: malformed record %d", n)
-			}
-			for _, sim := range sims {
-				sim.Work(int(w))
-				sim.Fetch(prevFetch, int(size))
-				sim.Work(int(dw))
-				sim.Fetch(prevBranch, int(ds))
-				sim.Dispatch(prevBranch, hint, prevTarget)
-			}
-			prevFetch = prevBranch
+			dst = append(dst,
+				cpu.Op{Kind: cpu.OpWork, A: w},
+				cpu.Op{Kind: cpu.OpFetch, A: prevFetch, B: size},
+				cpu.Op{Kind: cpu.OpWork, A: dw},
+				cpu.Op{Kind: cpu.OpFetch, A: prevBranch, B: ds},
+				cpu.Op{Kind: cpu.OpDispatch, A: prevBranch, B: hint, C: prevTarget})
+			prevFetch = prevBranch // the step's last fetch was the branch
 		}
 		if !ok {
-			return fmt.Errorf("disptrace: malformed record %d", n)
+			return nil, scratch, fmt.Errorf("disptrace: malformed record %d", n)
 		}
 	}
 	if i != len(b) {
-		return fmt.Errorf("disptrace: %d trailing bytes after %d segment records", len(b)-i, s.Records)
+		return nil, scratch, fmt.Errorf("disptrace: %d trailing bytes after %d segment records", len(b)-i, s.Records)
 	}
-	return nil
+	return dst, scratch, nil
 }
 
 // ReplayMachine replays the trace on a fresh simulator for machine m
@@ -195,59 +311,6 @@ func ReplayMachine(t *Trace, m cpu.Machine, jobs int) (metrics.Counters, error) 
 		return metrics.Counters{}, err
 	}
 	return sim.C, nil
-}
-
-// apply feeds decoded records into the simulator.
-func apply(sim *cpu.Sim, recs []Record) {
-	for _, r := range recs {
-		switch r.Kind {
-		case KWork:
-			sim.Work(int(r.A))
-		case KFetch:
-			sim.Fetch(r.A, int(r.B))
-		case KDispatch:
-			sim.Dispatch(r.A, r.B, r.C)
-		}
-	}
-}
-
-// applyParallel decodes segments on a bounded pool and applies them
-// in order: decode i+1..i+jobs overlaps with applying segment i.
-func applyParallel(t *Trace, sim *cpu.Sim, jobs int) error {
-	type decoded struct {
-		recs []Record
-		err  error
-	}
-	// Buffered result slot per segment so decoders never block on the
-	// consumer; the semaphore bounds in-flight decoded segments.
-	slots := make([]chan decoded, len(t.Segs))
-	for i := range slots {
-		slots[i] = make(chan decoded, 1)
-	}
-	sem := make(chan struct{}, jobs)
-	go func() {
-		for i := range t.Segs {
-			sem <- struct{}{}
-			go func(i int) {
-				recs, err := t.Segs[i].Decode(nil)
-				slots[i] <- decoded{recs, err}
-			}(i)
-		}
-	}()
-	var firstErr error
-	for i := range t.Segs {
-		d := <-slots[i]
-		<-sem
-		if d.err != nil && firstErr == nil {
-			firstErr = d.err
-		}
-		if firstErr == nil {
-			apply(sim, d.recs)
-		}
-		// Keep draining so every decoder goroutine finishes even
-		// after an error.
-	}
-	return firstErr
 }
 
 // Verify checks the decoded stream against the header totals; a trace

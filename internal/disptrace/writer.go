@@ -214,8 +214,12 @@ func (w *Writer) Trace() *Trace {
 
 // Save writes the trace to path atomically (temp file + rename), so a
 // crashed or concurrent writer never leaves a half-written trace
-// behind for readers to trip over.
-func (t *Trace) Save(path string) error {
+// behind for readers to trip over. Segment payloads are compressed
+// with DefaultCodec on the way out (SaveCodec chooses explicitly).
+func (t *Trace) Save(path string) error { return t.SaveCodec(path, DefaultCodec) }
+
+// SaveCodec is Save with an explicit segment codec.
+func (t *Trace) SaveCodec(path string, c Codec) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("disptrace: %w", err)
@@ -225,7 +229,7 @@ func (t *Trace) Save(path string) error {
 		return fmt.Errorf("disptrace: %w", err)
 	}
 	tmp := f.Name()
-	_, werr := f.Write(t.Encode())
+	_, werr := f.Write(t.EncodeCodec(c))
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr

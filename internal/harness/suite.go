@@ -362,6 +362,9 @@ func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (met
 		return *recorded, nil
 	}
 	sim := cpu.NewSim(m)
+	// jobs=1: this runs inside the suite's worker pool, which already
+	// saturates the cores; sequential replay keeps its buffer reuse
+	// instead of nesting decode goroutines that have nowhere to run.
 	if err := disptrace.Replay(tr, sim, 1); err != nil {
 		return metrics.Counters{}, fmt.Errorf("%s/%s on %s: replaying trace: %w", w.Name, v.Name, m.Name, err)
 	}
