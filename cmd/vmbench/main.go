@@ -334,7 +334,11 @@ func collect(s *harness.Suite, exp string) (*runner.Report, error) {
 // structured report: every rendered table plus every underlying
 // simulated run.
 func collectExps(s *harness.Suite, exp string, selected []experiment) (*runner.Report, error) {
-	r := &runner.Report{Schema: runner.SchemaVersion, Exp: exp, ScaleDiv: s.ScaleDiv}
+	// Host metadata documents the capture environment (notably the
+	// core count behind any parallel-replay wall-clock claims); the
+	// simulated runs themselves are host-independent and Diff ignores
+	// the block.
+	r := &runner.Report{Schema: runner.SchemaVersion, Exp: exp, ScaleDiv: s.ScaleDiv, Host: runner.CurrentHost()}
 	for _, e := range selected {
 		out, err := e.fn(s)
 		if err != nil {

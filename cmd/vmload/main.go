@@ -1,0 +1,320 @@
+// Command vmload is a YCSB-style load generator for vmserved: it
+// hammers the serving API with a configurable mix of duplicate-heavy
+// run and sweep requests from concurrent workers, verifies that
+// responses to identical requests are byte-identical (coalesced and
+// cached results must not diverge from computed ones), and reports
+// throughput and latency percentiles. CI uses it as the serve-smoke
+// gate; exit status is non-zero on any transport error, non-2xx
+// response, response divergence, or failed sweep cell (sweeps report
+// per-cell failures inside a 200 NDJSON stream, so the gate reads
+// the lines, not just the status).
+//
+// Usage:
+//
+//	vmload -addr http://127.0.0.1:8321 -n 200 -c 16 -dup 0.8
+//	vmload -mode sweep -workloads gray,tscp -scalediv 100 -stats
+//
+// The request corpus is the cross product of -workloads, -variants
+// and -machines (plus one sweep request per workload in sweep/mixed
+// modes). Each worker draws from a small hot set with probability
+// -dup and uniformly from the whole corpus otherwise, approximating
+// the zipfian request mix a cache-and-coalesce tier is built for.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmopt/internal/metrics"
+)
+
+// request is one reusable corpus entry. key identifies the logical
+// request for the divergence check.
+type request struct {
+	key  string
+	path string
+	body []byte
+	// sweep responses are NDJSON whose line order varies run to run;
+	// normalize before hashing.
+	normalize bool
+}
+
+type counters struct {
+	issued, errors, non2xx, diverged, cellErrors atomic.Uint64
+	hist                                         metrics.Histogram
+}
+
+// sweepLine is the subset of the server's NDJSON sweep schema the
+// checker needs: per-cell error lines and the final summary. A sweep
+// whose groups fail still answers 200 — the failures ride inside the
+// stream — so the gate has to read the lines, not just the status.
+type sweepLine struct {
+	Error  string `json:"error"`
+	Done   bool   `json:"done"`
+	Errors int    `json:"errors"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8321", "vmserved base URL")
+	mode := flag.String("mode", "mixed", "request mix: run, sweep or mixed")
+	n := flag.Int("n", 100, "total requests to issue")
+	c := flag.Int("c", 8, "concurrent workers")
+	dup := flag.Float64("dup", 0.75, "fraction of requests drawn from the hot set (duplicates)")
+	hot := flag.Int("hot", 4, "hot-set size (distinct requests the duplicate traffic cycles over)")
+	workloads := flag.String("workloads", "gray", "comma-separated workload names")
+	variants := flag.String("variants", "plain,dynamic super", "comma-separated variant labels")
+	machines := flag.String("machines", "", "comma-separated machine names (empty = server default: all)")
+	scaleDiv := flag.Int("scalediv", 50, "scale divisor sent with every request")
+	seed := flag.Int64("seed", 1, "request-mix random seed")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	stats := flag.Bool("stats", false, "fetch and print /v1/stats after the run")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vmload: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *n < 1 || *c < 1 {
+		// A zero-request "run" would exit 0 having verified nothing —
+		// fail loudly instead of silently passing the smoke gate.
+		fmt.Fprintf(os.Stderr, "vmload: -n (%d) and -c (%d) must be >= 1\n", *n, *c)
+		os.Exit(2)
+	}
+
+	corpus, err := buildCorpus(*mode, split(*workloads), split(*variants), split(*machines), *scaleDiv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmload:", err)
+		os.Exit(2)
+	}
+	if *hot < 1 {
+		*hot = 1
+	}
+	if *hot > len(corpus) {
+		*hot = len(corpus)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		cnt    counters
+		seen   sync.Map // request key -> [32]byte response hash
+		ticket atomic.Int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := range *c {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for {
+				t := ticket.Add(1)
+				if t > int64(*n) {
+					return
+				}
+				var req request
+				if rng.Float64() < *dup {
+					req = corpus[rng.Intn(*hot)]
+				} else {
+					req = corpus[rng.Intn(len(corpus))]
+				}
+				issue(client, *addr, req, &cnt, &seen)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	issued := cnt.issued.Load()
+	qps := float64(issued) / elapsed.Seconds()
+	snap := cnt.hist.Snapshot()
+	fmt.Printf("vmload: %d requests in %.2fs (%.1f req/s): %d errors, %d non-2xx, %d divergences, %d failed cells\n",
+		issued, elapsed.Seconds(), qps, cnt.errors.Load(), cnt.non2xx.Load(), cnt.diverged.Load(), cnt.cellErrors.Load())
+	fmt.Printf("vmload: latency mean %.1fms p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
+		snap.MeanMS, snap.P50MS, snap.P90MS, snap.P99MS, snap.MaxMS)
+
+	if *stats {
+		if body, err := fetch(client, *addr+"/v1/stats"); err != nil {
+			fmt.Fprintln(os.Stderr, "vmload: stats:", err)
+		} else {
+			fmt.Printf("vmload: server stats:\n%s", body)
+		}
+	}
+	if cnt.errors.Load()+cnt.non2xx.Load()+cnt.diverged.Load()+cnt.cellErrors.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// buildCorpus expands the flag grid into the distinct requests load
+// is drawn from: one /v1/run per cell and, in sweep/mixed modes, one
+// /v1/sweep per workload covering its variant x machine grid.
+func buildCorpus(mode string, workloads, variants, machines []string, scaleDiv int) ([]request, error) {
+	if len(workloads) == 0 || len(variants) == 0 {
+		return nil, fmt.Errorf("need at least one workload and one variant")
+	}
+	var corpus []request
+	addRun := func(w, v, m string) error {
+		body, err := json.Marshal(map[string]any{
+			"workload": w, "variant": v, "machine": m, "scalediv": scaleDiv,
+		})
+		if err != nil {
+			return err
+		}
+		corpus = append(corpus, request{
+			key: fmt.Sprintf("run|%s|%s|%s|%d", w, v, m, scaleDiv), path: "/v1/run", body: body,
+		})
+		return nil
+	}
+	addSweep := func(w string) error {
+		payload := map[string]any{"workloads": []string{w}, "variants": variants, "scalediv": scaleDiv}
+		if len(machines) > 0 {
+			payload["machines"] = machines
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		corpus = append(corpus, request{
+			key:  fmt.Sprintf("sweep|%s|%s|%s|%d", w, strings.Join(variants, "+"), strings.Join(machines, "+"), scaleDiv),
+			path: "/v1/sweep", body: body, normalize: true,
+		})
+		return nil
+	}
+	runMachines := machines
+	if len(runMachines) == 0 {
+		// /v1/run requires an explicit machine; spread single-cell
+		// load over the paper's primary models.
+		runMachines = []string{"celeron-800", "pentium4-northwood", "pentium-m"}
+	}
+	switch mode {
+	case "run", "mixed", "sweep":
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want run, sweep or mixed)", mode)
+	}
+	if mode == "sweep" || mode == "mixed" {
+		// Sweeps first: they land in the hot set, which is where
+		// coalescing and the caches earn their keep.
+		for _, w := range workloads {
+			if err := addSweep(w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if mode == "run" || mode == "mixed" {
+		for _, w := range workloads {
+			for _, v := range variants {
+				for _, m := range runMachines {
+					if err := addRun(w, v, m); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return corpus, nil
+}
+
+// issue sends one request, records its latency and outcome, and
+// checks the response against the first response seen for the same
+// logical request — duplicates must be byte-identical (sweep NDJSON
+// is order-normalized first).
+func issue(client *http.Client, addr string, req request, cnt *counters, seen *sync.Map) {
+	cnt.issued.Add(1)
+	start := time.Now()
+	resp, err := client.Post(addr+req.path, "application/json", bytes.NewReader(req.body))
+	if err != nil {
+		cnt.errors.Add(1)
+		fmt.Fprintf(os.Stderr, "vmload: %s: %v\n", req.path, err)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cnt.hist.Observe(time.Since(start))
+	if err != nil {
+		cnt.errors.Add(1)
+		fmt.Fprintf(os.Stderr, "vmload: %s: reading response: %v\n", req.path, err)
+		return
+	}
+	if resp.StatusCode/100 != 2 {
+		cnt.non2xx.Add(1)
+		fmt.Fprintf(os.Stderr, "vmload: %s: HTTP %d: %s\n", req.path, resp.StatusCode, firstLine(body))
+		return
+	}
+	norm := body
+	if req.normalize {
+		lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+		sawDone := false
+		for _, line := range lines {
+			var l sweepLine
+			if err := json.Unmarshal([]byte(line), &l); err != nil {
+				cnt.cellErrors.Add(1)
+				fmt.Fprintf(os.Stderr, "vmload: %s: unparseable NDJSON line %q\n", req.path, line)
+				continue
+			}
+			if l.Done {
+				sawDone = true
+				if l.Errors > 0 {
+					cnt.cellErrors.Add(uint64(l.Errors))
+					fmt.Fprintf(os.Stderr, "vmload: %s: sweep summary reports %d failed cells (%s)\n", req.path, l.Errors, req.key)
+				}
+			} else if l.Error != "" {
+				// Counted via the summary; log the first few details.
+				fmt.Fprintf(os.Stderr, "vmload: %s: cell error: %s\n", req.path, l.Error)
+			}
+		}
+		if !sawDone {
+			cnt.cellErrors.Add(1)
+			fmt.Fprintf(os.Stderr, "vmload: %s: sweep response missing done line (%s)\n", req.path, req.key)
+		}
+		sort.Strings(lines)
+		norm = []byte(strings.Join(lines, "\n"))
+	}
+	sum := sha256.Sum256(norm)
+	if prev, loaded := seen.LoadOrStore(req.key, sum); loaded && prev.([32]byte) != sum {
+		cnt.diverged.Add(1)
+		fmt.Fprintf(os.Stderr, "vmload: %s: response diverged from earlier identical request (%s)\n", req.path, req.key)
+	}
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}

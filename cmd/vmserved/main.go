@@ -1,0 +1,98 @@
+// Command vmserved serves the experiment surface of the reproduction
+// over HTTP/JSON: any (workload, variant, machine, scale) cell of the
+// paper's evaluation on demand, with tiered caching (in-memory LRU
+// over the on-disk dispatch-trace cache), coalescing of identical
+// concurrent requests, worker-pool backpressure and graceful
+// shutdown. See internal/serve for the subsystem and the README
+// "Serving API" section for the endpoint reference.
+//
+// Usage:
+//
+//	vmserved -addr :8321 -trace-cache .vmtraces
+//	vmserved -cache 8192 -jobs 8 -inflight 128 -scalediv 50
+//
+// Endpoints:
+//
+//	POST /v1/run          one cell -> runner.Run JSON
+//	POST /v1/sweep        grid of cells -> NDJSON stream
+//	GET  /v1/traces       on-disk trace cache index
+//	GET  /v1/traces/{id}  one trace's metadata
+//	GET  /v1/stats        hit rates, coalescing, latency percentiles
+//	GET  /healthz         liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	traceCache := flag.String("trace-cache", "", "directory for the dispatch-trace cache (tier 3; empty = no disk cache)")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "in-memory result LRU entries (tier 1)")
+	jobs := flag.Int("jobs", 0, "worker-pool parallelism per request grid (0 = GOMAXPROCS)")
+	inflight := flag.Int("inflight", serve.DefaultMaxInFlight, "max concurrently executing run/sweep requests (backpressure; 503 beyond)")
+	maxCells := flag.Int("max-cells", serve.DefaultMaxCells, "max cells one sweep may resolve to")
+	scaleDiv := flag.Int("scalediv", 1, "default scale divisor for requests that omit scalediv")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vmserved: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
+		CacheSize:       *cacheSize,
+		Jobs:            *jobs,
+		MaxInFlight:     *inflight,
+		MaxCells:        *maxCells,
+		DefaultScaleDiv: *scaleDiv,
+	}
+	if *traceCache != "" {
+		cfg.Traces = disptrace.NewCache(*traceCache)
+	}
+	srv := serve.New(cfg)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vmserved: %v", err)
+	}
+	log.Printf("vmserved: listening on %s (trace cache %q, LRU %d, inflight %d)",
+		ln.Addr(), *traceCache, *cacheSize, *inflight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("vmserved: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("vmserved: shutting down (draining up to %s)", *drainTimeout)
+
+	// Drain in-flight requests first, then cancel the compute base
+	// context so any stragglers' grids stop dispatching.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vmserved: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("vmserved: bye")
+}

@@ -8,6 +8,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
+	"sync/atomic"
 
 	"vmopt/internal/runner"
 )
@@ -75,6 +78,28 @@ type Cache struct {
 	Dir string
 
 	flight runner.Flight[string, cacheOutcome]
+
+	loads, records, joined atomic.Uint64
+}
+
+// CacheStats counts cache activity since process start; the serving
+// subsystem reports it on /v1/stats. Loads + Records is the number of
+// flights that ran (disk hits vs fresh recordings); Joined counts
+// GetOrRecord calls that coalesced onto an in-progress flight instead
+// of touching the disk at all.
+type CacheStats struct {
+	Loads   uint64 `json:"loads"`
+	Records uint64 `json:"records"`
+	Joined  uint64 `json:"joined"`
+}
+
+// Stats snapshots the cache's activity counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Loads:   c.loads.Load(),
+		Records: c.records.Load(),
+		Joined:  c.joined.Load(),
+	}
 }
 
 // cacheOutcome is one GetOrRecord result shared across a flight.
@@ -120,15 +145,81 @@ func (c *Cache) Load(k Key) (*Trace, error) {
 	return t, nil
 }
 
+// traceIDPattern is the shape of a content address: the hex sha256
+// Key.ID produces. Only the cache knows its own file layout; callers
+// (the serving API) enumerate and load by ID through List/LoadID.
+var traceIDPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// ValidID reports whether id has the shape of a cache content
+// address.
+func ValidID(id string) bool { return traceIDPattern.MatchString(id) }
+
+// ErrNoTrace reports an ID absent from the cache.
+var ErrNoTrace = errors.New("disptrace: no such trace in cache")
+
+// CacheEntry is one resident trace file in the cache index.
+type CacheEntry struct {
+	ID    string `json:"id"`
+	Bytes int64  `json:"bytes"`
+}
+
+// List enumerates every trace resident in the cache directory. A
+// missing directory is an empty cache, not an error.
+func (c *Cache) List() ([]CacheEntry, error) {
+	entries, err := os.ReadDir(c.Dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("disptrace: %w", err)
+	}
+	var out []CacheEntry
+	for _, e := range entries {
+		id, isTrace := strings.CutSuffix(e.Name(), ".vmdt")
+		if !isTrace || !ValidID(id) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // deleted between ReadDir and stat
+		}
+		out = append(out, CacheEntry{ID: id, Bytes: info.Size()})
+	}
+	return out, nil
+}
+
+// LoadID loads a cached trace by its content address, returning the
+// trace and its on-disk size. Absent IDs return ErrNoTrace (also for
+// malformed IDs, which cannot name a cache file).
+func (c *Cache) LoadID(id string) (*Trace, int64, error) {
+	if !ValidID(id) {
+		return nil, 0, ErrNoTrace
+	}
+	path := filepath.Join(c.Dir, id+".vmdt")
+	fi, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, ErrNoTrace
+		}
+		return nil, 0, fmt.Errorf("disptrace: %w", err)
+	}
+	t, err := Load(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, fi.Size(), nil
+}
+
 // GetOrRecord returns the trace for key, loading it from disk or
 // recording it with record exactly once per in-process flight.
 // recorded reports whether this call (or the flight it joined)
 // performed a fresh recording rather than a disk load.
 func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, recorded bool, err error) {
-	o, _, err := c.flight.Do(k.ID(), func() (cacheOutcome, error) {
+	o, leader, err := c.flight.Do(k.ID(), func() (cacheOutcome, error) {
 		if t, err := c.Load(k); err != nil {
 			return cacheOutcome{}, err
 		} else if t != nil {
+			c.loads.Add(1)
 			return cacheOutcome{t: t}, nil
 		}
 		t, err := record()
@@ -138,7 +229,11 @@ func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, rec
 		if err := t.Save(c.Path(k)); err != nil {
 			return cacheOutcome{}, err
 		}
+		c.records.Add(1)
 		return cacheOutcome{t: t, recorded: true}, nil
 	})
+	if !leader {
+		c.joined.Add(1)
+	}
 	return o.t, o.recorded, err
 }

@@ -31,3 +31,8 @@ func EncodeV1(t *Trace) []byte {
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 	return append(out, body...)
 }
+
+// SetWriterSegLimit overrides the writer's records-per-segment limit
+// so tests can produce many-segment traces without writing millions
+// of records.
+func SetWriterSegLimit(w *Writer, n int) { w.segLimit = n }

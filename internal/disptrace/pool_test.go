@@ -1,0 +1,105 @@
+package disptrace_test
+
+import (
+	"runtime"
+	"testing"
+	"unsafe"
+
+	"vmopt/internal/cpu"
+	"vmopt/internal/disptrace"
+)
+
+// syntheticTrace writes a trace of segs segments with recordsPerSeg
+// fused step records each, exercising the writer's pattern fusion the
+// way the engine does.
+func syntheticTrace(t testing.TB, segs, recordsPerSeg int) *disptrace.Trace {
+	t.Helper()
+	w := disptrace.NewWriter(disptrace.Header{Workload: "synthetic", Lang: "forth", Variant: "plain"})
+	disptrace.SetWriterSegLimit(w, recordsPerSeg)
+	for i := range segs * recordsPerSeg {
+		code := uint64(0x1000 + (i%97)*64)
+		branch := code + 40
+		target := uint64(0x1000 + ((i+13)%97)*64)
+		w.RecordWork(2)
+		w.RecordFetch(code, 8)
+		w.RecordWork(1)
+		w.RecordFetch(branch, 4)
+		w.RecordDispatch(branch, uint64(i%251), target)
+		w.RecordVMInst()
+	}
+	tr := w.Trace()
+	if len(tr.Segs) != segs {
+		t.Fatalf("synthetic trace has %d segments, want %d", len(tr.Segs), segs)
+	}
+	return tr
+}
+
+// TestReplayEachRecyclesBatches is the allocation regression gate for
+// the refcounted batch pool: a pipelined replay must allocate a
+// bounded pool of op batches and recycle them across segments, not
+// one batch per segment. The assertion is on allocated bytes, where
+// the difference is unambiguous: one-batch-per-segment costs the full
+// decoded stream size per replay (64 segments here), while the pool
+// costs a handful of batches however many segments stream through.
+func TestReplayEachRecyclesBatches(t *testing.T) {
+	const segs, recs = 64, 512
+	tr := syntheticTrace(t, segs, recs)
+	sims := make([]*cpu.Sim, 4)
+	for i, m := range cpu.Machines()[:4] {
+		sims[i] = cpu.NewSim(m)
+	}
+
+	replay := func() {
+		if err := disptrace.ReplayEach(tr, sims); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay() // warm-up: page in code paths, settle one-time allocations
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const runs = 5
+	for range runs {
+		replay()
+	}
+	runtime.ReadMemStats(&after)
+	perRun := (after.TotalAlloc - before.TotalAlloc) / runs
+
+	// A non-recycling pipeline allocates every segment's batch: the
+	// whole decoded stream, every replay. Demand better than half
+	// that; the pool actually delivers ~10x better (a fixed pool of
+	// decodeJobs+3 batches plus per-replay channel plumbing).
+	opBytes := uint64(unsafe.Sizeof(cpu.Op{}))
+	fullStream := uint64(segs) * uint64(recs) * 5 * opBytes
+	if perRun > fullStream/2 {
+		t.Errorf("pipelined replay allocates %d bytes/run, want < %d (half the %d-byte decoded stream); batch pool not recycling",
+			perRun, fullStream/2, fullStream)
+	}
+	t.Logf("replay allocates %d bytes/run (decoded stream is %d bytes/replay unpooled)", perRun, fullStream)
+}
+
+// TestReplayEachPooledIdentity pins down that batch recycling does not
+// corrupt results: a pipelined multi-sim replay of a many-segment
+// trace must produce counters identical to independent sequential
+// replays.
+func TestReplayEachPooledIdentity(t *testing.T) {
+	tr := syntheticTrace(t, 16, 64)
+	machines := cpu.Machines()
+	group := make([]*cpu.Sim, len(machines))
+	for i, m := range machines {
+		group[i] = cpu.NewSim(m)
+	}
+	if err := disptrace.ReplayEach(tr, group); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range machines {
+		solo := cpu.NewSim(m)
+		if err := disptrace.Replay(tr, solo, 1); err != nil {
+			t.Fatal(err)
+		}
+		if group[i].C != solo.C {
+			t.Errorf("%s: pooled group replay %+v != sequential replay %+v", m.Name, group[i].C, solo.C)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vmopt/internal/core"
 	"vmopt/internal/cpu"
@@ -67,6 +68,46 @@ func defaultDecodeJobs() int {
 // batches alive.
 const applyQueueDepth = 2
 
+// opBatch is one decoded segment's event batch plus the number of
+// appliers that still have to release it. Batches are refcounted so
+// the replay pipeline can recycle the backing []cpu.Op the moment the
+// last applier finishes with it, instead of allocating one batch per
+// segment and leaving the reclaim to GC — for wide machine grids the
+// batches are the dominant replay allocation.
+type opBatch struct {
+	ops  []cpu.Op
+	refs atomic.Int32
+}
+
+// batchPool is a fixed-capacity recycler for opBatches. get blocks
+// while every batch is in flight, which doubles as the pipeline's
+// backpressure: decoders stall when the appliers fall behind, bounding
+// decoded memory to the pool size — the role the in-flight semaphore
+// used to play.
+type batchPool struct {
+	free chan *opBatch
+}
+
+func newBatchPool(size int) *batchPool {
+	p := &batchPool{free: make(chan *opBatch, size)}
+	for range size {
+		p.free <- &opBatch{}
+	}
+	return p
+}
+
+func (p *batchPool) get() *opBatch { return <-p.free }
+
+func (p *batchPool) put(b *opBatch) { p.free <- b }
+
+// release drops one reference and recycles the batch when it was the
+// last.
+func (b *opBatch) release(p *batchPool) {
+	if b.refs.Add(-1) == 0 {
+		p.put(b)
+	}
+}
+
 // replayEach is the shared replay path: detach sinks, credit the
 // stream totals, and run the decode/apply schedule.
 func replayEach(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
@@ -120,46 +161,71 @@ func replaySequential(t *Trace, sim *cpu.Sim) error {
 	return nil
 }
 
-// replayPipelined is the sharded schedule: a bounded pool decodes
-// segments out of order, a coordinator forwards each decoded batch in
-// stream order to every simulator's applier goroutine, and the
-// appliers run independently — the only cross-sim synchronization is
-// the batch hand-off. Batches are read-only after decode, so sharing
-// one batch across appliers is race-free.
+// replayPipelined is the sharded schedule: a fixed crew of decode
+// workers expands segments out of order into pooled batches, a
+// coordinator forwards each decoded batch in stream order to every
+// simulator's applier goroutine, and the appliers run independently —
+// the only cross-sim synchronization is the batch hand-off. Batches
+// are read-only between decode and release, so sharing one batch
+// across appliers is race-free; the last applier to release a batch
+// returns it to the pool for the next segment, so a replay allocates
+// a pool's worth of batches however many segments stream through.
 func replayPipelined(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 	if decodeJobs < 1 {
 		decodeJobs = 1
 	}
 	type decoded struct {
-		ops []cpu.Op
+		b   *opBatch
 		err error
 	}
-	// Buffered result slot per segment so decoders never block on the
-	// coordinator; the semaphore bounds in-flight decoded segments.
+	// Buffered result slot per segment so decode workers never block
+	// on the coordinator; the semaphore bounds segments admitted to
+	// decode (decoded-but-unconsumed parking), released as the
+	// coordinator consumes each slot in order. The pool must exceed
+	// that bound: the admitted segments hold at most decodeJobs
+	// batches between them, the applier feeds hold a further bounded,
+	// always-draining set, so the worker decoding the oldest admitted
+	// segment can never starve in get — without the semaphore, workers
+	// could park every pooled batch in future segments' slots and
+	// deadlock against the in-order coordinator.
 	slots := make([]chan decoded, len(t.Segs))
 	for i := range slots {
 		slots[i] = make(chan decoded, 1)
 	}
+	pool := newBatchPool(decodeJobs + applyQueueDepth + 1)
 	sem := make(chan struct{}, decodeJobs)
+	segs := make(chan int)
 	go func() {
 		for i := range t.Segs {
 			sem <- struct{}{}
-			go func(i int) {
-				ops, err := t.Segs[i].DecodeOps(nil)
-				slots[i] <- decoded{ops, err}
-			}(i)
+			segs <- i
 		}
+		close(segs)
 	}()
+	for range decodeJobs {
+		go func() {
+			// Each worker threads its own inflate scratch buffer
+			// through the segments it decodes.
+			var scratch []byte
+			for i := range segs {
+				b := pool.get()
+				var err error
+				b.ops, scratch, err = t.Segs[i].decodeOps(b.ops[:0], scratch)
+				slots[i] <- decoded{b, err}
+			}
+		}()
+	}
 
-	feeds := make([]chan []cpu.Op, len(sims))
+	feeds := make([]chan *opBatch, len(sims))
 	var wg sync.WaitGroup
 	for k, sim := range sims {
-		feeds[k] = make(chan []cpu.Op, applyQueueDepth)
+		feeds[k] = make(chan *opBatch, applyQueueDepth)
 		wg.Add(1)
-		go func(sim *cpu.Sim, ch <-chan []cpu.Op) {
+		go func(sim *cpu.Sim, ch <-chan *opBatch) {
 			defer wg.Done()
-			for ops := range ch {
-				sim.Apply(ops)
+			for b := range ch {
+				sim.Apply(b.ops)
+				b.release(pool)
 			}
 		}(sim, feeds[k])
 	}
@@ -172,12 +238,16 @@ func replayPipelined(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 			firstErr = d.err
 		}
 		if firstErr == nil {
+			d.b.refs.Store(int32(len(sims)))
 			for _, ch := range feeds {
-				ch <- d.ops
+				ch <- d.b
 			}
+		} else {
+			// Keep draining — and keep recycling — so every decode
+			// worker finishes even after an error instead of blocking
+			// forever on an exhausted pool.
+			pool.put(d.b)
 		}
-		// Keep draining so every decoder goroutine finishes even
-		// after an error.
 	}
 	for _, ch := range feeds {
 		close(ch)

@@ -77,16 +77,28 @@ func NewTestSuite() *Suite {
 }
 
 func (s *Suite) scale(w *workload.Workload) int {
-	d := s.ScaleDiv
-	if d <= 1 {
+	return ScaleAt(w, s.ScaleDiv)
+}
+
+// ScaleAt computes the concrete scale a workload runs at under a
+// scale divisor (DefaultScale reduced by the divisor, floored at 2) —
+// a pure function of its arguments, so callers that only need the
+// number (result records, cache keys) don't have to hold a suite.
+func ScaleAt(w *workload.Workload, scaleDiv int) int {
+	if scaleDiv <= 1 {
 		return w.DefaultScale
 	}
-	n := w.DefaultScale / d
+	n := w.DefaultScale / scaleDiv
 	if n < 2 {
 		n = 2
 	}
 	return n
 }
+
+// Scale reports the concrete scale the suite runs a workload at
+// (DefaultScale reduced by ScaleDiv, floored at 2) — the scale field
+// result records carry.
+func (s *Suite) Scale(w *workload.Workload) int { return s.scale(w) }
 
 // Variant is one interpreter configuration of Section 7.1.
 type Variant struct {
@@ -456,10 +468,23 @@ func (s *Suite) context() context.Context {
 // in a single decode pass, so the pool parallelism is over groups
 // rather than cells and Progress counts groups.
 func (s *Suite) RunSpecs(specs []RunSpec) ([]metrics.Counters, error) {
-	if s.Traces != nil {
-		return s.runSpecsTraced(specs)
+	return s.RunSpecsCtx(s.context(), specs)
+}
+
+// RunSpecsCtx is RunSpecs under a caller-supplied cancellation
+// context, overriding the suite's Ctx for this grid only. A server
+// shares one suite — and therefore one result/profile cache — across
+// many requests but needs each request's grid to stop dispatching
+// when that request is cancelled; results remain identical to
+// RunSpecs since the context controls scheduling, never simulation.
+func (s *Suite) RunSpecsCtx(ctx context.Context, specs []RunSpec) ([]metrics.Counters, error) {
+	if ctx == nil {
+		ctx = s.context()
 	}
-	return runner.Map(s.context(), len(specs),
+	if s.Traces != nil {
+		return s.runSpecsTraced(ctx, specs)
+	}
+	return runner.Map(ctx, len(specs),
 		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
 		func(ctx context.Context, i int) (metrics.Counters, error) {
 			sp := specs[i]
@@ -469,7 +494,7 @@ func (s *Suite) RunSpecs(specs []RunSpec) ([]metrics.Counters, error) {
 
 // runSpecsTraced is the record-once-replay-many grid schedule: one
 // pool job per (benchmark, variant) group.
-func (s *Suite) runSpecsTraced(specs []RunSpec) ([]metrics.Counters, error) {
+func (s *Suite) runSpecsTraced(ctx context.Context, specs []RunSpec) ([]metrics.Counters, error) {
 	type groupKey struct {
 		bench, variant string
 		scale          int
@@ -485,7 +510,7 @@ func (s *Suite) runSpecsTraced(specs []RunSpec) ([]metrics.Counters, error) {
 	}
 
 	results := make([]metrics.Counters, len(specs))
-	_, err := runner.Map(s.context(), len(order),
+	_, err := runner.Map(ctx, len(order),
 		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
 		func(ctx context.Context, gi int) (struct{}, error) {
 			idxs := groups[order[gi]]
@@ -599,6 +624,18 @@ func (s *Suite) RunAll(ws []*workload.Workload, vs []Variant, m cpu.Machine) (ma
 	}
 	return out, err
 }
+
+// ResultCount reports how many run results the suite has memoized.
+func (s *Suite) ResultCount() int { return s.results.Len() }
+
+// DropResults clears the suite's memoized run results while keeping
+// the (expensive) training profiles. The in-suite result cache never
+// evicts — right for a finite experiment grid, wrong for a
+// long-running server whose query space is open-ended; a server
+// bounds the suite by dropping results once they exceed its budget,
+// relying on its own LRU and the disk trace cache to keep hot cells
+// cheap to recompute.
+func (s *Suite) DropResults() { s.results.Reset() }
 
 // Snapshot returns every cached run as a structured result record,
 // sorted by key — the machine-readable layer behind vmbench's JSON

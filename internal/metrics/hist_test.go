@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations at 1ms, 10 at 100ms: p50 must bound 1ms, p99
+	// must reach the 100ms bucket.
+	for range 100 {
+		h.Observe(time.Millisecond)
+	}
+	for range 10 {
+		h.Observe(100 * time.Millisecond)
+	}
+	if got := h.Count(); got != 110 {
+		t.Fatalf("Count = %d, want 110", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want bucket bound in [1ms, 2ms]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 100*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 100ms", p99)
+	}
+	if got := h.Quantile(1); got < 100*time.Millisecond {
+		t.Errorf("p100 = %v, want >= 100ms", got)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 110 || snap.MaxMS < 100 {
+		t.Errorf("snapshot = %+v, want count 110 and max >= 100ms", snap)
+	}
+	wantMean := (100*1.0 + 10*100.0) / 110
+	if snap.MeanMS < wantMean*0.99 || snap.MeanMS > wantMean*1.01 {
+		t.Errorf("mean = %v ms, want ~%v ms", snap.MeanMS, wantMean)
+	}
+}
+
+func TestHistogramEdgeObservations(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamps to the lowest bucket
+	h.Observe(0)
+	h.Observe(1 << 62) // lands in the top bucket without panicking
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Quantile(1); got != time.Duration(1)<<62 {
+		t.Errorf("max quantile = %v, want 2^62 ns", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range per {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+				h.Quantile(0.9)
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("Count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,111 @@
+package runner
+
+import "sync"
+
+// lruEntry is one resident key/value pair on the recency list.
+type lruEntry[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *lruEntry[K, V]
+}
+
+// LRU is a bounded concurrency-safe least-recently-used cache. It is
+// the in-memory tier the serving subsystem layers over the
+// content-addressed disk trace cache: small (counters, not traces),
+// strictly bounded, and recency-evicting, where Group — the other
+// in-memory cache in this package — deliberately never evicts.
+//
+// A capacity <= 0 disables caching: Get always misses and Add is a
+// no-op, so callers can wire an LRU unconditionally and size it at
+// configuration time.
+type LRU[K comparable, V any] struct {
+	mu         sync.Mutex
+	cap        int
+	m          map[K]*lruEntry[K, V]
+	head, tail *lruEntry[K, V] // head is most recent
+}
+
+// NewLRU returns an LRU bounded to capacity entries.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{cap: capacity, m: make(map[K]*lruEntry[K, V])}
+}
+
+// unlink removes e from the recency list.
+func (c *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (c *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Get returns the cached value for key and marks it most recently
+// used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.value, true
+}
+
+// Add inserts or refreshes key, evicting the least recently used
+// entry when the cache is full.
+func (c *LRU[K, V]) Add(key K, value V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.value = value
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	if len(c.m) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+	e := &lruEntry[K, V]{key: key, value: value}
+	c.m[key] = e
+	c.pushFront(e)
+}
+
+// Len returns the number of resident entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Cap returns the configured capacity.
+func (c *LRU[K, V]) Cap() int { return c.cap }

@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a was just used, so adding c must evict b.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want LRU (b) evicted")
+	}
+	for k, want := range map[string]int{"a": 1, "c": 3} {
+		if v, ok := c.Get(k); !ok || v != want {
+			t.Errorf("Get(%q) = %d, %v; want %d, true", k, v, ok, want)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUUpdateRefreshes(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // refresh both value and recency
+	c.Add("c", 3)  // must evict b, not a
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Errorf("Get(a) = %d, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; want evicted after a's refresh")
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity LRU cached a value")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](64)
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 1000 {
+				k := (w*31 + i) % 100
+				c.Add(k, k)
+				if v, ok := c.Get(k); ok && v != k {
+					panic(fmt.Sprintf("Get(%d) returned %d", k, v))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity 64", c.Len())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 
@@ -70,14 +71,47 @@ type Experiment struct {
 	Notes  []string `json:"notes,omitempty"`
 }
 
+// Host describes the environment a report was captured in. The
+// simulated counters are deterministic — host and parallelism never
+// change a single run — but the capture environment still matters for
+// interpreting wall-clock claims around an artifact: a ReplayEach
+// speedup measured with GOMAXPROCS=1 reflects shared decode only,
+// while a multi-core capture additionally shards the apply cost. Every
+// checked-in BENCH_*.json therefore records where it came from.
+type Host struct {
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at capture time — the
+	// parallelism actually available to worker pools and replay
+	// appliers.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU is runtime.NumCPU at capture time.
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// CurrentHost captures the running process's host metadata.
+func CurrentHost() *Host {
+	return &Host{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
 // Report is the top-level machine-readable result document. It is
-// deliberately free of wall-clock metadata (timestamps, host names,
-// parallelism) so that the same experiments at the same scale always
-// serialize to identical bytes, whatever -jobs was.
+// free of wall-clock metadata (timestamps, run durations) so that the
+// same experiments at the same scale serialize to identical bytes on
+// one machine whatever -jobs was; the optional Host block describes
+// the capture environment without affecting any run, and Diff ignores
+// it.
 type Report struct {
 	Schema      string       `json:"schema"`
 	Exp         string       `json:"exp"`
 	ScaleDiv    int          `json:"scalediv"`
+	Host        *Host        `json:"host,omitempty"`
 	Experiments []Experiment `json:"experiments"`
 	Runs        []Run        `json:"runs"`
 }

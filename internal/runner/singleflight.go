@@ -1,6 +1,9 @@
 package runner
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // call is one in-progress single-flight computation.
 type call[V any] struct {
@@ -28,14 +31,31 @@ type Flight[K comparable, V any] struct {
 // call executed compute itself (true) or joined an in-progress
 // computation and shared its outcome (false).
 func (f *Flight[K, V]) Do(key K, compute func() (V, error)) (v V, leader bool, err error) {
+	return f.DoCtx(context.Background(), key, compute)
+}
+
+// DoCtx is Do with a cancellable join: a caller that coalesces onto
+// an in-progress computation stops waiting when ctx is done and
+// returns ctx's cause, while the leader — whose computation other
+// callers may still be waiting on — always runs compute to
+// completion (cancel the leader through whatever context compute
+// itself observes). Servers need this so a dropped duplicate client
+// releases its resources immediately instead of staying parked for
+// the leader's whole computation.
+func (f *Flight[K, V]) DoCtx(ctx context.Context, key K, compute func() (V, error)) (v V, leader bool, err error) {
 	f.mu.Lock()
 	if f.inflight == nil {
 		f.inflight = make(map[K]*call[V])
 	}
 	if c, ok := f.inflight[key]; ok {
 		f.mu.Unlock()
-		<-c.done
-		return c.v, false, c.err
+		select {
+		case <-c.done:
+			return c.v, false, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, context.Cause(ctx)
+		}
 	}
 	c := &call[V]{done: make(chan struct{})}
 	f.inflight[key] = c
@@ -124,4 +144,15 @@ func (g *Group[K, V]) Len() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.cache)
+}
+
+// Reset drops every memoized result. In-flight computations finish
+// normally and publish into the fresh map; callers that need a bound
+// on a Group's otherwise unbounded growth (long-running servers) call
+// this when an external tier — an LRU, a disk cache — holds the
+// results worth keeping.
+func (g *Group[K, V]) Reset() {
+	g.mu.Lock()
+	g.cache = nil
+	g.mu.Unlock()
 }

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/runner"
+)
+
+// Handler returns the server's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// maxRequestBytes bounds run/sweep request bodies. The largest
+// legitimate request is a sweep naming every workload, variant and
+// machine — well under a kilobyte — so a megabyte leaves generous
+// headroom while keeping admission control ahead of body buffering
+// (an unbounded json.Decoder would buffer an arbitrarily large value
+// before MaxCells or MaxInFlight were ever consulted).
+const maxRequestBytes = 1 << 20
+
+// errorBody writes a JSON error document with the given status.
+func errorBody(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// admit applies backpressure: it reserves an in-flight slot or
+// rejects the request with 503. The returned release must be called
+// exactly once when admission succeeded.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if n := s.stats.inFlight.Add(1); int(n) > s.cfg.maxInFlight() {
+		s.stats.inFlight.Add(-1)
+		s.stats.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errorBody(w, http.StatusServiceUnavailable, "server at capacity (%d requests in flight)", s.cfg.maxInFlight())
+		return nil, false
+	}
+	return func() { s.stats.inFlight.Add(-1) }, true
+}
+
+// requestCtx ties a computation to both the client connection and the
+// server lifecycle: whichever cancels first stops the grid.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// failStatus maps a computation error to an HTTP status.
+func failStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or the server is shutting down; 503
+		// tells well-behaved retrying clients to come back.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqRun.Add(1)
+	var req RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	scaleDiv := req.ScaleDiv
+	if scaleDiv <= 0 {
+		scaleDiv = s.cfg.defaultScaleDiv()
+	}
+	rc, err := resolveCell(req, scaleDiv)
+	if err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	c, err := s.runCell(ctx, rc)
+	if err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, failStatus(err), "%v", err)
+		return
+	}
+	run := runner.NewRun(rc.cell.workload, rc.cell.variant, rc.cell.machine, s.scaleOf(rc), c)
+	s.stats.latRun.Observe(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(run)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqSweep.Add(1)
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	scaleDiv := req.ScaleDiv
+	if scaleDiv <= 0 {
+		scaleDiv = s.cfg.defaultScaleDiv()
+	}
+	groups, err := resolveSweep(req, scaleDiv)
+	if err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := 0
+	for _, g := range groups {
+		cells += len(g.cells)
+	}
+	if max := s.cfg.maxCells(); cells > max {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusRequestEntityTooLarge, "sweep resolves to %d cells (limit %d)", cells, max)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	writeLine := func(line SweepLine) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// One pool job per group: groups stream out as they complete
+	// while Suite.RunSpecs shares each group's trace decode
+	// internally. Failures are per-group — every cell of a failed
+	// group reports the error — and never abort the remaining groups.
+	// processed records which groups the closure actually handled:
+	// runner.Map skips jobs it never dispatches after a cancellation
+	// without invoking the closure, and those groups still owe the
+	// client error lines and an honest errors count.
+	errCells := 0
+	var emu sync.Mutex
+	failGroup := func(g group, err error) {
+		emu.Lock()
+		errCells += len(g.cells)
+		emu.Unlock()
+		for _, rc := range g.cells {
+			writeLine(SweepLine{
+				Workload: rc.cell.workload, Variant: rc.cell.variant,
+				Machine: rc.cell.machine, Error: err.Error(),
+			})
+		}
+	}
+	processed := make([]bool, len(groups))
+	_, _ = runner.Map(ctx, len(groups), runner.Options{Jobs: s.cfg.Jobs},
+		func(ctx context.Context, gi int) (struct{}, error) {
+			processed[gi] = true
+			g := groups[gi]
+			res, err := s.runGroup(ctx, g)
+			if err != nil {
+				failGroup(g, err)
+				return struct{}{}, nil
+			}
+			for _, rc := range g.cells {
+				run := runner.NewRun(rc.cell.workload, rc.cell.variant, rc.cell.machine,
+					s.scaleOf(rc), res[rc.cell.machine])
+				writeLine(SweepLine{Run: &run})
+			}
+			return struct{}{}, nil
+		})
+	for gi, g := range groups {
+		if !processed[gi] {
+			failGroup(g, fmt.Errorf("skipped: %w", context.Cause(ctx)))
+		}
+	}
+	if errCells > 0 {
+		s.stats.errors.Add(1)
+	}
+	writeLine(SweepLine{Done: true, Cells: cells, Groups: len(groups), Errors: errCells})
+	s.stats.latSweep.Observe(time.Since(start))
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqTraces.Add(1)
+	if s.cfg.Traces == nil {
+		errorBody(w, http.StatusNotFound, "no trace cache configured")
+		return
+	}
+	entries, err := s.cfg.Traces.List()
+	if err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusInternalServerError, "reading trace cache: %v", err)
+		return
+	}
+	list := TraceList{Count: len(entries), Traces: entries}
+	if list.Traces == nil {
+		list.Traces = []disptrace.CacheEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(list)
+}
+
+func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqTraces.Add(1)
+	if s.cfg.Traces == nil {
+		errorBody(w, http.StatusNotFound, "no trace cache configured")
+		return
+	}
+	id := r.PathValue("id")
+	t, size, err := s.cfg.Traces.LoadID(id)
+	if errors.Is(err, disptrace.ErrNoTrace) {
+		errorBody(w, http.StatusNotFound, "no trace %s", id)
+		return
+	} else if err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	h := t.Header
+	info := TraceInfo{
+		ID: id, FileBytes: size,
+		Workload: h.Workload, Lang: h.Lang, Variant: h.Variant, Technique: h.Technique,
+		Scale: h.Scale, ScaleDiv: h.ScaleDiv, MaxSteps: h.MaxSteps,
+		Records: h.Records, Dispatches: h.Dispatches, VMInsts: h.VMInstructions,
+		Segments: len(t.Segs),
+	}
+	for _, seg := range t.Segs {
+		info.StoredBytes += len(seg.Data)
+		info.RawBytes += seg.RawLen()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqStats.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.stats.snapshot(s))
+}

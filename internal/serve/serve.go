@@ -1,0 +1,371 @@
+// Package serve exposes the whole experiment surface of the
+// reproduction as a concurrent HTTP/JSON service: any (workload,
+// variant, machine, scale) cell of the paper's evaluation — and any
+// grid of cells — on demand, at production request rates.
+//
+// The endpoints (see cmd/vmserved):
+//
+//	POST /v1/run        one cell; returns a runner.Run JSON document
+//	POST /v1/sweep      a grid of cells; streams NDJSON results
+//	GET  /v1/traces     index of the on-disk dispatch-trace cache
+//	GET  /v1/traces/{id}  metadata of one cached trace
+//	GET  /v1/stats      cache hit rates, coalescing, latency percentiles
+//	GET  /healthz       liveness
+//
+// Three tiers keep a hot serving path off the simulator entirely:
+//
+//  1. A bounded in-memory LRU (runner.LRU) of finished
+//     metrics.Counters, keyed by cell. Hits cost a map lookup.
+//  2. The harness suites' own caches — memoized results and trained
+//     static instruction sets — shared across requests and bounded by
+//     periodic resets (harness.Suite.DropResults).
+//  3. The content-addressed on-disk dispatch-trace cache
+//     (disptrace.Cache): a cell whose (workload, variant, scale)
+//     stream was ever recorded replays it instead of re-running the
+//     guest VM, and grouped sweep cells share one decode pass via
+//     Suite.RunSpecs and disptrace.ReplayEach.
+//
+// Identical concurrent requests are coalesced through runner.Flight:
+// a thundering herd asking for the same sweep costs one simulation,
+// with every caller receiving byte-identical results (simulation is
+// deterministic, so coalesced and direct results cannot differ).
+// Admission control returns 503 once the configured number of
+// requests is in flight, and each request's grid runs under that
+// request's context, so a dropped client stops consuming the worker
+// pool at the next cell boundary.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/harness"
+	"vmopt/internal/metrics"
+	"vmopt/internal/runner"
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults and no disk trace cache.
+type Config struct {
+	// Traces, when non-nil, is the shared on-disk dispatch-trace cache
+	// every suite records into and replays from.
+	Traces *disptrace.Cache
+	// CacheSize bounds the in-memory result LRU (entries); <= 0 means
+	// DefaultCacheSize.
+	CacheSize int
+	// Jobs is the per-suite worker-pool parallelism (<= 0 means
+	// GOMAXPROCS).
+	Jobs int
+	// MaxInFlight bounds concurrently executing /v1/run and /v1/sweep
+	// requests; further requests are rejected with 503 until capacity
+	// frees. <= 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxCells bounds the grid size of one sweep request; <= 0 means
+	// DefaultMaxCells.
+	MaxCells int
+	// DefaultScaleDiv applies when a request omits scalediv; <= 0
+	// means 1 (full scale).
+	DefaultScaleDiv int
+	// MaxSuites bounds how many per-scalediv suites stay live; <= 0
+	// means DefaultMaxSuites. Evicting a suite drops its memoized
+	// results and trained sets; the LRU and trace cache keep hot
+	// cells cheap.
+	MaxSuites int
+	// MaxSuiteResults bounds each suite's memoized result count;
+	// beyond it the suite's results are dropped (tier 2 reset). <= 0
+	// means DefaultMaxSuiteResults.
+	MaxSuiteResults int
+	// MaxSteps bounds each simulated run; 0 means the harness
+	// default.
+	MaxSteps uint64
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCacheSize       = 4096
+	DefaultMaxInFlight     = 64
+	DefaultMaxCells        = 4096
+	DefaultMaxSuites       = 4
+	DefaultMaxSuiteResults = 16384
+)
+
+func (c Config) cacheSize() int {
+	if c.CacheSize > 0 {
+		return c.CacheSize
+	}
+	return DefaultCacheSize
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
+func (c Config) maxCells() int {
+	if c.MaxCells > 0 {
+		return c.MaxCells
+	}
+	return DefaultMaxCells
+}
+
+func (c Config) defaultScaleDiv() int {
+	if c.DefaultScaleDiv > 0 {
+		return c.DefaultScaleDiv
+	}
+	return 1
+}
+
+func (c Config) maxSuites() int {
+	if c.MaxSuites > 0 {
+		return c.MaxSuites
+	}
+	return DefaultMaxSuites
+}
+
+func (c Config) maxSuiteResults() int {
+	if c.MaxSuiteResults > 0 {
+		return c.MaxSuiteResults
+	}
+	return DefaultMaxSuiteResults
+}
+
+// Server is the simulation-as-a-service engine: tiered caches,
+// request coalescing and the suite pool behind the HTTP handlers.
+type Server struct {
+	cfg Config
+
+	// baseCtx parents every computation; Close cancels it so worker
+	// pools stop dispatching during shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	lru *runner.LRU[cell, metrics.Counters]
+
+	// computeSem bounds concurrently computing cells/groups across
+	// the whole server. Per-request grids each spawn their own suite
+	// worker pool; without a server-wide bound, MaxInFlight distinct
+	// requests would run MaxInFlight x Jobs simulation goroutines and
+	// thrash the scheduler instead of queueing. Cached and coalesced
+	// work never touches the semaphore.
+	computeSem chan struct{}
+
+	runFlight   runner.Flight[cell, metrics.Counters]
+	groupFlight runner.Flight[string, map[string]metrics.Counters]
+
+	// mu makes suiteFor's get-or-create atomic; the LRU itself is
+	// already concurrency-safe and owns recency eviction.
+	mu     sync.Mutex
+	suites *runner.LRU[int, *harness.Suite]
+
+	stats stats
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		lru:        runner.NewLRU[cell, metrics.Counters](cfg.cacheSize()),
+		computeSem: make(chan struct{}, jobs),
+		suites:     runner.NewLRU[int, *harness.Suite](cfg.maxSuites()),
+	}
+	s.stats.start = time.Now()
+	return s
+}
+
+// acquireCompute takes one computation slot, honoring cancellation
+// while queued. The returned release must be called when compute is
+// done.
+func (s *Server) acquireCompute(ctx context.Context) (release func(), err error) {
+	select {
+	case s.computeSem <- struct{}{}:
+		return func() { <-s.computeSem }, nil
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// Close cancels every in-flight computation's base context. In-flight
+// grids stop dispatching new cells; already-running simulations finish.
+func (s *Server) Close() { s.cancel() }
+
+// suiteFor returns the shared suite for a scale divisor, creating it
+// on first use; the suite LRU evicts the least recently used suite
+// beyond the configured bound (in-flight users keep their reference;
+// the evicted suite's caches simply stop being shared).
+func (s *Server) suiteFor(scaleDiv int) *harness.Suite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if suite, ok := s.suites.Get(scaleDiv); ok {
+		return suite
+	}
+	suite := harness.NewSuite()
+	suite.ScaleDiv = scaleDiv
+	suite.Jobs = s.cfg.Jobs
+	suite.Ctx = s.baseCtx
+	suite.Traces = s.cfg.Traces
+	if s.cfg.MaxSteps > 0 {
+		suite.MaxSteps = s.cfg.MaxSteps
+	}
+	s.suites.Add(scaleDiv, suite)
+	return suite
+}
+
+// suiteCount reports live suites for /v1/stats.
+func (s *Server) suiteCount() int { return s.suites.Len() }
+
+// boundSuite applies the tier-2 memory bound after a computation.
+func (s *Server) boundSuite(suite *harness.Suite) {
+	if suite.ResultCount() > s.cfg.maxSuiteResults() {
+		suite.DropResults()
+		s.stats.resultsDropped.Add(1)
+	}
+}
+
+// coalesce runs compute at most once per concurrently requested key.
+// Joins are cancellable (a dropped duplicate client releases its
+// handler immediately; the leader runs to completion for whoever is
+// left). When a cancelled leader poisons the shared outcome while
+// this caller's own context is still live, the call retries and
+// becomes (or joins) a fresh leader, so one dropped client never
+// fails the herd that coalesced behind it.
+func coalesce[K comparable, V any](ctx context.Context, f *runner.Flight[K, V], st *stats, key K, compute func() (V, error)) (v V, joined bool, err error) {
+	for {
+		v, leader, err := f.DoCtx(ctx, key, compute)
+		if err != nil && !leader && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			st.canceledRetries.Add(1)
+			continue
+		}
+		return v, !leader, err
+	}
+}
+
+// runCell produces one cell's counters through the cache tiers:
+// LRU, coalesced flight, suite (which itself consults its result
+// cache and the disk trace cache).
+func (s *Server) runCell(ctx context.Context, rc resolved) (metrics.Counters, error) {
+	if c, ok := s.lru.Get(rc.cell); ok {
+		s.stats.lruHits.Add(1)
+		return c, nil
+	}
+	s.stats.lruMisses.Add(1)
+	c, joined, err := coalesce(ctx, &s.runFlight, &s.stats, rc.cell, func() (metrics.Counters, error) {
+		// Re-check: a fresh leader may start after a previous leader
+		// published to the LRU but before this caller's outer lookup
+		// saw it. Counted as a hit so the hits+coalesced accounting
+		// covers every duplicate however the race lands.
+		if c, ok := s.lru.Get(rc.cell); ok {
+			s.stats.lruHits.Add(1)
+			return c, nil
+		}
+		release, err := s.acquireCompute(ctx)
+		if err != nil {
+			return metrics.Counters{}, err
+		}
+		defer release()
+		suite := s.suiteFor(rc.cell.scaleDiv)
+		c, err := suite.Run(rc.w, rc.v, rc.m)
+		if err != nil {
+			return metrics.Counters{}, err
+		}
+		s.lru.Add(rc.cell, c)
+		s.stats.computedCells.Add(1)
+		s.boundSuite(suite)
+		return c, nil
+	})
+	if joined && err == nil {
+		s.stats.coalescedRuns.Add(1)
+	}
+	return c, err
+}
+
+// runGroup produces every cell of one sweep group. Cells all resident
+// in the LRU are served from it; otherwise the whole group is
+// computed behind one coalesced flight, sharing a single trace decode
+// across its machines via Suite.RunSpecs.
+func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Counters, error) {
+	out := make(map[string]metrics.Counters, len(g.cells))
+	hits := 0
+	for _, rc := range g.cells {
+		if c, ok := s.lru.Get(rc.cell); ok {
+			out[rc.cell.machine] = c
+			hits++
+		}
+	}
+	// Hit accounting is per lookup, not per group: a group with one
+	// evicted cell still credits its resident cells, so /v1/stats
+	// reflects how much of the traffic the LRU actually absorbed.
+	s.stats.lruHits.Add(uint64(hits))
+	s.stats.lruMisses.Add(uint64(len(g.cells) - hits))
+	if hits == len(g.cells) {
+		return out, nil
+	}
+
+	res, joined, err := coalesce(ctx, &s.groupFlight, &s.stats, g.key, func() (map[string]metrics.Counters, error) {
+		// Re-check: a previous leader may have published every cell
+		// between this caller's scan and its flight entry; don't
+		// recompute (or recount) what the LRU already holds.
+		m := make(map[string]metrics.Counters, len(g.cells))
+		for _, rc := range g.cells {
+			c, ok := s.lru.Get(rc.cell)
+			if !ok {
+				break
+			}
+			m[rc.cell.machine] = c
+		}
+		if len(m) == len(g.cells) {
+			return m, nil
+		}
+		release, err := s.acquireCompute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		suite := s.suiteFor(g.cells[0].cell.scaleDiv)
+		specs := make([]harness.RunSpec, len(g.cells))
+		for i, rc := range g.cells {
+			specs[i] = harness.RunSpec{W: rc.w, V: rc.v, M: rc.m}
+		}
+		cs, err := suite.RunSpecsCtx(ctx, specs)
+		if err != nil {
+			return nil, err
+		}
+		clear(m)
+		for i, rc := range g.cells {
+			m[rc.cell.machine] = cs[i]
+			s.lru.Add(rc.cell, cs[i])
+		}
+		s.stats.computedGroups.Add(1)
+		s.stats.computedCells.Add(uint64(len(g.cells)))
+		s.boundSuite(suite)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if joined {
+		s.stats.coalescedGroups.Add(1)
+	}
+	return res, nil
+}
+
+// scaleOf reports the concrete scale a cell runs at, for result
+// records. It is a pure computation — LRU-hit responses must not
+// touch the suite pool (instantiating or evicting suites) just to
+// label their scale.
+func (s *Server) scaleOf(rc resolved) int {
+	return harness.ScaleAt(rc.w, rc.cell.scaleDiv)
+}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vmopt/internal/cpu"
+	"vmopt/internal/disptrace"
+	"vmopt/internal/harness"
+	"vmopt/internal/runner"
+	"vmopt/internal/workload"
+)
+
+// testScaleDiv shrinks every workload to its scale floor so
+// simulations finish in milliseconds; tests care about the serving
+// semantics, not the counters' magnitudes.
+const testScaleDiv = 400
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// directRun computes a cell without the server, the way a vmbench
+// invocation would — the reference for byte-identity.
+func directRun(t *testing.T, wname, vname, mname string) []byte {
+	t.Helper()
+	w, err := workload.ByName(wname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := harness.VariantByName(w, vname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.MachineByName(mname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := harness.NewSuite()
+	suite.ScaleDiv = testScaleDiv
+	c, err := suite.Run(w, v, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := runner.NewRun(w.Name, v.Name, m.Name, suite.Scale(w), c)
+	b, err := json.Marshal(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n') // json.Encoder terminates with a newline
+}
+
+// TestRunCoalescing hammers /v1/run with identical concurrent
+// requests: every response must be byte-identical to the direct
+// harness result, and the herd must cost exactly one simulation.
+func TestRunCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Traces: disptrace.NewCache(t.TempDir())})
+	req := RunRequest{Workload: "gray", Variant: "plain", Machine: "celeron-800", ScaleDiv: testScaleDiv}
+
+	const herd = 16
+	bodies := make([][]byte, herd)
+	var wg sync.WaitGroup
+	for i := range herd {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := post(t, ts.URL+"/v1/run", req)
+			if status != http.StatusOK {
+				t.Errorf("request %d: HTTP %d: %s", i, status, body)
+			}
+			bodies[i] = body
+		}()
+	}
+	wg.Wait()
+
+	want := directRun(t, "gray", "plain", "celeron-800")
+	for i, b := range bodies {
+		if !bytes.Equal(b, want) {
+			t.Fatalf("response %d differs from direct harness result:\ngot  %s\nwant %s", i, b, want)
+		}
+	}
+	if got := s.stats.computedCells.Load(); got != 1 {
+		t.Errorf("computed %d cells for %d identical requests, want 1", got, herd)
+	}
+	if hits := s.stats.lruHits.Load(); hits+s.stats.coalescedRuns.Load() != herd-1 {
+		t.Errorf("hits (%d) + coalesced (%d) != %d duplicates",
+			hits, s.stats.coalescedRuns.Load(), herd-1)
+	}
+}
+
+// parseSweep splits an NDJSON sweep response into its lines and the
+// final summary.
+func parseSweep(t *testing.T, body []byte) (runs []runner.Run, errLines []SweepLine, done SweepLine) {
+	t.Helper()
+	sawDone := false
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		var l SweepLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch {
+		case l.Done:
+			done, sawDone = l, true
+		case l.Run != nil:
+			runs = append(runs, *l.Run)
+		default:
+			errLines = append(errLines, l)
+		}
+	}
+	if !sawDone {
+		t.Fatalf("sweep response missing done line: %s", body)
+	}
+	return runs, errLines, done
+}
+
+// TestSweepCoalescing fires identical concurrent sweeps and checks
+// the acceptance criterion end to end: one simulation per (workload,
+// variant) group in the shared trace cache, all responses identical
+// up to line order, and every cell byte-identical to direct
+// Suite.RunSpecs output.
+func TestSweepCoalescing(t *testing.T) {
+	cache := disptrace.NewCache(t.TempDir())
+	s, ts := newTestServer(t, Config{Traces: cache})
+	req := SweepRequest{
+		Workloads: []string{"gray"},
+		Variants:  []string{"plain", "dynamic super"},
+		ScaleDiv:  testScaleDiv,
+	}
+	wantCells := 2 * len(cpu.Machines())
+
+	const herd = 8
+	bodies := make([][]byte, herd)
+	var wg sync.WaitGroup
+	for i := range herd {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := post(t, ts.URL+"/v1/sweep", req)
+			if status != http.StatusOK {
+				t.Errorf("sweep %d: HTTP %d: %s", i, status, body)
+			}
+			bodies[i] = body
+		}()
+	}
+	wg.Wait()
+
+	normalize := func(b []byte) string {
+		lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	first := normalize(bodies[0])
+	for i, b := range bodies[1:] {
+		if normalize(b) != first {
+			t.Fatalf("sweep response %d differs from response 0", i+1)
+		}
+	}
+	runs, errLines, done := parseSweep(t, bodies[0])
+	if len(errLines) > 0 {
+		t.Fatalf("sweep reported cell errors: %+v", errLines)
+	}
+	if done.Cells != wantCells || done.Errors != 0 || len(runs) != wantCells {
+		t.Fatalf("done = %+v with %d runs, want %d cells and no errors", done, len(runs), wantCells)
+	}
+
+	// One recording per (workload, variant) group, never a duplicate.
+	if st := cache.Stats(); st.Records != 2 {
+		t.Errorf("trace cache performed %d recordings for %d identical sweeps, want 2 (one per group)", st.Records, herd)
+	}
+
+	// Byte-identity against a direct grid run sharing no state with
+	// the server (its own trace cache directory).
+	w, _ := workload.ByName("gray")
+	suite := harness.NewSuite()
+	suite.ScaleDiv = testScaleDiv
+	suite.Traces = disptrace.NewCache(t.TempDir())
+	var specs []harness.RunSpec
+	for _, vn := range req.Variants {
+		v, err := harness.VariantByName(w, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range cpu.Machines() {
+			specs = append(specs, harness.RunSpec{W: w, V: v, M: m})
+		}
+	}
+	cs, err := suite.RunSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i, sp := range specs {
+		run := runner.NewRun(sp.W.Name, sp.V.Name, sp.M.Name, suite.Scale(sp.W), cs[i])
+		b, _ := json.Marshal(run)
+		want[run.Key()] = string(b)
+	}
+	for _, run := range runs {
+		b, _ := json.Marshal(run)
+		if want[run.Key()] != string(b) {
+			t.Errorf("cell %s differs from direct RunSpecs output:\ngot  %s\nwant %s", run.Key(), b, want[run.Key()])
+		}
+	}
+	if s.stats.computedCells.Load() < uint64(wantCells) {
+		t.Errorf("computed cells %d < %d", s.stats.computedCells.Load(), wantCells)
+	}
+}
+
+// TestMixedDistinctRequests drives overlapping distinct runs and
+// sweeps concurrently — the race-detector soak for the serving path.
+func TestMixedDistinctRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Traces: disptrace.NewCache(t.TempDir())})
+	variants := []string{"plain", "dynamic super", "dynamic repl"}
+	machines := cpu.Machines()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := range 12 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%3 == 0 {
+				status, body := post(t, ts.URL+"/v1/sweep", SweepRequest{
+					Workloads: []string{"gray"},
+					Variants:  variants[:1+i%2],
+					ScaleDiv:  testScaleDiv,
+				})
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("sweep %d: HTTP %d: %s", i, status, body)
+				}
+				return
+			}
+			v := variants[i%len(variants)]
+			m := machines[i%len(machines)]
+			status, body := post(t, ts.URL+"/v1/run", RunRequest{
+				Workload: "gray", Variant: v, Machine: m.Name, ScaleDiv: testScaleDiv,
+			})
+			if status != http.StatusOK {
+				errs <- fmt.Sprintf("run %d (%s/%s): HTTP %d: %s", i, v, m.Name, status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestSweepCancellation cancels a sweep mid-flight and checks nothing
+// leaks: the handler returns, in-flight drops to zero, and the
+// goroutine count settles back to its pre-request level.
+func TestSweepCancellation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// A grid big enough to still be running when the cancel lands:
+	// every forth workload under the dynamic variants, full machine
+	// set, at test scale.
+	req := SweepRequest{
+		Workloads: []string{"gray", "tscp", "brew", "bench-gc", "cross", "vmgen", "brainless"},
+		Variants:  []string{"plain", "dynamic repl", "dynamic super", "dynamic both", "across bb"},
+		ScaleDiv:  testScaleDiv,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err == nil {
+		// The cancel may have landed after the response completed;
+		// that is fine — the request was simply fast.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		inFlight := s.stats.inFlight.Load()
+		goroutines := runtime.NumGoroutine()
+		if inFlight == 0 && goroutines <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("after cancellation: in-flight %d, goroutines %d (started at %d); stacks:\n%s",
+				inFlight, goroutines, before, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestBackpressure verifies the 503 path: with every slot occupied,
+// run and sweep requests are rejected without executing.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2})
+	s.stats.inFlight.Add(2) // occupy both slots deterministically
+	defer s.stats.inFlight.Add(-2)
+
+	status, body := post(t, ts.URL+"/v1/run", RunRequest{Workload: "gray", Variant: "plain", Machine: "celeron-800", ScaleDiv: testScaleDiv})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("run at capacity: HTTP %d (%s), want 503", status, body)
+	}
+	status, _ = post(t, ts.URL+"/v1/sweep", SweepRequest{Workloads: []string{"gray"}, Variants: []string{"plain"}, ScaleDiv: testScaleDiv})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("sweep at capacity: HTTP %d, want 503", status)
+	}
+	if got := s.stats.rejected.Load(); got != 2 {
+		t.Errorf("rejected = %d, want 2", got)
+	}
+	if got := s.stats.computedCells.Load(); got != 0 {
+		t.Errorf("rejected requests computed %d cells", got)
+	}
+}
+
+// TestValidation covers the 4xx surface.
+func TestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxCells: 3})
+	for _, tc := range []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"unknown workload", "/v1/run", RunRequest{Workload: "nope", Variant: "plain", Machine: "celeron-800"}, 400},
+		{"unknown variant", "/v1/run", RunRequest{Workload: "gray", Variant: "nope", Machine: "celeron-800"}, 400},
+		{"unknown machine", "/v1/run", RunRequest{Workload: "gray", Variant: "plain", Machine: "nope"}, 400},
+		{"empty sweep", "/v1/sweep", SweepRequest{}, 400},
+		{"variant matches nothing", "/v1/sweep", SweepRequest{Workloads: []string{"gray"}, Variants: []string{"w/static super across"}}, 400},
+		{"too many cells", "/v1/sweep", SweepRequest{Workloads: []string{"gray"}, Variants: []string{"plain"}, ScaleDiv: testScaleDiv}, 413},
+	} {
+		status, body := post(t, ts.URL+tc.path, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: HTTP %d (%s), want %d", tc.name, status, body, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/traces/zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("traces without cache: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceAndStatsEndpoints exercises the observability surface
+// after real traffic.
+func TestTraceAndStatsEndpoints(t *testing.T) {
+	cache := disptrace.NewCache(t.TempDir())
+	_, ts := newTestServer(t, Config{Traces: cache})
+	status, body := post(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"tscp"}, Variants: []string{"plain"}, ScaleDiv: testScaleDiv,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("sweep: HTTP %d: %s", status, body)
+	}
+
+	listBody, err := fetchOK(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list TraceList
+	if err := json.Unmarshal(listBody, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || len(list.Traces) != 1 {
+		t.Fatalf("trace list = %+v, want exactly the one recorded trace", list)
+	}
+
+	infoBody, err := fetchOK(ts.URL + "/v1/traces/" + list.Traces[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(infoBody, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Workload != "tscp" || info.Variant != "plain" || info.Records == 0 || info.Segments == 0 {
+		t.Errorf("trace info = %+v, want tscp/plain with records and segments", info)
+	}
+
+	statsBody, err := fetchOK(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Sweep != 1 || st.Host == nil || st.Host.GoMaxProcs < 1 {
+		t.Errorf("stats = %+v, want one sweep and host metadata", st)
+	}
+	if st.Traces == nil || st.Traces.Records != 1 {
+		t.Errorf("stats.Traces = %+v, want 1 recording", st.Traces)
+	}
+	if st.Latency["sweep"].Count != 1 {
+		t.Errorf("sweep latency count = %d, want 1", st.Latency["sweep"].Count)
+	}
+}
+
+func fetchOK(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/metrics"
+	"vmopt/internal/runner"
+)
+
+// stats is the server's observability surface: lock-free counters the
+// request paths bump and /v1/stats snapshots. Latency histograms come
+// from internal/metrics.
+type stats struct {
+	start time.Time
+
+	inFlight atomic.Int64
+
+	reqRun, reqSweep, reqTraces, reqStats atomic.Uint64
+	rejected, errors                      atomic.Uint64
+
+	lruHits, lruMisses atomic.Uint64
+
+	coalescedRuns, coalescedGroups atomic.Uint64
+	computedCells, computedGroups  atomic.Uint64
+	canceledRetries                atomic.Uint64
+	resultsDropped                 atomic.Uint64
+
+	latRun, latSweep metrics.Histogram
+}
+
+// StatsResponse is the GET /v1/stats document.
+type StatsResponse struct {
+	UptimeS float64      `json:"uptime_s"`
+	Host    *runner.Host `json:"host"`
+
+	// InFlight is the number of admitted /v1/run and /v1/sweep
+	// requests currently executing.
+	InFlight int64 `json:"in_flight"`
+
+	Requests RequestStats `json:"requests"`
+	Cache    CacheTier    `json:"cache"`
+
+	// Coalesced counts requests that joined an in-progress identical
+	// computation instead of starting their own: single runs and whole
+	// sweep groups.
+	Coalesced CoalesceStats `json:"coalesced"`
+	// Computed counts actual simulations/replays performed.
+	Computed ComputeStats `json:"computed"`
+
+	// Traces is the on-disk dispatch-trace cache activity (absent when
+	// the server runs without a trace cache).
+	Traces *disptrace.CacheStats `json:"traces,omitempty"`
+
+	// Suites reports the per-scalediv suite pool backing computation.
+	Suites SuiteStats `json:"suites"`
+
+	Latency map[string]metrics.HistogramSnapshot `json:"latency"`
+}
+
+// RequestStats counts requests by endpoint plus terminal outcomes.
+type RequestStats struct {
+	Run    uint64 `json:"run"`
+	Sweep  uint64 `json:"sweep"`
+	Traces uint64 `json:"traces"`
+	Stats  uint64 `json:"stats"`
+	// Rejected counts requests turned away by backpressure (503).
+	Rejected uint64 `json:"rejected"`
+	// Errors counts requests that failed for any other reason:
+	// malformed or unresolvable requests (4xx) and post-admission
+	// execution failures alike.
+	Errors uint64 `json:"errors"`
+}
+
+// CacheTier describes the in-memory result LRU.
+type CacheTier struct {
+	Size    int     `json:"size"`
+	Cap     int     `json:"cap"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// CoalesceStats counts thundering-herd suppression.
+type CoalesceStats struct {
+	Runs   uint64 `json:"runs"`
+	Groups uint64 `json:"groups"`
+	// CanceledRetries counts computations re-led after a cancelled
+	// leader poisoned a shared flight result.
+	CanceledRetries uint64 `json:"canceled_retries"`
+}
+
+// ComputeStats counts work actually performed.
+type ComputeStats struct {
+	Cells  uint64 `json:"cells"`
+	Groups uint64 `json:"groups"`
+}
+
+// SuiteStats describes the suite pool.
+type SuiteStats struct {
+	Live int `json:"live"`
+	// ResultsDropped counts suite-level result-cache resets performed
+	// to bound memory.
+	ResultsDropped uint64 `json:"results_dropped"`
+}
+
+func (st *stats) snapshot(s *Server) StatsResponse {
+	hits, misses := st.lruHits.Load(), st.lruMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	resp := StatsResponse{
+		UptimeS:  time.Since(st.start).Seconds(),
+		Host:     runner.CurrentHost(),
+		InFlight: st.inFlight.Load(),
+		Requests: RequestStats{
+			Run:      st.reqRun.Load(),
+			Sweep:    st.reqSweep.Load(),
+			Traces:   st.reqTraces.Load(),
+			Stats:    st.reqStats.Load(),
+			Rejected: st.rejected.Load(),
+			Errors:   st.errors.Load(),
+		},
+		Cache: CacheTier{
+			Size:    s.lru.Len(),
+			Cap:     s.lru.Cap(),
+			Hits:    hits,
+			Misses:  misses,
+			HitRate: rate,
+		},
+		Coalesced: CoalesceStats{
+			Runs:            st.coalescedRuns.Load(),
+			Groups:          st.coalescedGroups.Load(),
+			CanceledRetries: st.canceledRetries.Load(),
+		},
+		Computed: ComputeStats{
+			Cells:  st.computedCells.Load(),
+			Groups: st.computedGroups.Load(),
+		},
+		Suites: SuiteStats{
+			Live:           s.suiteCount(),
+			ResultsDropped: st.resultsDropped.Load(),
+		},
+		Latency: map[string]metrics.HistogramSnapshot{
+			"run":   st.latRun.Snapshot(),
+			"sweep": st.latSweep.Snapshot(),
+		},
+	}
+	if s.cfg.Traces != nil {
+		ts := s.cfg.Traces.Stats()
+		resp.Traces = &ts
+	}
+	return resp
+}
