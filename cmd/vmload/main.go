@@ -11,14 +11,17 @@
 //
 // Usage:
 //
-//	vmload -addr http://127.0.0.1:8321 -n 200 -c 16 -dup 0.8
+//	vmload -addr http://127.0.0.1:8321 -n 200 -c 16 -zipf-theta 0.9
 //	vmload -mode sweep -workloads gray,tscp -scalediv 100 -stats
 //
 // The request corpus is the cross product of -workloads, -variants
 // and -machines (plus one sweep request per workload in sweep/mixed
-// modes). Each worker draws from a small hot set with probability
-// -dup and uniformly from the whole corpus otherwise, approximating
-// the zipfian request mix a cache-and-coalesce tier is built for.
+// modes). Each worker draws corpus ranks from a true Zipfian
+// distribution (the Gray et al. generator YCSB popularized) with skew
+// -zipf-theta: rank 0 — the sweeps, when present — is hottest, the
+// tail is long, and the whole mix is seeded and reproducible. Theta 0
+// degenerates to uniform; the YCSB default 0.99 approximates
+// real-world cache workloads.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -71,8 +75,7 @@ func main() {
 	mode := flag.String("mode", "mixed", "request mix: run, sweep or mixed")
 	n := flag.Int("n", 100, "total requests to issue")
 	c := flag.Int("c", 8, "concurrent workers")
-	dup := flag.Float64("dup", 0.75, "fraction of requests drawn from the hot set (duplicates)")
-	hot := flag.Int("hot", 4, "hot-set size (distinct requests the duplicate traffic cycles over)")
+	theta := flag.Float64("zipf-theta", 0.99, "zipfian skew of the request mix over the corpus (0 = uniform, must be < 1)")
 	workloads := flag.String("workloads", "gray", "comma-separated workload names")
 	variants := flag.String("variants", "plain,dynamic super", "comma-separated variant labels")
 	machines := flag.String("machines", "", "comma-separated machine names (empty = server default: all)")
@@ -97,12 +100,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vmload:", err)
 		os.Exit(2)
 	}
-	if *hot < 1 {
-		*hot = 1
+	if *theta < 0 || *theta >= 1 {
+		fmt.Fprintf(os.Stderr, "vmload: -zipf-theta %g out of range [0, 1)\n", *theta)
+		os.Exit(2)
 	}
-	if *hot > len(corpus) {
-		*hot = len(corpus)
-	}
+	zipf := newZipfian(len(corpus), *theta)
 
 	client := &http.Client{Timeout: *timeout}
 	var (
@@ -122,13 +124,7 @@ func main() {
 				if t > int64(*n) {
 					return
 				}
-				var req request
-				if rng.Float64() < *dup {
-					req = corpus[rng.Intn(*hot)]
-				} else {
-					req = corpus[rng.Intn(len(corpus))]
-				}
-				issue(client, *addr, req, &cnt, &seen)
+				issue(client, *addr, corpus[zipf.next(rng)], &cnt, &seen)
 			}
 		}()
 	}
@@ -153,6 +149,65 @@ func main() {
 	if cnt.errors.Load()+cnt.non2xx.Load()+cnt.diverged.Load()+cnt.cellErrors.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// zipfian draws ranks in [0, n) from the Zipfian distribution of Gray
+// et al.'s "Quickly generating billion-record synthetic databases" —
+// the generator YCSB popularized for cache-tier load mixes. Rank 0 is
+// the most popular item; theta in [0, 1) sets the skew (0 is uniform,
+// the YCSB default 0.99 sends ~half of all requests to a handful of
+// ranks). The struct is immutable after construction, so concurrent
+// workers share one instance and pass their own seeded rng to next —
+// keeping the whole request mix reproducible per (seed, worker).
+type zipfian struct {
+	n     float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 1 + 0.5^theta, the two-item fast path bound
+}
+
+// newZipfian precomputes the distribution constants for n items. The
+// harmonic sum zeta(n, theta) is computed directly — corpora here are
+// a few dozen requests, nowhere near the scale that needs Gray's
+// incremental zeta.
+func newZipfian(n int, theta float64) *zipfian {
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1.0
+	if n >= 2 {
+		zeta2 = 1 + 1/math.Pow(2, theta)
+	}
+	eta := 1.0
+	if n >= 2 && zetan != zeta2 {
+		eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	}
+	return &zipfian{
+		n:     float64(n),
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   eta,
+		half:  1 + math.Pow(0.5, theta),
+	}
+}
+
+// next draws one rank using rng.
+func (z *zipfian) next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	rank := int(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= int(z.n) {
+		rank = int(z.n) - 1
+	}
+	return rank
 }
 
 func split(s string) []string {

@@ -10,6 +10,8 @@
 //	vmtrace replay -machine pentium4-northwood gray.vmdt
 //	vmtrace replay -verify -machine pentium-m gray.vmdt
 //	vmtrace info gray.vmdt
+//	vmtrace diff switch.vmdt threaded.vmdt
+//	vmtrace diff -bench gray -a switch -b plain -scalediv 20 -trace-cache .vmtraces
 //
 // record runs one (benchmark, variant) pair by direct simulation and
 // writes its dispatch trace (flate-compressed segments by default;
@@ -19,7 +21,12 @@
 // every counter matches byte for byte (the CI equivalence smoke).
 // info prints a trace's metadata, stream statistics and the per-codec
 // storage breakdown with its compression ratio; -segments lists every
-// segment's codec and stored vs raw byte size.
+// segment's codec, stored vs raw byte size and VM-instruction range.
+// diff aligns two traces of the same workload by VM instruction index
+// — the paper's Tables I-IV comparison as a tool — and reports where
+// their dispatch streams diverge: either between two trace files, or
+// between two variants recorded on the fly (-bench with -a/-b,
+// sharing the on-disk cache when -trace-cache is set).
 package main
 
 import (
@@ -44,10 +51,12 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: vmtrace <record|replay|info> [flags]\n" +
+	return fmt.Errorf("usage: vmtrace <record|replay|info|diff> [flags]\n" +
 		"  record -bench NAME -variant NAME [-scalediv N] [-maxsteps N] [-machine NAME] [-codec raw|flate] -o FILE\n" +
 		"  replay [-machine NAME] [-jobs N] [-verify] FILE\n" +
-		"  info [-segments] FILE")
+		"  info [-segments] FILE\n" +
+		"  diff [-n N] FILE_A FILE_B\n" +
+		"  diff [-n N] -bench NAME -a VARIANT -b VARIANT [-scalediv N] [-maxsteps N] [-trace-cache DIR]")
 }
 
 func run(stdout io.Writer, args []string) error {
@@ -61,6 +70,8 @@ func run(stdout io.Writer, args []string) error {
 		return replayMain(stdout, args[1:])
 	case "info":
 		return infoMain(stdout, args[1:])
+	case "diff":
+		return diffMain(stdout, args[1:])
 	default:
 		return usage()
 	}
@@ -191,9 +202,115 @@ func directRun(tr *disptrace.Trace, m cpu.Machine) (metrics.Counters, error) {
 	return s.Run(w, v, m)
 }
 
+// diffMain aligns two traces by VM instruction index and reports
+// their divergences: two trace files, or two variants of one
+// benchmark recorded on the fly.
+func diffMain(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	n := fs.Int("n", 5, "detail the first N divergences")
+	bench := fs.String("bench", "", "benchmark name (record mode: diff two variants of it)")
+	va := fs.String("a", "", "variant label of side A (record mode)")
+	vb := fs.String("b", "", "variant label of side B (record mode)")
+	scaleDiv := fs.Int("scalediv", 1, "divide the workload's default scale by this factor (record mode)")
+	maxSteps := fs.Uint64("maxsteps", 200_000_000, "VM step bound (record mode)")
+	machine := fs.String("machine", cpu.Celeron800.Name, "machine model of the recording runs (record mode)")
+	cacheDir := fs.String("trace-cache", "", "record through this on-disk trace cache instead of re-simulating (record mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var a, b *disptrace.Trace
+	switch {
+	case *bench != "":
+		if *va == "" || *vb == "" {
+			return fmt.Errorf("diff: -bench needs both -a and -b variants")
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("diff: unexpected argument %q alongside -bench", fs.Arg(0))
+		}
+		w, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		varA, err := harness.VariantByName(w, *va)
+		if err != nil {
+			return err
+		}
+		varB, err := harness.VariantByName(w, *vb)
+		if err != nil {
+			return err
+		}
+		m, err := cpu.MachineByName(*machine)
+		if err != nil {
+			return err
+		}
+		s := harness.NewSuite()
+		s.ScaleDiv = *scaleDiv
+		s.MaxSteps = *maxSteps
+		if *cacheDir != "" {
+			s.Traces = disptrace.NewCache(*cacheDir)
+		}
+		if a, err = s.Trace(w, varA, m); err != nil {
+			return err
+		}
+		if b, err = s.Trace(w, varB, m); err != nil {
+			return err
+		}
+	case fs.NArg() == 2:
+		var err error
+		if a, err = disptrace.Load(fs.Arg(0)); err != nil {
+			return err
+		}
+		if b, err = disptrace.Load(fs.Arg(1)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("diff: want two trace files, or -bench with -a and -b")
+	}
+
+	r, err := disptrace.DiffTraces(a, b, *n)
+	if err != nil {
+		return err
+	}
+	printDiff(stdout, r)
+	return nil
+}
+
+// printDiff renders a diff report in the style of the paper's trace
+// tables: configuration, aligned totals, per-field divergence counts
+// and the first divergences side by side.
+func printDiff(w io.Writer, r *disptrace.DiffReport) {
+	fmt.Fprintf(w, "diff A:     %s/%s (technique %s)\n", r.Workload, r.AVariant, r.ATechnique)
+	fmt.Fprintf(w, "     B:     %s/%s (technique %s)\n", r.Workload, r.BVariant, r.BTechnique)
+	fmt.Fprintf(w, "workload:   %s (%s), scale %d, isa %#016x\n", r.Workload, r.Lang, r.Scale, r.ISAHash)
+	fmt.Fprintf(w, "insts:      A %d, B %d (%d compared)\n", r.AInsts, r.BInsts, r.Compared)
+	if r.Identical {
+		fmt.Fprintf(w, "identical:  %d VM instructions, 0 divergences\n", r.Compared)
+		return
+	}
+	fmt.Fprintf(w, "divergent:  %d of %d compared steps (work %d, fetch %d, dispatch %d)\n",
+		r.Divergences, r.Compared, r.WorkDiffs, r.FetchDiffs, r.DispatchDiffs)
+	if r.FirstDivergence >= 0 {
+		fmt.Fprintf(w, "first divergence at inst %d\n", r.FirstDivergence)
+	}
+	for _, d := range r.First {
+		fmt.Fprintf(w, "  inst %d [%s]:\n", d.Inst, strings.Join(d.Fields, " "))
+		fmt.Fprintf(w, "    A: %s\n", formatStep(d.A))
+		fmt.Fprintf(w, "    B: %s\n", formatStep(d.B))
+	}
+}
+
+func formatStep(d disptrace.StepDiff) string {
+	s := fmt.Sprintf("work %d, fetch %#x", d.Work, d.Fetch)
+	if d.Dispatched {
+		return s + fmt.Sprintf(", dispatch %#x -> %#x", d.Branch, d.Target)
+	}
+	return s + ", no dispatch"
+}
+
 func infoMain(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
-	segments := fs.Bool("segments", false, "list every segment (codec, stored -> raw bytes, records)")
+	segments := fs.Bool("segments", false, "list every segment (codec, stored -> raw bytes, records, VM-instruction range)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,15 +325,17 @@ func infoMain(stdout io.Writer, args []string) error {
 	fmt.Fprintf(stdout, "workload:   %s (%s)\n", h.Workload, h.Lang)
 	fmt.Fprintf(stdout, "variant:    %s (technique %s)\n", h.Variant, h.Technique)
 	fmt.Fprintf(stdout, "scale:      %d (scalediv %d, maxsteps %d)\n", h.Scale, h.ScaleDiv, h.MaxSteps)
-	fmt.Fprintf(stdout, "isa hash:   %#016x\n", h.ISAHash)
 	printStreamStats(stdout, tr, *segments)
 	return tr.Verify()
 }
 
-// printStreamStats reports the stream totals plus the per-codec
-// storage picture: stored (possibly compressed) versus raw payload
-// bytes and the overall compression ratio. listSegments additionally
-// prints one line per segment.
+// printStreamStats reports the stream totals (ISA fingerprint
+// included, so any summary identifies which instruction set the
+// stream is valid against) plus the per-codec storage picture: stored
+// (possibly compressed) versus raw payload bytes and the overall
+// compression ratio. listSegments additionally prints one line per
+// segment, with its cumulative VM-instruction range on seekable (v3)
+// traces.
 func printStreamStats(w io.Writer, tr *disptrace.Trace, listSegments bool) {
 	h := tr.Header
 	var stored, raw int
@@ -240,11 +359,22 @@ func printStreamStats(w io.Writer, tr *disptrace.Trace, listSegments bool) {
 	}
 	fmt.Fprintf(w, "payload:    %d bytes stored (%s), %d raw, %.2fx compression\n",
 		stored, strings.Join(codecs, ", "), raw, ratio)
-	fmt.Fprintf(w, "totals:     %d VM instructions, %d generated code bytes\n", h.VMInstructions, h.CodeBytes)
+	indexed := ""
+	if tr.Indexed() {
+		indexed = " (instruction-indexed)"
+	}
+	fmt.Fprintf(w, "totals:     %d VM instructions%s, %d generated code bytes, isa %#016x\n",
+		h.VMInstructions, indexed, h.CodeBytes, h.ISAHash)
 	if listSegments {
+		insts := uint64(0)
 		for i, s := range tr.Segs {
-			fmt.Fprintf(w, "  seg %4d: %-5s %8d -> %8d bytes, %7d records\n",
+			line := fmt.Sprintf("  seg %4d: %-5s %8d -> %8d bytes, %7d records",
 				i, s.Codec, len(s.Data), s.RawLen(), s.Records)
+			if tr.Indexed() {
+				line += fmt.Sprintf(", insts [%d, %d)", insts, insts+uint64(s.VMInsts))
+				insts += uint64(s.VMInsts)
+			}
+			fmt.Fprintln(w, line)
 		}
 	}
 }

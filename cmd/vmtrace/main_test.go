@@ -90,6 +90,86 @@ func TestRecordRawCodec(t *testing.T) {
 	}
 }
 
+// TestDiffGolden pins the full `vmtrace diff` output for a switch vs
+// threaded pair of one workload — the paper's Table I comparison as a
+// tool. Simulation is deterministic, so the complete rendering
+// (alignment totals, per-field divergence counts, the first
+// divergences' addresses) must be byte-stable; a change here means
+// the dispatch streams themselves moved.
+func TestDiffGolden(t *testing.T) {
+	dir := t.TempDir()
+	swPath := filepath.Join(dir, "sw.vmdt")
+	thPath := filepath.Join(dir, "th.vmdt")
+	for variant, path := range map[string]string{"switch": swPath, "plain": thPath} {
+		if err := run(io.Discard, []string{"record", "-bench", "gray", "-variant", variant,
+			"-scalediv", "40", "-o", path}); err != nil {
+			t.Fatalf("record %s: %v", variant, err)
+		}
+	}
+
+	var self bytes.Buffer
+	if err := run(&self, []string{"diff", swPath, swPath}); err != nil {
+		t.Fatalf("self-diff: %v", err)
+	}
+	wantSelf := "" +
+		"diff A:     gray/switch (technique switch)\n" +
+		"     B:     gray/switch (technique switch)\n" +
+		"workload:   gray (forth), scale 35, isa 0x098cd683601a0238\n" +
+		"insts:      A 70870, B 70870 (70870 compared)\n" +
+		"identical:  70870 VM instructions, 0 divergences\n"
+	if self.String() != wantSelf {
+		t.Errorf("self-diff output:\n%s\nwant:\n%s", self.String(), wantSelf)
+	}
+
+	var cross bytes.Buffer
+	if err := run(&cross, []string{"diff", "-n", "2", swPath, thPath}); err != nil {
+		t.Fatalf("cross-diff: %v", err)
+	}
+	wantCross := "" +
+		"diff A:     gray/switch (technique switch)\n" +
+		"     B:     gray/plain (technique plain)\n" +
+		"workload:   gray (forth), scale 35, isa 0x098cd683601a0238\n" +
+		"insts:      A 70870, B 70870 (70870 compared)\n" +
+		"divergent:  70870 of 70870 compared steps (work 70869, fetch 70870, dispatch 70869)\n" +
+		"first divergence at inst 0\n" +
+		"  inst 0 [work fetch dispatch]:\n" +
+		"    A: work 12, fetch 0x8048940, dispatch 0x80485c0 -> 0x8048970\n" +
+		"    B: work 5, fetch 0x8048460, dispatch 0x8048467 -> 0x8048490\n" +
+		"  inst 1 [work fetch dispatch]:\n" +
+		"    A: work 14, fetch 0x8048970, dispatch 0x80485c0 -> 0x8048600\n" +
+		"    B: work 7, fetch 0x8048490, dispatch 0x804849c -> 0x8048020\n"
+	if cross.String() != wantCross {
+		t.Errorf("cross-diff output:\n%s\nwant:\n%s", cross.String(), wantCross)
+	}
+}
+
+// TestDiffRecordMode: -bench with -a/-b records both sides through a
+// shared trace cache and reports the same comparison; mismatched or
+// missing flags error.
+func TestDiffRecordMode(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache")
+	var out bytes.Buffer
+	err := run(&out, []string{"diff", "-bench", "gray", "-a", "switch", "-b", "switch",
+		"-scalediv", "40", "-trace-cache", cache})
+	if err != nil {
+		t.Fatalf("diff record mode: %v", err)
+	}
+	if !strings.Contains(out.String(), "identical:") {
+		t.Errorf("same-variant diff not identical:\n%s", out.String())
+	}
+	// The cache now holds the recording; a second diff against a real
+	// second variant reuses it.
+	out.Reset()
+	err = run(&out, []string{"diff", "-bench", "gray", "-a", "switch", "-b", "plain",
+		"-scalediv", "40", "-trace-cache", cache})
+	if err != nil {
+		t.Fatalf("diff record mode (cross): %v", err)
+	}
+	if !strings.Contains(out.String(), "first divergence at inst 0") {
+		t.Errorf("cross diff missing divergence:\n%s", out.String())
+	}
+}
+
 func TestBadUsage(t *testing.T) {
 	for _, args := range [][]string{
 		nil,
@@ -101,6 +181,10 @@ func TestBadUsage(t *testing.T) {
 		{"replay", "a", "b"},                  // too many files
 		{"replay", "-machine", "nosuch", "x"}, // unknown machine
 		{"info"},
+		{"diff"},             // no files, no -bench
+		{"diff", "one.vmdt"}, // one file
+		{"diff", "-bench", "gray", "-a", "plain"}, // missing -b
+		{"diff", "-bench", "nosuch", "-a", "x", "-b", "y"},
 	} {
 		if err := run(io.Discard, args); err == nil {
 			t.Errorf("args %v should error", args)

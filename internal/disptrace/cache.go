@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmopt/internal/runner"
 )
@@ -79,7 +81,23 @@ type Cache struct {
 
 	flight runner.Flight[string, cacheOutcome]
 
+	// metas memoizes per-file index metadata for List (id ->
+	// cachedMeta), revalidated by size+mtime so a re-recorded file is
+	// re-read. Trace files are content-addressed and essentially
+	// immutable, so a listing after the first costs ReadDir+stat
+	// again, not a header parse per file. Entries for deleted files
+	// are dropped during List.
+	metas sync.Map
+
 	loads, records, joined atomic.Uint64
+}
+
+// cachedMeta is one memoized ReadMeta result with its validators.
+type cachedMeta struct {
+	size  int64
+	mtime time.Time
+	meta  Meta
+	ok    bool // false: the file was unreadable; don't retry every listing
 }
 
 // CacheStats counts cache activity since process start; the serving
@@ -157,14 +175,32 @@ func ValidID(id string) bool { return traceIDPattern.MatchString(id) }
 // ErrNoTrace reports an ID absent from the cache.
 var ErrNoTrace = errors.New("disptrace: no such trace in cache")
 
-// CacheEntry is one resident trace file in the cache index.
+// CacheEntry is one resident trace file in the cache index: its
+// content address and size plus the identifying metadata and stream
+// shape read from the file's header and segment index (no payload is
+// decoded). Diff tooling picks comparable pairs straight from this
+// listing.
 type CacheEntry struct {
 	ID    string `json:"id"`
 	Bytes int64  `json:"bytes"`
+
+	Workload  string `json:"workload,omitempty"`
+	Lang      string `json:"lang,omitempty"`
+	Variant   string `json:"variant,omitempty"`
+	Technique string `json:"technique,omitempty"`
+	ScaleDiv  uint64 `json:"scalediv,omitempty"`
+
+	// VMInstructions and Segments come from the trace's index;
+	// Seekable marks v3 traces whose cursors seek by instruction.
+	VMInstructions uint64 `json:"vm_instructions,omitempty"`
+	Segments       int    `json:"segments,omitempty"`
+	Seekable       bool   `json:"seekable,omitempty"`
 }
 
-// List enumerates every trace resident in the cache directory. A
-// missing directory is an empty cache, not an error.
+// List enumerates every trace resident in the cache directory with
+// its index metadata. A missing directory is an empty cache, not an
+// error; files whose metadata cannot be read (corrupt, or deleted
+// mid-listing) are listed by id and size alone.
 func (c *Cache) List() ([]CacheEntry, error) {
 	entries, err := os.ReadDir(c.Dir)
 	if err != nil {
@@ -174,6 +210,7 @@ func (c *Cache) List() ([]CacheEntry, error) {
 		return nil, fmt.Errorf("disptrace: %w", err)
 	}
 	var out []CacheEntry
+	live := make(map[string]bool, len(entries))
 	for _, e := range entries {
 		id, isTrace := strings.CutSuffix(e.Name(), ".vmdt")
 		if !isTrace || !ValidID(id) {
@@ -183,8 +220,37 @@ func (c *Cache) List() ([]CacheEntry, error) {
 		if err != nil {
 			continue // deleted between ReadDir and stat
 		}
-		out = append(out, CacheEntry{ID: id, Bytes: info.Size()})
+		live[id] = true
+		entry := CacheEntry{ID: id, Bytes: info.Size()}
+		cm, hit := c.metas.Load(id)
+		if !hit || cm.(cachedMeta).size != info.Size() || !cm.(cachedMeta).mtime.Equal(info.ModTime()) {
+			fresh := cachedMeta{size: info.Size(), mtime: info.ModTime()}
+			if m, err := ReadMeta(filepath.Join(c.Dir, e.Name())); err == nil {
+				fresh.meta, fresh.ok = m, true
+			}
+			c.metas.Store(id, fresh)
+			cm = fresh
+		}
+		if m := cm.(cachedMeta); m.ok {
+			entry.Workload = m.meta.Header.Workload
+			entry.Lang = m.meta.Header.Lang
+			entry.Variant = m.meta.Header.Variant
+			entry.Technique = m.meta.Header.Technique
+			entry.ScaleDiv = m.meta.Header.ScaleDiv
+			entry.VMInstructions = m.meta.Header.VMInstructions
+			entry.Segments = m.meta.Segments
+			entry.Seekable = m.meta.Seekable
+		}
+		out = append(out, entry)
 	}
+	// Drop memoized metadata for files no longer resident, so the map
+	// tracks the directory instead of its history.
+	c.metas.Range(func(k, _ any) bool {
+		if !live[k.(string)] {
+			c.metas.Delete(k)
+		}
+		return true
+	})
 	return out, nil
 }
 

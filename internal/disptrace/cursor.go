@@ -1,0 +1,389 @@
+package disptrace
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"vmopt/internal/cpu"
+)
+
+// Step is one VM instruction's slice of the replay stream: the
+// instruction's global index and every simulator event it produced,
+// in stream order. Ops aliases cursor-owned buffers and is valid only
+// until the next Next, NextBatch or Seek call — summarize or copy
+// before advancing.
+type Step struct {
+	// Index is the VM-instruction index of the step, counted from the
+	// start of the trace.
+	Index uint64
+	// Ops is the instruction's event slice (work, fetches, at most
+	// one dispatch for engine-recorded streams).
+	Ops []cpu.Op
+}
+
+// Work sums the step's straight-line native instruction count.
+func (s Step) Work() uint64 {
+	var n uint64
+	for _, op := range s.Ops {
+		if op.Kind == cpu.OpWork {
+			n += op.A
+		}
+	}
+	return n
+}
+
+// Fetch returns the step's first instruction-fetch address — the code
+// address of the VM instruction's implementation — and whether the
+// step fetched at all.
+func (s Step) Fetch() (addr uint64, ok bool) {
+	for _, op := range s.Ops {
+		if op.Kind == cpu.OpFetch {
+			return op.A, true
+		}
+	}
+	return 0, false
+}
+
+// Dispatch returns the step's dispatch branch and target addresses,
+// and whether the step dispatched (fall-through steps inside a basic
+// block do not).
+func (s Step) Dispatch() (branch, target uint64, ok bool) {
+	for _, op := range s.Ops {
+		if op.Kind == cpu.OpDispatch {
+			return op.A, op.C, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Cursor iterates a trace's replay stream indexed by VM instruction.
+// It is the one owner of segment decode: step consumers (Next, Seek —
+// the diff tooling) and bulk consumers (NextBatch, the replay
+// schedules) both drive it.
+//
+// On a v3 trace, Seek jumps straight to the segment holding the
+// requested instruction using the per-segment instruction counts in
+// the index. On v1/v2 traces — which carry no step tables — the
+// cursor reconstructs step boundaries from the fused-record structure
+// (exact for engine-recorded traces, where every instruction ends in
+// exactly one fused record) and Seek scans forward from the start.
+//
+// A Cursor is not safe for concurrent use; independent goroutines
+// each take their own (segments decode independently).
+type Cursor struct {
+	t *Trace
+	// indexed marks a v3 trace (every segment carries a step table).
+	indexed bool
+	// cum[i] is the global index of the first instruction beginning
+	// in segment i (len(Segs)+1 entries); built lazily by index() —
+	// bulk-only consumers (the pipelined decode workers) never need
+	// it. Always nil for legacy traces.
+	cum []uint64
+
+	// Position: seg is the segment the cursor is in (len(Segs) at the
+	// end), recOff the record offset within it, stepI the next step's
+	// segment-local index, inst its global index. loaded marks the
+	// decode state below as valid for seg.
+	seg    int
+	loaded bool
+	recOff int
+	stepI  int
+	inst   uint64
+
+	// Decoded state of the loaded segment.
+	ops      []cpu.Op
+	ends     []int // cumulative op count after each record
+	prefix   int   // records continuing the previous segment's step
+	stepRecs []int32
+	// tailOpen (legacy only): the last entry of stepRecs continues
+	// into the next segment. prefixOpen (legacy only): the previous
+	// segment's step swallowed this whole segment without closing.
+	tailOpen   bool
+	prefixOpen bool
+
+	stitch  []cpu.Op
+	scratch []byte
+	err     error
+}
+
+// NewCursor positions a cursor at the start of the trace.
+func NewCursor(t *Trace) *Cursor {
+	return &Cursor{t: t, indexed: t.Indexed()}
+}
+
+// index returns the cumulative-instruction index, building it on
+// first use.
+func (c *Cursor) index() []uint64 {
+	if c.cum == nil {
+		c.cum = make([]uint64, len(c.t.Segs)+1)
+		for i, s := range c.t.Segs {
+			c.cum[i+1] = c.cum[i] + uint64(s.VMInsts)
+		}
+	}
+	return c.cum
+}
+
+// Err returns the first decode error the cursor hit; Next and
+// NextBatch return false after an error.
+func (c *Cursor) Err() error { return c.err }
+
+// Indexed reports whether the trace carries the v3 instruction index,
+// making Seek a segment jump instead of a forward scan.
+func (c *Cursor) Indexed() bool { return c.indexed }
+
+// opOff converts a record offset of the loaded segment into an offset
+// into its decoded ops.
+func (c *Cursor) opOff(rec int) int {
+	if rec <= 0 {
+		return 0
+	}
+	if rec > len(c.ends) {
+		rec = len(c.ends)
+	}
+	return c.ends[rec-1]
+}
+
+// load decodes segment i and its step structure. openIn (legacy only)
+// tells the boundary synthesizer that a step is still open from the
+// previous segment.
+func (c *Cursor) load(i int, openIn bool) error {
+	s := c.t.Segs[i]
+	c.ends = c.ends[:0]
+	var err error
+	c.ops, c.scratch, err = s.decodeOps(c.ops[:0], c.scratch, &c.ends)
+	if err != nil {
+		return err
+	}
+	c.stepRecs = c.stepRecs[:0]
+	c.tailOpen, c.prefixOpen = false, false
+	if c.indexed {
+		prefix, exc, err := parseStepTable(s.Steps, s.VMInsts, s.Records)
+		if err != nil {
+			return err
+		}
+		c.prefix = prefix
+		for range s.VMInsts {
+			c.stepRecs = append(c.stepRecs, 1)
+		}
+		for _, e := range exc {
+			c.stepRecs[e.idx] = int32(e.recs)
+		}
+	} else {
+		c.synthSteps(s.Records, openIn)
+	}
+	c.seg = i
+	c.loaded = true
+	return nil
+}
+
+// synthSteps reconstructs step boundaries for a legacy segment from
+// the fused-record structure: the writer emits exactly one fused
+// record per interpreter step — plain records (quickening work, the
+// trailing halt step) attach to the step of the next fused record —
+// and a fused record is recognizable after decode because it expands
+// to more than one op.
+func (c *Cursor) synthSteps(records int, openIn bool) {
+	c.prefix = 0
+	fused := func(r int) bool { return c.ends[r]-c.opOff(r) > 1 }
+	r := 0
+	if openIn {
+		found := false
+		for r < records {
+			r++
+			if fused(r - 1) {
+				found = true
+				break
+			}
+		}
+		c.prefix = r
+		if !found {
+			c.prefixOpen = true
+			return
+		}
+	}
+	run := 0
+	for ; r < records; r++ {
+		run++
+		if fused(r) {
+			c.stepRecs = append(c.stepRecs, int32(run))
+			run = 0
+		}
+	}
+	if run > 0 {
+		c.stepRecs = append(c.stepRecs, int32(run))
+		c.tailOpen = true
+	}
+}
+
+// peekPrefix reads segment j's step-table prefix without decoding its
+// payload — how the cursor detects that the current segment's last
+// step spills into the next.
+func (c *Cursor) peekPrefix(j int) int {
+	v, n := binary.Uvarint(c.t.Segs[j].Steps)
+	if n <= 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// continuesAfter reports whether the loaded segment's last step
+// continues into the next segment.
+func (c *Cursor) continuesAfter() bool {
+	if c.indexed {
+		return c.seg+1 < len(c.t.Segs) && c.peekPrefix(c.seg+1) > 0
+	}
+	return c.tailOpen
+}
+
+// stitchContinues reports whether, after consuming the loaded segment
+// j's prefix, the open step still runs on into segment j+1.
+func (c *Cursor) stitchContinues(j int) bool {
+	if c.indexed {
+		return len(c.stepRecs) == 0 && j+1 < len(c.t.Segs) && c.peekPrefix(j+1) > 0
+	}
+	return c.prefixOpen
+}
+
+// Next returns the next step and advances. It returns false at the
+// end of the trace or on a decode error (see Err).
+func (c *Cursor) Next() (Step, bool) {
+	if c.err != nil {
+		return Step{}, false
+	}
+	for {
+		if !c.loaded {
+			if c.seg >= len(c.t.Segs) {
+				return Step{}, false
+			}
+			if err := c.load(c.seg, false); err != nil {
+				c.err = err
+				return Step{}, false
+			}
+			c.stepI = 0
+			// Records before the first step — the stream before the
+			// first VM instruction — belong to no step and are
+			// skipped (NextBatch still delivers them).
+			if c.recOff < c.prefix {
+				c.recOff = c.prefix
+			}
+		}
+		if c.stepI < len(c.stepRecs) {
+			break
+		}
+		c.seg++
+		c.loaded = false
+		c.recOff = 0
+	}
+
+	n := int(c.stepRecs[c.stepI])
+	lo, hi := c.opOff(c.recOff), c.opOff(c.recOff+n)
+	idx := c.inst
+	if c.stepI < len(c.stepRecs)-1 || !c.continuesAfter() {
+		c.stepI++
+		c.recOff += n
+		c.inst++
+		return Step{Index: idx, Ops: c.ops[lo:hi]}, true
+	}
+
+	// The segment's last step spills into following segments: stitch
+	// its pieces (the next segments' prefixes) into one op slice.
+	c.stitch = append(c.stitch[:0], c.ops[lo:hi]...)
+	for j := c.seg + 1; ; j++ {
+		if j >= len(c.t.Segs) {
+			c.seg, c.loaded, c.recOff = j, false, 0
+			break
+		}
+		if err := c.load(j, true); err != nil {
+			c.err = err
+			return Step{}, false
+		}
+		c.stitch = append(c.stitch, c.ops[:c.opOff(c.prefix)]...)
+		c.stepI = 0
+		c.recOff = c.prefix
+		if !c.stitchContinues(j) {
+			break
+		}
+	}
+	c.inst++
+	return Step{Index: idx, Ops: c.stitch}, true
+}
+
+// Seek positions the cursor so the next Next returns the step with
+// the given global VM-instruction index; seeking at or past the end
+// makes Next return false. On an indexed (v3) trace this decodes only
+// the target segment; on legacy traces it scans forward from the
+// start (restarting when seeking backwards).
+func (c *Cursor) Seek(inst uint64) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.indexed {
+		cum := c.index()
+		if inst >= cum[len(cum)-1] {
+			c.seg, c.loaded, c.recOff, c.inst = len(c.t.Segs), false, 0, inst
+			return nil
+		}
+		s := sort.Search(len(c.t.Segs), func(s int) bool { return cum[s+1] > inst })
+		if c.seg != s || !c.loaded {
+			if err := c.load(s, false); err != nil {
+				c.err = err
+				return err
+			}
+		}
+		local := int(inst - cum[s])
+		rec := c.prefix
+		for k := range local {
+			rec += int(c.stepRecs[k])
+		}
+		c.stepI, c.recOff, c.inst = local, rec, inst
+		return nil
+	}
+	if inst < c.inst {
+		c.seg, c.loaded, c.recOff, c.stepI, c.inst = 0, false, 0, 0, 0
+	}
+	for c.inst < inst {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	return c.err
+}
+
+// NextBatch appends every op from the cursor's position to the end of
+// its current segment onto dst and advances to the next segment,
+// returning false at the end of the trace or on a decode error. This
+// is the bulk interface the replay schedules drive: batches preserve
+// the exact op sequence (prefix records included), so applying every
+// batch in order reproduces a full decode. On an indexed trace, step
+// iteration afterwards resumes at the next segment's first step; on a
+// legacy trace NextBatch does not advance step indices.
+func (c *Cursor) NextBatch(dst []cpu.Op) ([]cpu.Op, bool) {
+	if c.err != nil || c.seg >= len(c.t.Segs) {
+		return dst, false
+	}
+	if c.loaded {
+		dst = append(dst, c.ops[c.opOff(c.recOff):]...)
+	} else {
+		var err error
+		dst, c.scratch, err = c.t.Segs[c.seg].decodeOps(dst, c.scratch, nil)
+		if err != nil {
+			c.err = err
+			return dst, false
+		}
+	}
+	c.seg++
+	c.loaded, c.recOff, c.stepI = false, 0, 0
+	if c.indexed {
+		c.inst = c.index()[c.seg]
+	}
+	return dst, true
+}
+
+// batchSeg decodes segment i into dst through the cursor's scratch
+// buffers without moving the cursor — the out-of-order entry the
+// pipelined replay's decode workers drive, one cursor per worker.
+func (c *Cursor) batchSeg(i int, dst []cpu.Op) ([]cpu.Op, error) {
+	var err error
+	dst, c.scratch, err = c.t.Segs[i].decodeOps(dst, c.scratch, nil)
+	return dst, err
+}

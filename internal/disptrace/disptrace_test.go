@@ -414,10 +414,11 @@ func TestReplayEquivalence(t *testing.T) {
 				t.Errorf("%s/%s on %s: replay diverged:\n  direct   %+v\n  replayed %+v",
 					pair.w.Name, pair.v.Name, m.Name, direct, replayed)
 			}
-			// And through the serialized forms: current (v2,
-			// compressed) and legacy v1.
+			// And through the serialized forms: current (v3, indexed
+			// and compressed) and the legacy generations.
 			for enc, bytes := range map[string][]byte{
-				"v2": tr.Encode(),
+				"v3": tr.Encode(),
+				"v2": disptrace.EncodeV2(tr),
 				"v1": disptrace.EncodeV1(tr),
 			} {
 				decoded, err := disptrace.Decode(bytes)

@@ -32,6 +32,20 @@ func EncodeV1(t *Trace) []byte {
 	return append(out, body...)
 }
 
+// EncodeV2 serializes a trace in the v2 layout — codec byte and raw
+// size per segment, but no VM-instruction counts or step tables — so
+// tests can prove current readers (and cursors, via their synthesized
+// step boundaries) still handle traces written before the v3
+// instruction index.
+func EncodeV2(t *Trace) []byte {
+	stripped := &Trace{Header: t.Header, Segs: make([]Segment, len(t.Segs))}
+	for i, s := range t.Segs {
+		s.VMInsts, s.Steps = 0, nil
+		stripped.Segs[i] = s
+	}
+	return stripped.Encode() // a step-table-free trace encodes as v2
+}
+
 // SetWriterSegLimit overrides the writer's records-per-segment limit
 // so tests can produce many-segment traces without writing millions
 // of records.

@@ -17,16 +17,25 @@
 //
 //	magic "VMDT" | version u16 LE | crc32 u32 LE (of everything after)
 //	header block  (length-prefixed; versioned metadata + totals)
-//	segment index (per segment: codec, stored bytes, records, raw bytes)
+//	segment index (per segment: codec, stored bytes, records,
+//	               raw bytes, VM instructions, step-table bytes)
 //	segment payloads
+//	segment step tables
 //
 // Records are varint-encoded with per-segment delta bases for
 // addresses, so each segment decodes independently and a replay can
 // decode segments on parallel goroutines while applying them in
 // order. Format v2 added a codec byte per segment (see Codec):
 // payloads are flate-compressed on disk when that shrinks them,
-// typically 3-6x for interpreter dispatch streams. v1 traces (raw
-// payloads, no codec byte in the index) still decode.
+// typically 3-6x for interpreter dispatch streams. Format v3 makes
+// traces seekable by VM instruction: the writer seals segments at VM
+// instruction boundaries, each index entry carries the number of VM
+// instructions beginning in its segment, and a compact per-segment
+// step table (see Segment.Steps) maps every instruction to its
+// records so a Cursor can Seek to an arbitrary instruction without
+// decoding the whole stream. v1 and v2 traces (no step tables) still
+// decode; Cursors over them reconstruct step boundaries from the
+// fused-record structure instead.
 package disptrace
 
 import (
@@ -38,7 +47,12 @@ import (
 
 // Version is the trace format version this package writes. Readers
 // accept it and every older version listed below.
-const Version = 2
+const Version = 3
+
+// versionV2 is the compressed-but-unindexed format: codec byte and
+// raw-size field per segment, no VM-instruction counts or step
+// tables.
+const versionV2 = 2
 
 // versionV1 is the legacy format: raw segment payloads only, no codec
 // byte or raw-size field in the segment index.
@@ -159,6 +173,96 @@ type Segment struct {
 	// RawBytes is the decoded payload size when Codec != CodecRaw
 	// (ignored for raw segments, whose size is len(Data)).
 	RawBytes int
+	// VMInsts is the number of VM instructions (steps) beginning in
+	// this segment; zero for segments decoded from v1/v2 traces,
+	// which carry no step information.
+	VMInsts int
+	// Steps is the encoded step table mapping the segment's VM
+	// instructions to their records (see encodeStepTable): a prefix
+	// record count continuing the previous segment's last step,
+	// followed by exceptions for steps that span more or fewer than
+	// one record. nil for v1/v2 segments; a Trace whose segments all
+	// carry step tables encodes as v3 and is instruction-seekable.
+	Steps []byte
+}
+
+// stepExc is one step-table exception: step idx (segment-local) spans
+// recs records instead of the default one.
+type stepExc struct {
+	idx  int
+	recs int
+}
+
+// encodeStepTable serializes a segment step table: the prefix record
+// count (records at the segment start that continue the previous
+// segment's last step, or precede the first VM instruction of the
+// stream), then the exception list as (gap, records) pairs over the
+// default of one record per step. Interpreter streams fuse almost
+// every instruction into a single record, so steady-state tables are
+// a few bytes regardless of segment size.
+func encodeStepTable(prefix int, exc []stepExc) []byte {
+	b := binary.AppendUvarint(nil, uint64(prefix))
+	b = binary.AppendUvarint(b, uint64(len(exc)))
+	prev := -1
+	for _, e := range exc {
+		b = binary.AppendUvarint(b, uint64(e.idx-prev-1))
+		b = binary.AppendUvarint(b, uint64(e.recs))
+		prev = e.idx
+	}
+	return b
+}
+
+// parseStepTable decodes and validates a segment step table against
+// the segment's instruction and record counts from the index: every
+// exception index must be in range and strictly increasing, and the
+// implied record total (prefix + defaults + exceptions) must equal
+// the segment's record count. Corrupt tables error, never panic.
+func parseStepTable(b []byte, vmInsts, records int) (prefix int, exc []stepExc, err error) {
+	r := &byteReader{b: b}
+	p := r.uvarint()
+	nexc := r.uvarint()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if p > uint64(records) {
+		return 0, nil, fmt.Errorf("disptrace: step table prefix %d exceeds %d segment records", p, records)
+	}
+	if nexc > uint64(vmInsts) {
+		return 0, nil, fmt.Errorf("disptrace: step table has %d exceptions for %d instructions", nexc, vmInsts)
+	}
+	// Each exception costs at least two bytes, so a count beyond the
+	// table's own size is corrupt; checking before the allocation
+	// keeps a crafted index from forcing a huge reservation.
+	if nexc > uint64(len(b))/2 {
+		return 0, nil, fmt.Errorf("disptrace: step table claims %d exceptions in %d bytes", nexc, len(b))
+	}
+	exc = make([]stepExc, nexc)
+	total := p
+	idx := -1
+	for i := range exc {
+		gap := r.uvarint()
+		recs := r.uvarint()
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		if gap > uint64(vmInsts) || recs > uint64(records) {
+			return 0, nil, fmt.Errorf("disptrace: step table exception %d out of range (gap %d, records %d)", i, gap, recs)
+		}
+		idx += 1 + int(gap)
+		if idx >= vmInsts {
+			return 0, nil, fmt.Errorf("disptrace: step table exception %d names instruction %d of %d", i, idx, vmInsts)
+		}
+		exc[i] = stepExc{idx: idx, recs: int(recs)}
+		total += recs
+	}
+	if r.off != len(b) {
+		return 0, nil, fmt.Errorf("disptrace: %d trailing bytes after step table", len(b)-r.off)
+	}
+	total += uint64(vmInsts) - uint64(len(exc)) // default steps: one record each
+	if total != uint64(records) {
+		return 0, nil, fmt.Errorf("disptrace: step table implies %d records, segment has %d", total, records)
+	}
+	return int(p), exc, nil
 }
 
 // RawLen returns the decoded payload size in bytes — what the stored
@@ -356,9 +460,13 @@ func decodeHeader(b []byte) (Header, error) {
 func (t *Trace) Encode() []byte { return t.EncodeCodec(DefaultCodec) }
 
 // EncodeCodec is Encode with an explicit codec for raw segments.
-// Segments already carrying a non-raw codec (a decoded v2 trace being
-// re-encoded) are stored as they are.
+// Segments already carrying a non-raw codec (a decoded trace being
+// re-encoded) are stored as they are. Traces whose segments all carry
+// step tables (writer-produced, or decoded from v3 bytes) encode as
+// v3; traces decoded from v1/v2 bytes have no step information and
+// re-encode as v2.
 func (t *Trace) EncodeCodec(c Codec) []byte {
+	indexed := t.Indexed()
 	stored := make([]Segment, len(t.Segs))
 	for i, s := range t.Segs {
 		if s.Codec != CodecRaw {
@@ -366,9 +474,14 @@ func (t *Trace) EncodeCodec(c Codec) []byte {
 			continue
 		}
 		data, codec := encodePayload(s.Data, c)
-		stored[i] = Segment{Data: data, Records: s.Records, Codec: codec, RawBytes: len(s.Data)}
+		stored[i] = Segment{Data: data, Records: s.Records, Codec: codec, RawBytes: len(s.Data),
+			VMInsts: s.VMInsts, Steps: s.Steps}
 	}
 
+	version := uint16(Version)
+	if !indexed {
+		version = versionV2
+	}
 	hdr := encodeHeader(t.Header)
 	body := binary.AppendUvarint(nil, uint64(len(hdr)))
 	body = append(body, hdr...)
@@ -378,16 +491,37 @@ func (t *Trace) EncodeCodec(c Codec) []byte {
 		body = binary.AppendUvarint(body, uint64(len(s.Data)))
 		body = binary.AppendUvarint(body, uint64(s.Records))
 		body = binary.AppendUvarint(body, uint64(s.RawBytes))
+		if indexed {
+			body = binary.AppendUvarint(body, uint64(s.VMInsts))
+			body = binary.AppendUvarint(body, uint64(len(s.Steps)))
+		}
 	}
 	for _, s := range stored {
 		body = append(body, s.Data...)
 	}
+	if indexed {
+		for _, s := range stored {
+			body = append(body, s.Steps...)
+		}
+	}
 
 	out := make([]byte, 0, 4+2+4+len(body))
 	out = append(out, magic[:]...)
-	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, version)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 	return append(out, body...)
+}
+
+// Indexed reports whether the trace is VM-instruction indexed: every
+// segment carries a step table, so Cursor.Seek works at segment
+// granularity and the trace encodes as format v3.
+func (t *Trace) Indexed() bool {
+	for _, s := range t.Segs {
+		if s.Steps == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Decode parses an encoded trace, validating the magic, version and
@@ -401,8 +535,8 @@ func Decode(b []byte) (*Trace, error) {
 		return nil, fmt.Errorf("disptrace: bad magic %q", b[:4])
 	}
 	version := binary.LittleEndian.Uint16(b[4:6])
-	if version != Version && version != versionV1 {
-		return nil, fmt.Errorf("disptrace: unsupported trace version %d (want %d or %d)", version, versionV1, Version)
+	if version < versionV1 || version > Version {
+		return nil, fmt.Errorf("disptrace: unsupported trace version %d (want %d through %d)", version, versionV1, Version)
 	}
 	body := b[10:]
 	if sum := binary.LittleEndian.Uint32(b[6:10]); sum != crc32.ChecksumIEEE(body) {
@@ -433,21 +567,26 @@ func Decode(b []byte) (*Trace, error) {
 		return nil, r.err
 	}
 	type segInfo struct {
-		codec               Codec
-		bytes, records, raw uint64
+		codec                                   Codec
+		bytes, records, raw, vmInsts, stepBytes uint64
 	}
 	infos := make([]segInfo, segCount)
-	var totalRecords uint64
+	var totalRecords, totalInsts uint64
 	for i := range infos {
-		if version >= 2 {
+		if version >= versionV2 {
 			infos[i].codec = Codec(r.byte())
 		}
 		infos[i].bytes = r.uvarint()
 		infos[i].records = r.uvarint()
-		if version >= 2 {
+		if version >= versionV2 {
 			infos[i].raw = r.uvarint()
 		} else {
 			infos[i].raw = infos[i].bytes
+		}
+		if version >= Version {
+			infos[i].vmInsts = r.uvarint()
+			infos[i].stepBytes = r.uvarint()
+			totalInsts += infos[i].vmInsts
 		}
 		totalRecords += infos[i].records
 	}
@@ -457,6 +596,9 @@ func Decode(b []byte) (*Trace, error) {
 	if totalRecords != h.Records {
 		return nil, fmt.Errorf("disptrace: index holds %d records, header says %d", totalRecords, h.Records)
 	}
+	if version >= Version && totalInsts != h.VMInstructions {
+		return nil, fmt.Errorf("disptrace: index holds %d VM instructions, header says %d", totalInsts, h.VMInstructions)
+	}
 
 	t := &Trace{Header: h, Segs: make([]Segment, segCount)}
 	for i := range t.Segs {
@@ -464,7 +606,8 @@ func Decode(b []byte) (*Trace, error) {
 		if !knownCodec(in.codec) {
 			return nil, fmt.Errorf("disptrace: segment %d has unknown codec %d", i, in.codec)
 		}
-		if in.bytes > math.MaxInt32 || in.records > math.MaxInt32 || in.raw > math.MaxInt32 {
+		if in.bytes > math.MaxInt32 || in.records > math.MaxInt32 || in.raw > math.MaxInt32 ||
+			in.vmInsts > math.MaxInt32 || in.stepBytes > math.MaxInt32 {
 			return nil, fmt.Errorf("disptrace: segment %d size out of range", i)
 		}
 		if in.codec == CodecRaw && in.raw != in.bytes {
@@ -481,7 +624,24 @@ func Decode(b []byte) (*Trace, error) {
 		if in.records > maxSegmentRecords {
 			return nil, fmt.Errorf("disptrace: segment %d claims %d records (limit %d)", i, in.records, maxSegmentRecords)
 		}
-		t.Segs[i] = Segment{Data: r.bytes(int(in.bytes)), Records: int(in.records), Codec: in.codec, RawBytes: int(in.raw)}
+		t.Segs[i] = Segment{Data: r.bytes(int(in.bytes)), Records: int(in.records), Codec: in.codec, RawBytes: int(in.raw),
+			VMInsts: int(in.vmInsts)}
+	}
+	if version >= Version {
+		for i := range t.Segs {
+			steps := r.bytes(int(infos[i].stepBytes))
+			if r.err != nil {
+				return nil, r.err
+			}
+			// Validate the table now so corrupt step indexes fail at
+			// Decode instead of deep inside a seeking consumer. The
+			// exception count is bounded by the table's own bytes, so
+			// this stays proportional to the input.
+			if _, _, err := parseStepTable(steps, t.Segs[i].VMInsts, t.Segs[i].Records); err != nil {
+				return nil, fmt.Errorf("disptrace: segment %d: %w", i, err)
+			}
+			t.Segs[i].Steps = steps
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -490,6 +650,75 @@ func Decode(b []byte) (*Trace, error) {
 		return nil, fmt.Errorf("disptrace: %d trailing bytes after segments", len(body)-r.off)
 	}
 	return t, nil
+}
+
+// Meta summarizes a trace file from its header and segment index
+// alone: no payload is inflated and no checksum is computed, so
+// listing a cache directory stays cheap however large the traces are.
+type Meta struct {
+	Header Header
+	// Segments is the segment count from the index.
+	Segments int
+	// Seekable reports a v3 trace: the index carries per-segment VM
+	// instruction counts and step tables (Cursor.Seek jumps straight
+	// to a segment instead of scanning).
+	Seekable bool
+}
+
+// DecodeMeta parses a trace's metadata from an encoded prefix. It
+// accepts a partial buffer as long as the header and segment index
+// are complete; payload bytes past the index are not touched (and the
+// checksum, which covers them, is not verified — callers that need
+// integrity use Decode).
+func DecodeMeta(b []byte) (Meta, error) {
+	if len(b) < 10 {
+		return Meta{}, fmt.Errorf("disptrace: %d bytes is too short for a trace", len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return Meta{}, fmt.Errorf("disptrace: bad magic %q", b[:4])
+	}
+	version := binary.LittleEndian.Uint16(b[4:6])
+	if version < versionV1 || version > Version {
+		return Meta{}, fmt.Errorf("disptrace: unsupported trace version %d (want %d through %d)", version, versionV1, Version)
+	}
+	r := &byteReader{b: b[10:]}
+	hdrLen := r.uvarint()
+	if r.err == nil && hdrLen > uint64(len(r.b)) {
+		r.fail("disptrace: header length %d exceeds trace size", hdrLen)
+	}
+	hdrBytes := r.bytes(int(hdrLen))
+	if r.err != nil {
+		return Meta{}, r.err
+	}
+	h, err := decodeHeader(hdrBytes)
+	if err != nil {
+		return Meta{}, err
+	}
+	segCount := r.uvarint()
+	if r.err == nil && segCount > uint64(len(r.b)) {
+		r.fail("disptrace: segment count %d exceeds trace size", segCount)
+	}
+	if r.err != nil {
+		return Meta{}, r.err
+	}
+	for range segCount {
+		if version >= versionV2 {
+			r.byte() // codec
+		}
+		r.uvarint() // stored bytes
+		r.uvarint() // records
+		if version >= versionV2 {
+			r.uvarint() // raw bytes
+		}
+		if version >= Version {
+			r.uvarint() // vm instructions
+			r.uvarint() // step-table bytes
+		}
+	}
+	if r.err != nil {
+		return Meta{}, r.err
+	}
+	return Meta{Header: h, Segments: int(segCount), Seekable: version >= Version}, nil
 }
 
 // Decode expands the segment into logical records, appending to dst

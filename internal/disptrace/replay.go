@@ -146,19 +146,20 @@ func replayEach(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 	return nil
 }
 
-// replaySequential decodes and applies on one goroutine, reusing one
-// op buffer and one inflate scratch buffer across segments.
+// replaySequential drives one cursor over the trace and applies its
+// batches on the calling goroutine; the cursor reuses one op buffer
+// and one inflate scratch buffer across segments.
 func replaySequential(t *Trace, sim *cpu.Sim) error {
+	c := NewCursor(t)
 	var ops []cpu.Op
-	var scratch []byte
-	for _, s := range t.Segs {
-		var err error
-		if ops, scratch, err = s.decodeOps(ops[:0], scratch); err != nil {
-			return err
+	for {
+		batch, ok := c.NextBatch(ops[:0])
+		if !ok {
+			return c.Err()
 		}
-		sim.Apply(ops)
+		sim.Apply(batch)
+		ops = batch
 	}
-	return nil
 }
 
 // replayPipelined is the sharded schedule: a fixed crew of decode
@@ -204,13 +205,13 @@ func replayPipelined(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 	}()
 	for range decodeJobs {
 		go func() {
-			// Each worker threads its own inflate scratch buffer
-			// through the segments it decodes.
-			var scratch []byte
+			// Each worker drives its own cursor, which threads one
+			// inflate scratch buffer through the segments it decodes.
+			cur := NewCursor(t)
 			for i := range segs {
 				b := pool.get()
 				var err error
-				b.ops, scratch, err = t.Segs[i].decodeOps(b.ops[:0], scratch)
+				b.ops, err = cur.batchSeg(i, b.ops[:0])
 				slots[i] <- decoded{b, err}
 			}
 		}()
@@ -263,14 +264,18 @@ func replayPipelined(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 // addresses (delta decoding happens here, once), so applying it is a
 // tight loop over a slice — the form cpu.Sim.Apply consumes.
 func (s Segment) DecodeOps(dst []cpu.Op) ([]cpu.Op, error) {
-	ops, _, err := s.decodeOps(dst, nil)
+	ops, _, err := s.decodeOps(dst, nil, nil)
 	return ops, err
 }
 
 // decodeOps is DecodeOps with a reusable inflate scratch buffer (see
-// payloadScratch); sequential replay threads one buffer through every
-// segment.
-func (s Segment) decodeOps(dst []cpu.Op, scratch []byte) ([]cpu.Op, []byte, error) {
+// payloadScratch) threaded through by the cursor, and an optional
+// record index: when ends is non-nil it receives the cumulative op
+// count after each physical record, which is how the cursor maps step
+// tables (record-granular) onto the decoded op stream and how legacy
+// step synthesis recognizes fused records (they expand to more than
+// one op).
+func (s Segment) decodeOps(dst []cpu.Op, scratch []byte, ends *[]int) ([]cpu.Op, []byte, error) {
 	if s.Records > maxSegmentRecords {
 		return nil, scratch, fmt.Errorf("disptrace: segment claims %d records (limit %d)", s.Records, maxSegmentRecords)
 	}
@@ -365,6 +370,9 @@ func (s Segment) decodeOps(dst []cpu.Op, scratch []byte) ([]cpu.Op, []byte, erro
 		}
 		if !ok {
 			return nil, scratch, fmt.Errorf("disptrace: malformed record %d", n)
+		}
+		if ends != nil {
+			*ends = append(*ends, len(dst))
 		}
 	}
 	if i != len(b) {

@@ -2,7 +2,9 @@ package disptrace
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -17,6 +19,13 @@ import (
 // plain records, so arbitrary streams remain encodable. Records are
 // buffered per segment with delta bases reset at every segment
 // boundary, so the finished trace decodes segment-parallel.
+//
+// The writer also attributes every record to the VM instruction it
+// belongs to (RecordVMInst marks instruction starts) and seals
+// segments at instruction boundaries, building the v3 step tables
+// that make the finished trace seekable by instruction index.
+// Streams that never report a VM instruction seal at the plain record
+// limit, exactly like the v2 writer did.
 type Writer struct {
 	h          Header
 	segLimit   int
@@ -30,6 +39,35 @@ type Writer struct {
 	// shapes [W], [W,F], [W,F,W], [W,F,W,F] occur.
 	pending [4]pendingEvent
 	npend   int
+
+	// Step attribution for the current segment. stepOpen marks a VM
+	// instruction whose records are currently being emitted (stepRecs
+	// counts them, stepIdx is its segment-local index); pendingSteps
+	// counts instructions announced by RecordVMInst that have not
+	// received a record yet — they materialize in whichever segment
+	// their first record lands in, or as empty trailing steps at
+	// finalization. segPrefix counts records emitted while no step is
+	// open (the continuation of a step sealed mid-instruction, or the
+	// stream before the first VM instruction). sealDue defers a due
+	// segment seal to the next instruction boundary.
+	stepOpen     bool
+	stepRecs     int
+	stepIdx      int
+	pendingSteps int
+	segPrefix    int
+	segInsts     int
+	segExc       []stepExc
+	sealDue      bool
+	metas        []segMeta
+}
+
+// segMeta is the unencoded step table of one sealed segment; tables
+// are serialized together at finalization so trailing empty
+// instructions can still be folded into the last segment.
+type segMeta struct {
+	prefix int
+	insts  int
+	exc    []stepExc
 }
 
 // pendingEvent is one buffered Work (a = n) or Fetch (a = addr,
@@ -51,23 +89,75 @@ func NewWriter(h Header) *Writer {
 	return &Writer{h: h, segLimit: DefaultSegmentRecords}
 }
 
-// endRecord accounts one appended record and seals the segment at the
-// limit.
+// endRecord accounts one appended record — attributing it to the open
+// VM instruction, materializing instructions still pending their
+// first record, or counting it into the segment prefix — and seals
+// the segment when the limit allows. Segments seal immediately at the
+// limit while no instruction is open (matching the v2 writer for
+// streams that never report instructions); with one open they seal at
+// the next instruction boundary (RecordVMInst), falling back to a
+// mid-instruction seal at twice the limit so a pathological stream
+// cannot grow a segment unboundedly.
 func (w *Writer) endRecord() {
 	w.h.Records++
 	w.curRecords++
+	if w.pendingSteps > 0 {
+		// Instructions that arrived with no records of their own
+		// become empty steps here; the newest one claims this record.
+		for ; w.pendingSteps > 1; w.pendingSteps-- {
+			w.segExc = append(w.segExc, stepExc{idx: w.segInsts, recs: 0})
+			w.segInsts++
+		}
+		w.pendingSteps = 0
+		w.stepOpen = true
+		w.stepIdx = w.segInsts
+		w.stepRecs = 0
+		w.segInsts++
+	}
+	if w.stepOpen {
+		w.stepRecs++
+	} else {
+		w.segPrefix++
+	}
 	if w.curRecords >= w.segLimit {
-		w.flushSegment()
+		if !w.stepOpen {
+			w.flushSegment()
+		} else if w.curRecords >= 2*w.segLimit {
+			// Mid-instruction seal: close the open step with its
+			// in-segment record count; its remaining records become
+			// the next segment's prefix and the cursor stitches them
+			// back together.
+			w.closeStep()
+			w.flushSegment()
+		} else {
+			w.sealDue = true
+		}
 	}
 }
 
+// closeStep finishes the open instruction's record attribution,
+// adding a step-table exception when it spans more or fewer than the
+// default single record.
+func (w *Writer) closeStep() {
+	if !w.stepOpen {
+		return
+	}
+	if w.stepRecs != 1 {
+		w.segExc = append(w.segExc, stepExc{idx: w.stepIdx, recs: w.stepRecs})
+	}
+	w.stepOpen = false
+}
+
 func (w *Writer) flushSegment() {
-	if w.curRecords == 0 {
+	w.sealDue = false
+	if w.curRecords == 0 && w.segInsts == 0 {
 		return
 	}
 	w.segs = append(w.segs, Segment{Data: w.cur, Records: w.curRecords})
+	w.metas = append(w.metas, segMeta{prefix: w.segPrefix, insts: w.segInsts, exc: w.segExc})
 	w.cur = nil
 	w.curRecords = 0
+	w.segPrefix, w.segInsts, w.segExc = 0, 0, nil
 	w.prevFetch, w.prevBranch, w.prevTarget = 0, 0, 0
 }
 
@@ -198,17 +288,61 @@ func (w *Writer) RecordDispatch(branch, hint, target uint64) {
 	w.emitDispatch(branch, hint, target)
 }
 
-// RecordVMInst implements cpu.Sink.
-func (w *Writer) RecordVMInst() { w.h.VMInstructions++ }
+// RecordVMInst implements cpu.Sink. It marks the boundary between VM
+// instructions: buffered events are resolved so every record lands in
+// the instruction that produced it (the engine always follows an
+// instruction's trailing [W,F,W] with another work event, so fusing
+// it here emits the exact bytes lazy fusion would), the finished
+// instruction's step-table entry is closed, and a due segment seal
+// runs — segments therefore break at instruction boundaries and the
+// step tables stay exact.
+func (w *Writer) RecordVMInst() {
+	w.h.VMInstructions++
+	if w.npend == 3 {
+		w.emitStepSeq()
+	} else if w.npend != 0 {
+		w.flushPending()
+	}
+	w.closeStep()
+	if w.sealDue {
+		w.flushSegment()
+	}
+	w.pendingSteps++
+}
 
 // RecordCodeBytes implements cpu.Sink.
 func (w *Writer) RecordCodeBytes(n uint64) { w.h.CodeBytes += n }
 
-// Trace seals pending events and the current segment and returns the
-// finished trace. The writer must not be used afterwards.
+// Trace seals pending events, steps and the current segment, encodes
+// the per-segment step tables, and returns the finished trace. The
+// writer must not be used afterwards.
 func (w *Writer) Trace() *Trace {
 	w.flushPending()
+	w.closeStep()
+	// Instructions announced but never followed by a record become
+	// empty trailing steps; fold them into the last sealed segment
+	// when the current one holds nothing else, so finalization never
+	// appends an empty segment to a non-empty trace.
+	if w.pendingSteps > 0 {
+		if w.curRecords == 0 && w.segInsts == 0 && len(w.metas) > 0 {
+			last := &w.metas[len(w.metas)-1]
+			for range w.pendingSteps {
+				last.exc = append(last.exc, stepExc{idx: last.insts, recs: 0})
+				last.insts++
+			}
+		} else {
+			for range w.pendingSteps {
+				w.segExc = append(w.segExc, stepExc{idx: w.segInsts, recs: 0})
+				w.segInsts++
+			}
+		}
+		w.pendingSteps = 0
+	}
 	w.flushSegment()
+	for i := range w.segs {
+		w.segs[i].VMInsts = w.metas[i].insts
+		w.segs[i].Steps = encodeStepTable(w.metas[i].prefix, w.metas[i].exc)
+	}
 	return &Trace{Header: w.h, Segs: w.segs}
 }
 
@@ -255,4 +389,44 @@ func Load(path string) (*Trace, error) {
 		return nil, fmt.Errorf("disptrace: loading %s: %w", path, err)
 	}
 	return t, nil
+}
+
+// metaReadAhead is the prefix ReadMeta reads first: the header and
+// segment index of any realistic trace fit comfortably (the index
+// costs ~10 bytes per 16Ki-record segment), so listing a cache
+// directory reads a few KB per file instead of whole traces.
+const metaReadAhead = 64 << 10
+
+// ReadMeta reads a trace file's metadata — header and segment index —
+// without loading or inflating its payloads. It reads a small prefix
+// and falls back to the whole file only when the index genuinely
+// extends past it.
+func ReadMeta(path string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, fmt.Errorf("disptrace: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, metaReadAhead)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return Meta{}, fmt.Errorf("disptrace: %w", err)
+	}
+	m, merr := DecodeMeta(buf[:n])
+	if merr == nil {
+		return m, nil
+	}
+	if n < metaReadAhead {
+		// The whole file fit in the prefix; the failure is real.
+		return Meta{}, fmt.Errorf("disptrace: reading metadata of %s: %w", path, merr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, fmt.Errorf("disptrace: %w", err)
+	}
+	m, merr = DecodeMeta(b)
+	if merr != nil {
+		return Meta{}, fmt.Errorf("disptrace: reading metadata of %s: %w", path, merr)
+	}
+	return m, nil
 }

@@ -441,6 +441,25 @@ func (s *Suite) RecordTrace(w *workload.Workload, v Variant, m cpu.Machine) (*di
 	return tw.Trace(), c, nil
 }
 
+// Trace returns the dispatch trace of one (benchmark, variant) pair
+// at the suite's scale: loaded from the attached cache when present
+// (recording through it on a miss, so concurrent callers coalesce and
+// the recording persists), or recorded directly when the suite has no
+// cache. This is the plumbing for paired recordings — comparative
+// tooling (vmtrace diff) asks for two variants' traces of one
+// workload and aligns them by VM instruction index.
+func (s *Suite) Trace(w *workload.Workload, v Variant, m cpu.Machine) (*disptrace.Trace, error) {
+	if s.Traces == nil {
+		tr, _, err := s.RecordTrace(w, v, m)
+		return tr, err
+	}
+	tr, _, err := s.Traces.GetOrRecord(s.TraceKey(w, v), func() (*disptrace.Trace, error) {
+		tr, _, err := s.RecordTrace(w, v, m)
+		return tr, err
+	})
+	return tr, err
+}
+
 // RunSpec is one (workload, variant, machine) cell of an experiment
 // grid.
 type RunSpec struct {

@@ -9,6 +9,7 @@ import (
 
 	"vmopt/internal/core"
 	"vmopt/internal/cpu"
+	"vmopt/internal/disptrace"
 	"vmopt/internal/workload"
 )
 
@@ -149,5 +150,62 @@ func TestSingleFlight(t *testing.T) {
 	}
 	if len(s.Snapshot()) != 1 {
 		t.Errorf("cache holds %d entries, want 1", len(s.Snapshot()))
+	}
+}
+
+// TestSuiteTrace: the paired-recording plumbing returns the same
+// dispatch stream with and without a cache attached, records through
+// the cache exactly once, and a second variant lands beside the first
+// so comparative tooling can align them.
+func TestSuiteTrace(t *testing.T) {
+	w, err := workload.ByName("gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Variant{Name: "plain", Technique: core.TPlain}
+	sw := Variant{Name: "switch", Technique: core.TSwitch}
+
+	bare := NewTestSuite()
+	bare.ScaleDiv = 40
+	direct, err := bare.Trace(w, plain, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := NewTestSuite()
+	cached.ScaleDiv = 40
+	cached.Traces = disptrace.NewCache(t.TempDir())
+	first, err := cached.Trace(w, plain, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Header != direct.Header {
+		t.Fatalf("cached recording header differs:\n  %+v\n  %+v", first.Header, direct.Header)
+	}
+	stats := cached.Traces.Stats()
+	if stats.Records != 1 {
+		t.Fatalf("expected 1 recording, cache saw %d", stats.Records)
+	}
+	again, err := cached.Trace(w, plain, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Header != first.Header {
+		t.Fatal("reloaded trace differs from recording")
+	}
+	if stats = cached.Traces.Stats(); stats.Records != 1 || stats.Loads != 1 {
+		t.Fatalf("second Trace should load, not re-record: %+v", stats)
+	}
+
+	other, err := cached.Trace(w, sw, cpu.Celeron800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := disptrace.DiffTraces(other, first, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AInsts != r.BInsts || r.Divergences == 0 {
+		t.Fatalf("switch vs plain pair misaligned: %+v", r)
 	}
 }

@@ -74,6 +74,28 @@ type TraceInfo struct {
 	Segments    int    `json:"segments"`
 	StoredBytes int    `json:"stored_bytes"`
 	RawBytes    int    `json:"raw_bytes"`
+	// Seekable marks a v3 trace whose segment index carries VM
+	// instruction counts (cursors seek instead of scanning; /v1/diff
+	// aligns two of these cheaply).
+	Seekable bool `json:"seekable"`
+}
+
+// DiffRequest asks for an instruction-aligned comparison of two
+// cached traces — the body of POST /v1/diff. A and B are trace
+// content addresses from GET /v1/traces; N bounds how many
+// divergences are detailed (DefaultDiffDetail when zero).
+type DiffRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	N int    `json:"n,omitempty"`
+}
+
+// DiffResponse is the POST /v1/diff document: the requested pair plus
+// the alignment report.
+type DiffResponse struct {
+	A      string                `json:"a"`
+	B      string                `json:"b"`
+	Report *disptrace.DiffReport `json:"report"`
 }
 
 // TraceList is the GET /v1/traces index: every trace resident in the

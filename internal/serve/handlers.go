@@ -18,6 +18,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -215,6 +216,64 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.stats.latSweep.Observe(time.Since(start))
 }
 
+// handleDiff serves POST /v1/diff: an instruction-aligned comparison
+// of two traces resident in the disk cache. Identical concurrent
+// requests coalesce onto one computation and share its marshaled
+// body, so duplicates are byte-identical.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqDiff.Add(1)
+	if s.cfg.Traces == nil {
+		errorBody(w, http.StatusNotFound, "no trace cache configured")
+		return
+	}
+	var req DiffRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	if !disptrace.ValidID(req.A) || !disptrace.ValidID(req.B) {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusBadRequest, "a and b must be trace content addresses (see GET /v1/traces)")
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = DefaultDiffDetail
+	}
+	if n > MaxDiffDetail {
+		n = MaxDiffDetail
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	body, joined, err := s.runDiff(ctx, diffKey{a: req.A, b: req.B, n: n})
+	if joined && err == nil {
+		s.stats.coalescedDiffs.Add(1)
+	}
+	if err != nil {
+		s.stats.errors.Add(1)
+		switch {
+		case errors.Is(err, disptrace.ErrNoTrace):
+			errorBody(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, disptrace.ErrMismatched):
+			errorBody(w, http.StatusBadRequest, "%v", err)
+		default:
+			errorBody(w, failStatus(err), "%v", err)
+		}
+		return
+	}
+	s.stats.latDiff.Observe(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	s.stats.reqTraces.Add(1)
 	if s.cfg.Traces == nil {
@@ -257,7 +316,7 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 		Workload: h.Workload, Lang: h.Lang, Variant: h.Variant, Technique: h.Technique,
 		Scale: h.Scale, ScaleDiv: h.ScaleDiv, MaxSteps: h.MaxSteps,
 		Records: h.Records, Dispatches: h.Dispatches, VMInsts: h.VMInstructions,
-		Segments: len(t.Segs),
+		Segments: len(t.Segs), Seekable: t.Indexed(),
 	}
 	for _, seg := range t.Segs {
 		info.StoredBytes += len(seg.Data)

@@ -7,6 +7,7 @@
 //
 //	POST /v1/run        one cell; returns a runner.Run JSON document
 //	POST /v1/sweep      a grid of cells; streams NDJSON results
+//	POST /v1/diff       instruction-aligned comparison of two cached traces
 //	GET  /v1/traces     index of the on-disk dispatch-trace cache
 //	GET  /v1/traces/{id}  metadata of one cached trace
 //	GET  /v1/stats      cache hit rates, coalescing, latency percentiles
@@ -37,6 +38,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"runtime"
 	"sync"
@@ -157,6 +159,10 @@ type Server struct {
 
 	runFlight   runner.Flight[cell, metrics.Counters]
 	groupFlight runner.Flight[string, map[string]metrics.Counters]
+	// diffFlight coalesces identical concurrent /v1/diff requests on
+	// the marshaled response body, so duplicates are byte-identical by
+	// construction.
+	diffFlight runner.Flight[diffKey, []byte]
 
 	// mu makes suiteFor's get-or-create atomic; the LRU itself is
 	// already concurrency-safe and owns recency eviction.
@@ -368,4 +374,52 @@ func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Coun
 // label their scale.
 func (s *Server) scaleOf(rc resolved) int {
 	return harness.ScaleAt(rc.w, rc.cell.scaleDiv)
+}
+
+// diffKey identifies one /v1/diff computation for coalescing.
+type diffKey struct {
+	a, b string
+	n    int
+}
+
+// DefaultDiffDetail is how many divergences a diff details when the
+// request does not say; MaxDiffDetail caps what it may ask for.
+const (
+	DefaultDiffDetail = 5
+	MaxDiffDetail     = 256
+)
+
+// runDiff produces the marshaled /v1/diff response for a pair of
+// cached trace IDs: both traces are loaded from the disk cache,
+// aligned by VM instruction index, and the report serialized once —
+// identical concurrent requests coalesce onto that single computation
+// and therefore receive byte-identical bodies. Decoding and walking
+// two full traces is real work, so it runs under a compute slot like
+// simulations do.
+func (s *Server) runDiff(ctx context.Context, k diffKey) ([]byte, bool, error) {
+	return coalesce(ctx, &s.diffFlight, &s.stats, k, func() ([]byte, error) {
+		release, err := s.acquireCompute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		a, _, err := s.cfg.Traces.LoadID(k.a)
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := s.cfg.Traces.LoadID(k.b)
+		if err != nil {
+			return nil, err
+		}
+		report, err := disptrace.DiffTraces(a, b, k.n)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(DiffResponse{A: k.a, B: k.b, Report: report})
+		if err != nil {
+			return nil, err
+		}
+		s.stats.computedDiffs.Add(1)
+		return append(body, '\n'), nil
+	})
 }

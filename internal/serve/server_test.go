@@ -445,6 +445,135 @@ func TestTraceAndStatsEndpoints(t *testing.T) {
 	}
 }
 
+// TestDiffEndpoint drives POST /v1/diff over traces recorded through
+// the server: self-diff reports zero divergences, a cross-technique
+// diff reports a deterministic first divergence, concurrent duplicate
+// requests receive byte-identical bodies from one coalesced
+// computation, and bad inputs map to the right statuses.
+func TestDiffEndpoint(t *testing.T) {
+	cache := disptrace.NewCache(t.TempDir())
+	s, ts := newTestServer(t, Config{Traces: cache})
+
+	// Populate the cache with two techniques of one workload.
+	for _, variant := range []string{"plain", "switch"} {
+		status, body := post(t, ts.URL+"/v1/run", RunRequest{
+			Workload: "gray", Variant: variant, Machine: "celeron-800", ScaleDiv: testScaleDiv,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("run %s: HTTP %d: %s", variant, status, body)
+		}
+	}
+	entries, err := cache.List()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("cache holds %d traces (%v), want 2", len(entries), err)
+	}
+	byVariant := map[string]disptrace.CacheEntry{}
+	for _, e := range entries {
+		byVariant[e.Variant] = e
+	}
+	a, b := byVariant["switch"], byVariant["plain"]
+	if a.ID == "" || b.ID == "" {
+		t.Fatalf("trace list lacks variant metadata: %+v", entries)
+	}
+	if !a.Seekable || a.VMInstructions == 0 || a.Segments == 0 {
+		t.Fatalf("listed entry missing index metadata: %+v", a)
+	}
+
+	// Self-diff: identical.
+	status, body := post(t, ts.URL+"/v1/diff", DiffRequest{A: a.ID, B: a.ID})
+	if status != http.StatusOK {
+		t.Fatalf("self-diff: HTTP %d: %s", status, body)
+	}
+	var selfResp DiffResponse
+	if err := json.Unmarshal(body, &selfResp); err != nil {
+		t.Fatal(err)
+	}
+	if !selfResp.Report.Identical || selfResp.Report.Divergences != 0 {
+		t.Fatalf("self-diff not identical: %+v", selfResp.Report)
+	}
+
+	// Concurrent duplicate cross-diffs: byte-identical bodies.
+	const herd = 12
+	bodies := make([][]byte, herd)
+	var wg sync.WaitGroup
+	for i := range herd {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := post(t, ts.URL+"/v1/diff", DiffRequest{A: a.ID, B: b.ID, N: 3})
+			if status != http.StatusOK {
+				t.Errorf("cross-diff %d: HTTP %d: %s", i, status, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < herd; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("duplicate diff %d diverged:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	var crossResp DiffResponse
+	if err := json.Unmarshal(bodies[0], &crossResp); err != nil {
+		t.Fatal(err)
+	}
+	if crossResp.Report.Identical || crossResp.Report.Divergences == 0 || crossResp.Report.FirstDivergence < 0 {
+		t.Fatalf("cross-technique diff reports no divergence: %+v", crossResp.Report)
+	}
+	if len(crossResp.Report.First) == 0 || len(crossResp.Report.First) > 3 {
+		t.Fatalf("asked for 3 detailed divergences, got %d", len(crossResp.Report.First))
+	}
+	if got := s.stats.reqDiff.Load(); got != herd+1 {
+		t.Errorf("diff request count = %d, want %d", got, herd+1)
+	}
+
+	// Unknown id -> 404; malformed id -> 400; no body -> 400.
+	fake := strings.Repeat("ab", 32)
+	if status, _ := post(t, ts.URL+"/v1/diff", DiffRequest{A: fake, B: fake}); status != http.StatusNotFound {
+		t.Errorf("unknown trace id: HTTP %d, want 404", status)
+	}
+	if status, _ := post(t, ts.URL+"/v1/diff", DiffRequest{A: "zz", B: a.ID}); status != http.StatusBadRequest {
+		t.Errorf("malformed trace id: HTTP %d, want 400", status)
+	}
+
+	// Mismatched workloads -> 400 with ErrMismatched. Record another
+	// workload's trace to pair with.
+	if status, body := post(t, ts.URL+"/v1/run", RunRequest{
+		Workload: "tscp", Variant: "plain", Machine: "celeron-800", ScaleDiv: testScaleDiv,
+	}); status != http.StatusOK {
+		t.Fatalf("run tscp: HTTP %d: %s", status, body)
+	}
+	entries, err = cache.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other disptrace.CacheEntry
+	for _, e := range entries {
+		if e.Workload == "tscp" {
+			other = e
+		}
+	}
+	if status, body := post(t, ts.URL+"/v1/diff", DiffRequest{A: a.ID, B: other.ID}); status != http.StatusBadRequest {
+		t.Errorf("mismatched workloads: HTTP %d (%s), want 400", status, body)
+	}
+
+	// Stats reflect the diff traffic.
+	statsBody, err := fetchOK(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests.Diff == 0 || st.Computed.Diffs == 0 {
+		t.Errorf("diff stats missing: %+v", st.Requests)
+	}
+	if st.Latency["diff"].Count == 0 {
+		t.Errorf("diff latency not observed")
+	}
+}
+
 func fetchOK(url string) ([]byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {

@@ -17,17 +17,17 @@ type stats struct {
 
 	inFlight atomic.Int64
 
-	reqRun, reqSweep, reqTraces, reqStats atomic.Uint64
-	rejected, errors                      atomic.Uint64
+	reqRun, reqSweep, reqDiff, reqTraces, reqStats atomic.Uint64
+	rejected, errors                               atomic.Uint64
 
 	lruHits, lruMisses atomic.Uint64
 
-	coalescedRuns, coalescedGroups atomic.Uint64
-	computedCells, computedGroups  atomic.Uint64
-	canceledRetries                atomic.Uint64
-	resultsDropped                 atomic.Uint64
+	coalescedRuns, coalescedGroups, coalescedDiffs atomic.Uint64
+	computedCells, computedGroups, computedDiffs   atomic.Uint64
+	canceledRetries                                atomic.Uint64
+	resultsDropped                                 atomic.Uint64
 
-	latRun, latSweep metrics.Histogram
+	latRun, latSweep, latDiff metrics.Histogram
 }
 
 // StatsResponse is the GET /v1/stats document.
@@ -63,6 +63,7 @@ type StatsResponse struct {
 type RequestStats struct {
 	Run    uint64 `json:"run"`
 	Sweep  uint64 `json:"sweep"`
+	Diff   uint64 `json:"diff"`
 	Traces uint64 `json:"traces"`
 	Stats  uint64 `json:"stats"`
 	// Rejected counts requests turned away by backpressure (503).
@@ -86,6 +87,7 @@ type CacheTier struct {
 type CoalesceStats struct {
 	Runs   uint64 `json:"runs"`
 	Groups uint64 `json:"groups"`
+	Diffs  uint64 `json:"diffs"`
 	// CanceledRetries counts computations re-led after a cancelled
 	// leader poisoned a shared flight result.
 	CanceledRetries uint64 `json:"canceled_retries"`
@@ -95,6 +97,7 @@ type CoalesceStats struct {
 type ComputeStats struct {
 	Cells  uint64 `json:"cells"`
 	Groups uint64 `json:"groups"`
+	Diffs  uint64 `json:"diffs"`
 }
 
 // SuiteStats describes the suite pool.
@@ -118,6 +121,7 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 		Requests: RequestStats{
 			Run:      st.reqRun.Load(),
 			Sweep:    st.reqSweep.Load(),
+			Diff:     st.reqDiff.Load(),
 			Traces:   st.reqTraces.Load(),
 			Stats:    st.reqStats.Load(),
 			Rejected: st.rejected.Load(),
@@ -133,11 +137,13 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 		Coalesced: CoalesceStats{
 			Runs:            st.coalescedRuns.Load(),
 			Groups:          st.coalescedGroups.Load(),
+			Diffs:           st.coalescedDiffs.Load(),
 			CanceledRetries: st.canceledRetries.Load(),
 		},
 		Computed: ComputeStats{
 			Cells:  st.computedCells.Load(),
 			Groups: st.computedGroups.Load(),
+			Diffs:  st.computedDiffs.Load(),
 		},
 		Suites: SuiteStats{
 			Live:           s.suiteCount(),
@@ -146,6 +152,7 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 		Latency: map[string]metrics.HistogramSnapshot{
 			"run":   st.latRun.Snapshot(),
 			"sweep": st.latSweep.Snapshot(),
+			"diff":  st.latDiff.Snapshot(),
 		},
 	}
 	if s.cfg.Traces != nil {
