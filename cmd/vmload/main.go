@@ -1,213 +1,240 @@
-// Command vmload is a YCSB-style load generator for vmserved: it
-// hammers the serving API with a configurable mix of duplicate-heavy
-// run and sweep requests from concurrent workers, verifies that
-// responses to identical requests are byte-identical (coalesced and
-// cached results must not diverge from computed ones), and reports
-// throughput and latency percentiles. CI uses it as the serve-smoke
-// gate; exit status is non-zero on any transport error, non-2xx
-// response, response divergence, or failed sweep cell (sweeps report
-// per-cell failures inside a 200 NDJSON stream, so the gate reads
-// the lines, not just the status).
+// Command vmload is the serving tier's load framework (see
+// internal/loadgen): it drives vmserved with a declarative workload
+// spec — an operation mix over /v1/run, /v1/sweep, /v1/diff and
+// /v1/traces drawn from a seeded zipfian corpus — through distinct
+// warm-up and measurement phases, in closed-loop (N workers) or
+// open-loop (fixed-rate or Poisson arrivals) mode, and emits a
+// vmload/v1 machine-readable report with per-operation latency
+// percentiles, error counts and 503-backpressure counts.
+//
+// Open-loop latency is coordinated-omission-aware: every request is
+// timed from its intended start on the arrival schedule, so a server
+// stall is charged for the requests that queued behind it.
 //
 // Usage:
 //
-//	vmload -addr http://127.0.0.1:8321 -n 200 -c 16 -zipf-theta 0.9
-//	vmload -mode sweep -workloads gray,tscp -scalediv 100 -stats
+//	vmload -spec loadspecs/ci.json -out load-report.json
+//	vmload -n 200 -c 16 -zipf-theta 0.9            # flag-built closed-loop spec
+//	vmload -mode sweep -workloads gray,tscp -stats
+//	vmload diff -current load-report.json BENCH_serve.json
 //
-// The request corpus is the cross product of -workloads, -variants
-// and -machines (plus one sweep request per workload in sweep/mixed
-// modes). Each worker draws corpus ranks from a true Zipfian
-// distribution (the Gray et al. generator YCSB popularized) with skew
-// -zipf-theta: rank 0 — the sweeps, when present — is hottest, the
-// tail is long, and the whole mix is seeded and reproducible. Theta 0
-// degenerates to uniform; the YCSB default 0.99 approximates
-// real-world cache workloads.
+// The diff subcommand is the CI regression gate: it compares a report
+// against a checked-in baseline with loose thresholds (per-op p99,
+// error rate, total throughput) sized for shared runners.
+//
+// Exit status is non-zero on any transport error, non-2xx response
+// (503 backpressure excluded — the server shedding load under an
+// open-loop overload is a measurement, not a failure), response
+// divergence between identical requests, or failed sweep cell.
 package main
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"math"
-	"math/rand"
 	"net/http"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
-	"sync"
-	"sync/atomic"
+	"syscall"
 	"time"
 
-	"vmopt/internal/metrics"
+	"vmopt/internal/loadgen"
 )
 
-// request is one reusable corpus entry. key identifies the logical
-// request for the divergence check.
-type request struct {
-	key  string
-	path string
-	body []byte
-	// sweep responses are NDJSON whose line order varies run to run;
-	// normalize before hashing.
-	normalize bool
-}
-
-type counters struct {
-	issued, errors, non2xx, diverged, cellErrors atomic.Uint64
-	hist                                         metrics.Histogram
-}
-
-// sweepLine is the subset of the server's NDJSON sweep schema the
-// checker needs: per-cell error lines and the final summary. A sweep
-// whose groups fail still answers 200 — the failures ride inside the
-// stream — so the gate has to read the lines, not just the status.
-type sweepLine struct {
-	Error  string `json:"error"`
-	Done   bool   `json:"done"`
-	Errors int    `json:"errors"`
-}
-
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8321", "vmserved base URL")
-	mode := flag.String("mode", "mixed", "request mix: run, sweep or mixed")
-	n := flag.Int("n", 100, "total requests to issue")
-	c := flag.Int("c", 8, "concurrent workers")
-	theta := flag.Float64("zipf-theta", 0.99, "zipfian skew of the request mix over the corpus (0 = uniform, must be < 1)")
-	workloads := flag.String("workloads", "gray", "comma-separated workload names")
-	variants := flag.String("variants", "plain,dynamic super", "comma-separated variant labels")
-	machines := flag.String("machines", "", "comma-separated machine names (empty = server default: all)")
-	scaleDiv := flag.Int("scalediv", 50, "scale divisor sent with every request")
-	seed := flag.Int64("seed", 1, "request-mix random seed")
-	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout")
-	stats := flag.Bool("stats", false, "fetch and print /v1/stats after the run")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "vmload: unexpected argument %q\n", flag.Arg(0))
-		os.Exit(2)
-	}
-	if *n < 1 || *c < 1 {
-		// A zero-request "run" would exit 0 having verified nothing —
-		// fail loudly instead of silently passing the smoke gate.
-		fmt.Fprintf(os.Stderr, "vmload: -n (%d) and -c (%d) must be >= 1\n", *n, *c)
-		os.Exit(2)
-	}
-
-	corpus, err := buildCorpus(*mode, split(*workloads), split(*variants), split(*machines), *scaleDiv)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmload:", err)
-		os.Exit(2)
-	}
-	if *theta < 0 || *theta >= 1 {
-		fmt.Fprintf(os.Stderr, "vmload: -zipf-theta %g out of range [0, 1)\n", *theta)
-		os.Exit(2)
-	}
-	zipf := newZipfian(len(corpus), *theta)
-
-	client := &http.Client{Timeout: *timeout}
-	var (
-		cnt    counters
-		seen   sync.Map // request key -> [32]byte response hash
-		ticket atomic.Int64
-		wg     sync.WaitGroup
-	)
-	start := time.Now()
-	for w := range *c {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
-			for {
-				t := ticket.Add(1)
-				if t > int64(*n) {
-					return
-				}
-				issue(client, *addr, corpus[zipf.next(rng)], &cnt, &seen)
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	issued := cnt.issued.Load()
-	qps := float64(issued) / elapsed.Seconds()
-	snap := cnt.hist.Snapshot()
-	fmt.Printf("vmload: %d requests in %.2fs (%.1f req/s): %d errors, %d non-2xx, %d divergences, %d failed cells\n",
-		issued, elapsed.Seconds(), qps, cnt.errors.Load(), cnt.non2xx.Load(), cnt.diverged.Load(), cnt.cellErrors.Load())
-	fmt.Printf("vmload: latency mean %.1fms p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
-		snap.MeanMS, snap.P50MS, snap.P90MS, snap.P99MS, snap.MaxMS)
-
-	if *stats {
-		if body, err := fetch(client, *addr+"/v1/stats"); err != nil {
-			fmt.Fprintln(os.Stderr, "vmload: stats:", err)
-		} else {
-			fmt.Printf("vmload: server stats:\n%s", body)
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := diffMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "vmload diff:", err)
+			os.Exit(1)
 		}
+		return
 	}
-	if cnt.errors.Load()+cnt.non2xx.Load()+cnt.diverged.Load()+cnt.cellErrors.Load() > 0 {
+	if err := runMain(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vmload:", err)
 		os.Exit(1)
 	}
 }
 
-// zipfian draws ranks in [0, n) from the Zipfian distribution of Gray
-// et al.'s "Quickly generating billion-record synthetic databases" —
-// the generator YCSB popularized for cache-tier load mixes. Rank 0 is
-// the most popular item; theta in [0, 1) sets the skew (0 is uniform,
-// the YCSB default 0.99 sends ~half of all requests to a handful of
-// ranks). The struct is immutable after construction, so concurrent
-// workers share one instance and pass their own seeded rng to next —
-// keeping the whole request mix reproducible per (seed, worker).
-type zipfian struct {
-	n     float64
-	alpha float64
-	zetan float64
-	eta   float64
-	half  float64 // 1 + 0.5^theta, the two-item fast path bound
+func runMain(args []string) error {
+	fs := flag.NewFlagSet("vmload", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8321", "vmserved base URL")
+	specPath := fs.String("spec", "", "workload spec file (JSON); overrides the grid/mix flags below")
+	out := fs.String("out", "", "write the vmload/v1 JSON report to this file")
+	stats := fs.Bool("stats", false, "fetch and print /v1/stats after the run")
+
+	// Flag-built spec (ignored when -spec is given): the quick
+	// closed-loop form for interactive use.
+	mode := fs.String("mode", "mixed", "request mix: run, sweep or mixed")
+	n := fs.Int("n", 100, "measured requests to issue")
+	c := fs.Int("c", 8, "concurrent workers (closed loop)")
+	warmup := fs.Int("warmup", 0, "unrecorded warm-up requests before measurement")
+	theta := fs.Float64("zipf-theta", 0.99, "zipfian skew of the request mix over the corpus (0 = uniform, must be < 1)")
+	workloads := fs.String("workloads", "gray", "comma-separated workload names")
+	variants := fs.String("variants", "plain,dynamic super", "comma-separated variant labels")
+	machines := fs.String("machines", "", "comma-separated machine names (empty = defaults)")
+	scaleDiv := fs.Int("scalediv", 50, "scale divisor sent with every request")
+	seed := fs.Int64("seed", 1, "request-mix random seed")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-request timeout")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (subcommands: diff)", fs.Arg(0))
+	}
+
+	var spec *loadgen.Spec
+	if *specPath != "" {
+		s, err := loadgen.ReadSpecFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = s
+	} else {
+		s, err := specFromFlags(*mode, *n, *c, *warmup, *theta,
+			split(*workloads), split(*variants), split(*machines),
+			*scaleDiv, *seed, *timeout)
+		if err != nil {
+			return err
+		}
+		spec = s
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := &loadgen.Runner{Addr: *addr, Spec: spec, Log: os.Stderr}
+	report, err := r.Run(ctx)
+	if err != nil {
+		return err
+	}
+	printSummary(report)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		werr := report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing report: %w", werr)
+		}
+		fmt.Printf("vmload: report written to %s\n", *out)
+	}
+	if *stats {
+		if err := printStats(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "vmload: stats:", err)
+		}
+	}
+
+	t := report.Total
+	if failures := t.Errors + t.Non2xx + t.Diverged + t.CellErrors; failures > 0 {
+		return fmt.Errorf("%d request failure(s) (backpressure excluded: %d)", failures, t.Backpressure)
+	}
+	return nil
 }
 
-// newZipfian precomputes the distribution constants for n items. The
-// harmonic sum zeta(n, theta) is computed directly — corpora here are
-// a few dozen requests, nowhere near the scale that needs Gray's
-// incremental zeta.
-func newZipfian(n int, theta float64) *zipfian {
-	zetan := 0.0
-	for i := 1; i <= n; i++ {
-		zetan += 1 / math.Pow(float64(i), theta)
+// specFromFlags builds the closed-loop spec the pre-framework flag
+// interface described, so existing invocations keep working.
+func specFromFlags(mode string, n, c, warmup int, theta float64, workloads, variants, machines []string, scaleDiv int, seed int64, timeout time.Duration) (*loadgen.Spec, error) {
+	var ops map[string]float64
+	switch mode {
+	case "run":
+		ops = map[string]float64{loadgen.OpRun: 1}
+	case "sweep":
+		ops = map[string]float64{loadgen.OpSweep: 1}
+	case "mixed":
+		ops = map[string]float64{loadgen.OpRun: 0.75, loadgen.OpSweep: 0.25}
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want run, sweep or mixed)", mode)
 	}
-	zeta2 := 1.0
-	if n >= 2 {
-		zeta2 = 1 + 1/math.Pow(2, theta)
+	s := &loadgen.Spec{
+		Ops:             ops,
+		Workloads:       workloads,
+		Variants:        variants,
+		Machines:        machines,
+		ScaleDiv:        scaleDiv,
+		ZipfTheta:       theta,
+		Seed:            seed,
+		Arrival:         loadgen.Arrival{Mode: loadgen.ModeClosed, Workers: c},
+		WarmupRequests:  warmup,
+		MeasureRequests: n,
+		Timeout:         loadgen.Duration(timeout),
 	}
-	eta := 1.0
-	if n >= 2 && zetan != zeta2 {
-		eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
-	return &zipfian{
-		n:     float64(n),
-		alpha: 1 / (1 - theta),
-		zetan: zetan,
-		eta:   eta,
-		half:  1 + math.Pow(0.5, theta),
+	return s, nil
+}
+
+// printSummary renders the human-readable run digest.
+func printSummary(r *loadgen.Report) {
+	mode := "closed loop"
+	if r.Spec.Arrival.Mode == loadgen.ModeOpen {
+		mode = fmt.Sprintf("open loop, %s @ %g rps", r.Spec.Arrival.Schedule, r.Spec.Arrival.RateRPS)
+	}
+	t := r.Total
+	fmt.Printf("vmload: %d requests in %.2fs (%.1f req/s, %s): %d errors, %d non-2xx, %d backpressure, %d divergences, %d failed cells\n",
+		t.Count, r.ElapsedS, r.ThroughputRPS, mode,
+		t.Errors, t.Non2xx, t.Backpressure, t.Diverged, t.CellErrors)
+	for _, op := range loadgen.Ops {
+		s, ok := r.Ops[op]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		fmt.Printf("vmload: %-6s %6d reqs  mean %8.1fms  p50 %8.1fms  p90 %8.1fms  p99 %8.1fms  max %8.1fms\n",
+			op, s.Count, s.Latency.MeanMS, s.Latency.P50MS, s.Latency.P90MS, s.Latency.P99MS, s.Latency.MaxMS)
+	}
+	if r.Server != nil {
+		fmt.Printf("vmload: server saw run %d, sweep %d, diff %d, traces %d, rejected %d, errors %d over the measurement window\n",
+			r.Server.Run, r.Server.Sweep, r.Server.Diff, r.Server.Traces, r.Server.Rejected, r.Server.Errors)
 	}
 }
 
-// next draws one rank using rng.
-func (z *zipfian) next(rng *rand.Rand) int {
-	u := rng.Float64()
-	uz := u * z.zetan
-	if uz < 1 {
-		return 0
+func diffMain(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	current := fs.String("current", "", "load report to gate (required)")
+	p99Factor := fs.Float64("p99-factor", loadgen.DefaultThresholds.P99Factor, "per-op p99 limit: baseline p99 times this factor, plus -p99-slack-ms")
+	p99Slack := fs.Float64("p99-slack-ms", loadgen.DefaultThresholds.P99SlackMS, "absolute p99 slack in milliseconds")
+	errDelta := fs.Float64("max-error-rate-delta", loadgen.DefaultThresholds.MaxErrorRateDelta, "per-op error-rate headroom over baseline")
+	tputFactor := fs.Float64("throughput-factor", loadgen.DefaultThresholds.ThroughputFactor, "total throughput may drop to baseline divided by this factor (0 disables)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *current == "" {
+		return fmt.Errorf("usage: vmload diff -current report.json [threshold flags] <baseline.json>")
 	}
-	if uz < z.half {
-		return 1
+	base, err := loadgen.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		return err
 	}
-	rank := int(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
-	if rank >= int(z.n) {
-		rank = int(z.n) - 1
+	cur, err := loadgen.ReadReportFile(*current)
+	if err != nil {
+		return err
 	}
-	return rank
+	t := loadgen.Thresholds{
+		P99Factor:         *p99Factor,
+		P99SlackMS:        *p99Slack,
+		MaxErrorRateDelta: *errDelta,
+		ThroughputFactor:  *tputFactor,
+	}
+	return loadgen.WriteDiff(os.Stdout, loadgen.Diff(base, cur, t), base, t)
+}
+
+func printStats(addr string) error {
+	resp, err := http.Get(addr + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vmload: server stats:\n%s", body)
+	return nil
 }
 
 func split(s string) []string {
@@ -218,158 +245,4 @@ func split(s string) []string {
 		}
 	}
 	return out
-}
-
-// buildCorpus expands the flag grid into the distinct requests load
-// is drawn from: one /v1/run per cell and, in sweep/mixed modes, one
-// /v1/sweep per workload covering its variant x machine grid.
-func buildCorpus(mode string, workloads, variants, machines []string, scaleDiv int) ([]request, error) {
-	if len(workloads) == 0 || len(variants) == 0 {
-		return nil, fmt.Errorf("need at least one workload and one variant")
-	}
-	var corpus []request
-	addRun := func(w, v, m string) error {
-		body, err := json.Marshal(map[string]any{
-			"workload": w, "variant": v, "machine": m, "scalediv": scaleDiv,
-		})
-		if err != nil {
-			return err
-		}
-		corpus = append(corpus, request{
-			key: fmt.Sprintf("run|%s|%s|%s|%d", w, v, m, scaleDiv), path: "/v1/run", body: body,
-		})
-		return nil
-	}
-	addSweep := func(w string) error {
-		payload := map[string]any{"workloads": []string{w}, "variants": variants, "scalediv": scaleDiv}
-		if len(machines) > 0 {
-			payload["machines"] = machines
-		}
-		body, err := json.Marshal(payload)
-		if err != nil {
-			return err
-		}
-		corpus = append(corpus, request{
-			key:  fmt.Sprintf("sweep|%s|%s|%s|%d", w, strings.Join(variants, "+"), strings.Join(machines, "+"), scaleDiv),
-			path: "/v1/sweep", body: body, normalize: true,
-		})
-		return nil
-	}
-	runMachines := machines
-	if len(runMachines) == 0 {
-		// /v1/run requires an explicit machine; spread single-cell
-		// load over the paper's primary models.
-		runMachines = []string{"celeron-800", "pentium4-northwood", "pentium-m"}
-	}
-	switch mode {
-	case "run", "mixed", "sweep":
-	default:
-		return nil, fmt.Errorf("unknown -mode %q (want run, sweep or mixed)", mode)
-	}
-	if mode == "sweep" || mode == "mixed" {
-		// Sweeps first: they land in the hot set, which is where
-		// coalescing and the caches earn their keep.
-		for _, w := range workloads {
-			if err := addSweep(w); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if mode == "run" || mode == "mixed" {
-		for _, w := range workloads {
-			for _, v := range variants {
-				for _, m := range runMachines {
-					if err := addRun(w, v, m); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-	}
-	return corpus, nil
-}
-
-// issue sends one request, records its latency and outcome, and
-// checks the response against the first response seen for the same
-// logical request — duplicates must be byte-identical (sweep NDJSON
-// is order-normalized first).
-func issue(client *http.Client, addr string, req request, cnt *counters, seen *sync.Map) {
-	cnt.issued.Add(1)
-	start := time.Now()
-	resp, err := client.Post(addr+req.path, "application/json", bytes.NewReader(req.body))
-	if err != nil {
-		cnt.errors.Add(1)
-		fmt.Fprintf(os.Stderr, "vmload: %s: %v\n", req.path, err)
-		return
-	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	cnt.hist.Observe(time.Since(start))
-	if err != nil {
-		cnt.errors.Add(1)
-		fmt.Fprintf(os.Stderr, "vmload: %s: reading response: %v\n", req.path, err)
-		return
-	}
-	if resp.StatusCode/100 != 2 {
-		cnt.non2xx.Add(1)
-		fmt.Fprintf(os.Stderr, "vmload: %s: HTTP %d: %s\n", req.path, resp.StatusCode, firstLine(body))
-		return
-	}
-	norm := body
-	if req.normalize {
-		lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
-		sawDone := false
-		for _, line := range lines {
-			var l sweepLine
-			if err := json.Unmarshal([]byte(line), &l); err != nil {
-				cnt.cellErrors.Add(1)
-				fmt.Fprintf(os.Stderr, "vmload: %s: unparseable NDJSON line %q\n", req.path, line)
-				continue
-			}
-			if l.Done {
-				sawDone = true
-				if l.Errors > 0 {
-					cnt.cellErrors.Add(uint64(l.Errors))
-					fmt.Fprintf(os.Stderr, "vmload: %s: sweep summary reports %d failed cells (%s)\n", req.path, l.Errors, req.key)
-				}
-			} else if l.Error != "" {
-				// Counted via the summary; log the first few details.
-				fmt.Fprintf(os.Stderr, "vmload: %s: cell error: %s\n", req.path, l.Error)
-			}
-		}
-		if !sawDone {
-			cnt.cellErrors.Add(1)
-			fmt.Fprintf(os.Stderr, "vmload: %s: sweep response missing done line (%s)\n", req.path, req.key)
-		}
-		sort.Strings(lines)
-		norm = []byte(strings.Join(lines, "\n"))
-	}
-	sum := sha256.Sum256(norm)
-	if prev, loaded := seen.LoadOrStore(req.key, sum); loaded && prev.([32]byte) != sum {
-		cnt.diverged.Add(1)
-		fmt.Fprintf(os.Stderr, "vmload: %s: response diverged from earlier identical request (%s)\n", req.path, req.key)
-	}
-}
-
-func firstLine(b []byte) string {
-	s := strings.TrimSpace(string(b))
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		s = s[:i]
-	}
-	if len(s) > 200 {
-		s = s[:200]
-	}
-	return s
-}
-
-func fetch(client *http.Client, url string) ([]byte, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
-	}
-	return io.ReadAll(resp.Body)
 }

@@ -1,84 +1,73 @@
 package main
 
 import (
-	"math"
-	"math/rand"
 	"testing"
+	"time"
+
+	"vmopt/internal/loadgen"
 )
 
-// TestZipfianShape: draws must be skewed toward low ranks, cover the
-// whole corpus, and be monotonically (modulo noise) rank-ordered —
-// the properties the cache-and-coalesce tier is load-tested against.
-func TestZipfianShape(t *testing.T) {
-	const n, draws = 64, 200000
-	z := newZipfian(n, 0.99)
-	rng := rand.New(rand.NewSource(1))
-	counts := make([]int, n)
-	for range draws {
-		r := z.next(rng)
-		if r < 0 || r >= n {
-			t.Fatalf("rank %d out of [0, %d)", r, n)
+// TestSpecFromFlags: the legacy flag interface maps onto valid
+// closed-loop specs.
+func TestSpecFromFlags(t *testing.T) {
+	s, err := specFromFlags("mixed", 200, 16, 10, 0.9,
+		[]string{"gray"}, []string{"plain", "dynamic super"}, nil, 50, 7, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arrival.Mode != loadgen.ModeClosed || s.Arrival.Workers != 16 {
+		t.Errorf("arrival = %+v", s.Arrival)
+	}
+	if s.MeasureRequests != 200 || s.WarmupRequests != 10 || s.Seed != 7 {
+		t.Errorf("phases = %+v", s)
+	}
+	if s.Ops[loadgen.OpRun] == 0 || s.Ops[loadgen.OpSweep] == 0 {
+		t.Errorf("mixed mode ops = %v", s.Ops)
+	}
+	for mode, op := range map[string]string{"run": loadgen.OpRun, "sweep": loadgen.OpSweep} {
+		s, err := specFromFlags(mode, 10, 1, 0, 0,
+			[]string{"gray"}, []string{"plain"}, nil, 50, 1, time.Minute)
+		if err != nil {
+			t.Fatal(err)
 		}
-		counts[r]++
-	}
-	if counts[0] <= counts[n-1]*10 {
-		t.Errorf("theta 0.99 not skewed: rank 0 drawn %d times, rank %d drawn %d", counts[0], n-1, counts[n-1])
-	}
-	// YCSB's 0.99 sends roughly half the traffic to the few hottest
-	// ranks.
-	hot := counts[0] + counts[1] + counts[2] + counts[3]
-	if float64(hot) < 0.35*draws {
-		t.Errorf("hot-4 ranks drew %d of %d requests; zipfian skew missing", hot, draws)
-	}
-	for r, c := range counts {
-		if c == 0 {
-			t.Errorf("rank %d never drawn in %d draws", r, draws)
+		if s.Ops[op] != 1 {
+			t.Errorf("mode %s ops = %v", mode, s.Ops)
 		}
 	}
 }
 
-// TestZipfianUniform: theta 0 degenerates to the uniform
-// distribution.
-func TestZipfianUniform(t *testing.T) {
-	const n, draws = 16, 160000
-	z := newZipfian(n, 0)
-	rng := rand.New(rand.NewSource(2))
-	counts := make([]int, n)
-	for range draws {
-		counts[z.next(rng)]++
+// TestSpecFromFlagsRejections: bad flag combinations fail before any
+// request is sent.
+func TestSpecFromFlagsRejections(t *testing.T) {
+	if _, err := specFromFlags("burst", 10, 1, 0, 0.9,
+		[]string{"gray"}, []string{"plain"}, nil, 50, 1, time.Minute); err == nil {
+		t.Error("unknown mode accepted")
 	}
-	want := float64(draws) / n
-	for r, c := range counts {
-		if math.Abs(float64(c)-want) > want/4 {
-			t.Errorf("theta 0: rank %d drawn %d times, want ~%.0f", r, c, want)
-		}
+	if _, err := specFromFlags("run", 10, 1, 0, 1.5,
+		[]string{"gray"}, []string{"plain"}, nil, 50, 1, time.Minute); err == nil {
+		t.Error("zipf theta 1.5 accepted")
 	}
-}
-
-// TestZipfianDeterministic: the same seed reproduces the same request
-// mix — the property that makes load runs comparable across hosts.
-func TestZipfianDeterministic(t *testing.T) {
-	z := newZipfian(32, 0.9)
-	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
-	for i := range 1000 {
-		if x, y := z.next(a), z.next(b); x != y {
-			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
-		}
+	if _, err := specFromFlags("run", 0, 1, 0, 0.9,
+		[]string{"gray"}, []string{"plain"}, nil, 50, 1, time.Minute); err == nil {
+		// A zero-request "run" would exit 0 having verified nothing —
+		// it must fail loudly instead of silently passing the gate.
+		t.Error("zero measured requests accepted")
 	}
-	if z.next(rand.New(rand.NewSource(8))) == -1 {
-		t.Fatal("unreachable")
+	if _, err := specFromFlags("run", 10, 1, 0, 0.9,
+		nil, []string{"plain"}, nil, 50, 1, time.Minute); err == nil {
+		t.Error("empty workloads accepted")
 	}
 }
 
-// TestZipfianTinyCorpus: one- and two-item corpora stay in range.
-func TestZipfianTinyCorpus(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	for _, n := range []int{1, 2, 3} {
-		z := newZipfian(n, 0.99)
-		for range 1000 {
-			if r := z.next(rng); r < 0 || r >= n {
-				t.Fatalf("n=%d: rank %d out of range", n, r)
-			}
+func TestSplit(t *testing.T) {
+	got := split(" gray, tscp ,,brew ")
+	want := []string{"gray", "tscp", "brew"}
+	if len(got) != len(want) {
+		t.Fatalf("split = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("split[%d] = %q, want %q", i, got[i], want[i])
 		}
 	}
 }

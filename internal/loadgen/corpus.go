@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// request is one reusable corpus entry. key identifies the logical
+// request for the duplicate-divergence check; method "" means POST.
+type request struct {
+	key    string
+	method string
+	path   string
+	body   []byte
+	// sweep responses are NDJSON whose line order varies run to run;
+	// normalize before hashing and scan lines for cell errors.
+	sweep bool
+	// volatile responses (the trace index, which grows as the run
+	// records traces) are exempt from the divergence check.
+	volatile bool
+}
+
+// corpus is the request population of one run, one rank-ordered slice
+// per operation. Rank 0 of each op is its hottest entry under the
+// spec's zipfian, so list order is popularity order.
+type corpus struct {
+	byOp map[string][]request
+	zipf map[string]*Zipfian
+}
+
+// defaultRunMachines spreads single-cell load over the paper's
+// primary models when the spec names no machines (/v1/run requires an
+// explicit machine; /v1/sweep defaults server-side to all machines).
+var defaultRunMachines = []string{"celeron-800", "pentium4-northwood", "pentium-m"}
+
+// defaultVariants is the plain vs dynamic-superinstruction pair — the
+// paper's headline comparison — used when the spec names no variants.
+var defaultVariants = []string{"plain", "dynamic super"}
+
+// buildCorpus expands the spec into the static per-op populations.
+// The diff population cannot be built statically — it pairs trace IDs
+// that only exist server-side — so it starts empty and is filled by
+// prepareDiff after warm-up.
+func buildCorpus(s *Spec) (*corpus, error) {
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = defaultVariants
+	}
+	runMachines := s.Machines
+	if len(runMachines) == 0 {
+		runMachines = defaultRunMachines
+	}
+	c := &corpus{byOp: map[string][]request{}, zipf: map[string]*Zipfian{}}
+
+	if _, ok := s.Ops[OpRun]; ok {
+		for _, w := range s.Workloads {
+			for _, v := range variants {
+				for _, m := range runMachines {
+					body, err := json.Marshal(map[string]any{
+						"workload": w, "variant": v, "machine": m, "scalediv": s.ScaleDiv,
+					})
+					if err != nil {
+						return nil, err
+					}
+					c.byOp[OpRun] = append(c.byOp[OpRun], request{
+						key:  fmt.Sprintf("run|%s|%s|%s|%d", w, v, m, s.ScaleDiv),
+						path: "/v1/run", body: body,
+					})
+				}
+			}
+		}
+	}
+	if _, ok := s.Ops[OpSweep]; ok {
+		for _, w := range s.Workloads {
+			payload := map[string]any{"workloads": []string{w}, "variants": variants, "scalediv": s.ScaleDiv}
+			if len(s.Machines) > 0 {
+				payload["machines"] = s.Machines
+			}
+			body, err := json.Marshal(payload)
+			if err != nil {
+				return nil, err
+			}
+			c.byOp[OpSweep] = append(c.byOp[OpSweep], request{
+				key: fmt.Sprintf("sweep|%s|%s|%s|%d",
+					w, strings.Join(variants, "+"), strings.Join(s.Machines, "+"), s.ScaleDiv),
+				path: "/v1/sweep", body: body, sweep: true,
+			})
+		}
+	}
+	if _, ok := s.Ops[OpTraces]; ok {
+		c.byOp[OpTraces] = []request{{
+			key: "traces|list", method: http.MethodGet, path: "/v1/traces", volatile: true,
+		}}
+	}
+	for op, reqs := range c.byOp {
+		c.zipf[op] = NewZipfian(len(reqs), s.ZipfTheta)
+	}
+	return c, nil
+}
+
+// traceEntry is the subset of a GET /v1/traces row diff pairing
+// needs. Traces are comparable when workload, lang and scalediv all
+// match (the server rejects mismatched pairs with 400).
+type traceEntry struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Lang     string `json:"lang"`
+	Variant  string `json:"variant"`
+	ScaleDiv uint64 `json:"scalediv"`
+}
+
+// prepareDiff fills the diff population by pairing the traces the
+// warm-up phase recorded: every unordered pair of distinct-variant
+// traces of one (workload, lang, scalediv). Pairing is deterministic
+// (entries sorted by ID) so the same warm cache yields the same
+// corpus on every host.
+func (c *corpus) prepareDiff(client *http.Client, addr string, s *Spec) error {
+	if _, ok := s.Ops[OpDiff]; !ok {
+		return nil
+	}
+	resp, err := client.Get(addr + "/v1/traces")
+	if err != nil {
+		return fmt.Errorf("listing traces for diff corpus: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("listing traces for diff corpus: HTTP %d (is the server running with a trace cache?)", resp.StatusCode)
+	}
+	var list struct {
+		Traces []traceEntry `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return fmt.Errorf("parsing trace index: %w", err)
+	}
+	sort.Slice(list.Traces, func(i, j int) bool { return list.Traces[i].ID < list.Traces[j].ID })
+	wanted := map[string]bool{}
+	for _, w := range s.Workloads {
+		wanted[w] = true
+	}
+	var reqs []request
+	for i, a := range list.Traces {
+		if !wanted[a.Workload] || a.Variant == "" {
+			continue
+		}
+		for _, b := range list.Traces[i+1:] {
+			if b.Workload != a.Workload || b.Lang != a.Lang || b.ScaleDiv != a.ScaleDiv ||
+				b.Variant == a.Variant || b.Variant == "" {
+				continue
+			}
+			body, err := json.Marshal(map[string]any{"a": a.ID, "b": b.ID, "n": s.diffDetail()})
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, request{
+				key:  fmt.Sprintf("diff|%s|%s|%d", a.ID, b.ID, s.diffDetail()),
+				path: "/v1/diff", body: body,
+			})
+		}
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("diff op requested but no comparable trace pairs exist: warm up with run or sweep ops against a server started with a trace cache")
+	}
+	c.byOp[OpDiff] = reqs
+	c.zipf[OpDiff] = NewZipfian(len(reqs), s.ZipfTheta)
+	return nil
+}
+
+// pick draws one corpus entry for op using the caller's rng.
+func (c *corpus) pick(op string, rng *rand.Rand) request {
+	reqs := c.byOp[op]
+	return reqs[c.zipf[op].Next(rng)]
+}

@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"vmopt/internal/metrics"
+	"vmopt/internal/runner"
+)
+
+// SchemaVersion identifies the load-report JSON schema, the serving
+// tier's sibling of vmbench/v1. Diff refuses to compare reports
+// across schema versions.
+const SchemaVersion = "vmload/v1"
+
+// OpStats is the measured outcome of one operation class.
+type OpStats struct {
+	// Count is requests issued during the measurement phase.
+	Count uint64 `json:"count"`
+	// Errors counts transport failures (dial, timeout, broken body).
+	Errors uint64 `json:"errors"`
+	// Non2xx counts non-2xx responses other than 503.
+	Non2xx uint64 `json:"non_2xx"`
+	// Backpressure counts 503 responses: the server shedding load as
+	// designed, reported separately so an open-loop run can drive the
+	// server into overload — the point of measuring it — without the
+	// rejections masquerading as failures.
+	Backpressure uint64 `json:"backpressure"`
+	// Diverged counts duplicate logical requests whose responses were
+	// not byte-identical (after NDJSON order normalization for
+	// sweeps) — a serving-correctness failure, not a perf number.
+	Diverged uint64 `json:"diverged"`
+	// CellErrors counts failed cells reported inside 200 sweep
+	// streams plus unparseable/truncated sweep lines.
+	CellErrors uint64 `json:"cell_errors"`
+	// ErrorRate is (Errors + Non2xx + Diverged + CellErrors) / Count;
+	// backpressure is excluded (see BackpressureRate).
+	ErrorRate float64 `json:"error_rate"`
+	// BackpressureRate is Backpressure / Count.
+	BackpressureRate float64 `json:"backpressure_rate"`
+	// Latency summarizes the op's recorded latencies. In open-loop
+	// mode these are measured from each request's intended start on
+	// the arrival schedule (coordinated-omission-aware); closed-loop
+	// latencies are measured from actual send.
+	Latency metrics.HistogramSnapshot `json:"latency"`
+}
+
+// ServerDelta is the server's own /v1/stats movement across the
+// measurement window — the server-side view to cross-check the
+// client-side counts against (client run count and server run count
+// must agree; client 503s must equal server rejections).
+type ServerDelta struct {
+	Run      uint64 `json:"run"`
+	Sweep    uint64 `json:"sweep"`
+	Diff     uint64 `json:"diff"`
+	Traces   uint64 `json:"traces"`
+	Rejected uint64 `json:"rejected"`
+	Errors   uint64 `json:"errors"`
+}
+
+// Report is the machine-readable result of one load run — what CI
+// uploads as an artifact and diffs against BENCH_serve.json.
+type Report struct {
+	Schema string `json:"schema"`
+	// Spec echoes the executed spec, so a report is self-describing
+	// and a baseline pins the exact workload it gates.
+	Spec Spec `json:"spec"`
+	// Host describes the capture environment. Latency numbers are
+	// host-dependent (unlike vmbench's simulated counters), which is
+	// why Diff applies loose multiplicative thresholds instead of
+	// exact comparison.
+	Host *runner.Host `json:"host,omitempty"`
+
+	// ElapsedS is the measurement-phase wall clock;
+	// ThroughputRPS = completed measured requests / ElapsedS.
+	ElapsedS      float64 `json:"elapsed_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Ops holds per-operation stats for every op in the spec's mix;
+	// Total aggregates them (histograms merged bucket-exactly).
+	Ops   map[string]OpStats `json:"ops"`
+	Total OpStats            `json:"total"`
+
+	// Server is the /v1/stats delta over the measurement window,
+	// absent when the target does not serve /v1/stats.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a JSON load report and checks its schema version.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("parsing load report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("load report schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadReportFile reads a JSON load report from a file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// opRecorder accumulates one operation's outcomes during the
+// measurement phase. Counters are atomic so closed-loop workers and
+// open-loop request goroutines record without locks.
+type opRecorder struct {
+	count, errors, non2xx, backpressure, diverged, cellErrors atomic.Uint64
+
+	hist metrics.Histogram
+}
+
+// stats freezes the recorder into its report form.
+func (r *opRecorder) stats() OpStats {
+	s := OpStats{
+		Count:        r.count.Load(),
+		Errors:       r.errors.Load(),
+		Non2xx:       r.non2xx.Load(),
+		Backpressure: r.backpressure.Load(),
+		Diverged:     r.diverged.Load(),
+		CellErrors:   r.cellErrors.Load(),
+		Latency:      r.hist.Snapshot(),
+	}
+	if s.Count > 0 {
+		s.ErrorRate = float64(s.Errors+s.Non2xx+s.Diverged+s.CellErrors) / float64(s.Count)
+		s.BackpressureRate = float64(s.Backpressure) / float64(s.Count)
+	}
+	return s
+}
+
+// merge folds o into r for the report's Total aggregation.
+func (r *opRecorder) merge(o *opRecorder) {
+	r.count.Add(o.count.Load())
+	r.errors.Add(o.errors.Load())
+	r.non2xx.Add(o.non2xx.Load())
+	r.backpressure.Add(o.backpressure.Load())
+	r.diverged.Add(o.diverged.Load())
+	r.cellErrors.Add(o.cellErrors.Load())
+	r.hist.Merge(&o.hist)
+}

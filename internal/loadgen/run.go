@@ -1,0 +1,440 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmopt/internal/runner"
+)
+
+// Runner executes one spec against a serving address.
+type Runner struct {
+	// Addr is the vmserved base URL (http://host:port).
+	Addr string
+	// Spec is the validated workload description.
+	Spec *Spec
+	// Client is the HTTP client to use; nil builds one with the
+	// spec's timeout.
+	Client *http.Client
+	// Log receives per-failure detail lines (one per transport error,
+	// non-2xx response, divergence or failed sweep cell); nil
+	// discards them.
+	Log io.Writer
+}
+
+// load is the mutable state of one run.
+type load struct {
+	*Runner
+	spec   *Spec
+	client *http.Client
+	corpus *corpus
+
+	// opNames/cum is the mix frozen in sorted-name order so drawing
+	// is deterministic (map iteration is not).
+	opNames []string
+	cum     []float64
+
+	recorders map[string]*opRecorder
+	seen      sync.Map // request key -> [32]byte response hash
+	logMu     sync.Mutex
+}
+
+// Run executes the spec: warm-up, diff-corpus preparation, the
+// measurement phase in the spec's arrival mode, and report assembly.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	spec := r.Spec
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := buildCorpus(spec)
+	if err != nil {
+		return nil, err
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: spec.timeout()}
+	}
+	ld := &load{
+		Runner:    r,
+		spec:      spec,
+		client:    client,
+		corpus:    c,
+		recorders: map[string]*opRecorder{},
+	}
+	for op := range spec.Ops {
+		ld.opNames = append(ld.opNames, op)
+		ld.recorders[op] = &opRecorder{}
+	}
+	sort.Strings(ld.opNames)
+	total := 0.0
+	for _, op := range ld.opNames {
+		total += spec.Ops[op]
+		ld.cum = append(ld.cum, total)
+	}
+
+	// Warm-up: closed-loop, unrecorded. Besides heating the server's
+	// cache tiers, this is what records the dispatch traces the diff
+	// population pairs up.
+	if spec.WarmupRequests > 0 {
+		ld.closedLoop(ctx, spec.WarmupRequests, 0, spec.workers(), false)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.prepareDiff(client, r.Addr, spec); err != nil {
+		return nil, err
+	}
+
+	before := ld.serverView()
+
+	var elapsed time.Duration
+	if spec.open() {
+		elapsed, err = ld.openLoop(ctx)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		elapsed = ld.closedLoop(ctx, spec.MeasureRequests, time.Duration(spec.MeasureDuration), spec.workers(), true)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	after := ld.serverView()
+	return ld.report(elapsed, before, after), nil
+}
+
+// drawOp picks one operation from the mix.
+func (ld *load) drawOp(rng *rand.Rand) string {
+	u := rng.Float64()
+	for i, c := range ld.cum {
+		if u < c {
+			return ld.opNames[i]
+		}
+	}
+	return ld.opNames[len(ld.opNames)-1]
+}
+
+// next draws the next (op, request) pair, remapping ops whose
+// population is empty (diff before prepareDiff has run) onto the
+// first populated op so warm-up always does useful work.
+func (ld *load) next(rng *rand.Rand) (string, request) {
+	op := ld.drawOp(rng)
+	if len(ld.corpus.byOp[op]) == 0 {
+		for _, alt := range ld.opNames {
+			if len(ld.corpus.byOp[alt]) > 0 {
+				op = alt
+				break
+			}
+		}
+	}
+	return op, ld.corpus.pick(op, rng)
+}
+
+// closedLoop runs workers that each issue the next request as soon as
+// their previous one completes — the classic YCSB thread model, which
+// measures service latency but, by construction, slows its own
+// arrival rate down whenever the server stalls. It stops after n
+// requests (n > 0), after d (d > 0), or at ctx cancellation,
+// whichever comes first, and returns the phase's wall clock.
+func (ld *load) closedLoop(ctx context.Context, n int, d time.Duration, workers int, record bool) time.Duration {
+	var (
+		ticket atomic.Int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	var deadline time.Time
+	if d > 0 {
+		deadline = start.Add(d)
+	}
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(ld.spec.Seed + int64(w)*7919))
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if n > 0 && ticket.Add(1) > int64(n) {
+					return
+				}
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				op, req := ld.next(rng)
+				ld.issue(op, req, record, time.Time{})
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// openLoop dispatches requests on the spec's arrival schedule: each
+// request's intended start is fixed by the schedule alone, and its
+// latency is recorded from that intended start — including any time
+// it spent waiting for the client-side in-flight cap — so a server
+// stall surfaces in the percentiles at full size instead of being
+// coordinated away. The dispatcher itself never blocks on a slow
+// request; requests beyond MaxInFlight queue in their own goroutines.
+func (ld *load) openLoop(ctx context.Context) (time.Duration, error) {
+	spec := ld.spec
+	sched, err := NewSchedule(spec.Arrival.Schedule, spec.Arrival.RateRPS, spec.Seed)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sem := make(chan struct{}, spec.maxInFlight())
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; spec.MeasureRequests <= 0 || i < spec.MeasureRequests; i++ {
+		off := sched.Next()
+		if spec.MeasureDuration > 0 && off >= time.Duration(spec.MeasureDuration) {
+			break
+		}
+		intended := start.Add(off)
+		if wait := time.Until(intended); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				wg.Wait()
+				return time.Since(start), ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			return time.Since(start), ctx.Err()
+		}
+		// Draw in the dispatcher: one rng keeps the sequence
+		// deterministic no matter how requests interleave.
+		op, req := ld.next(rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{} // queueing here is charged to the request
+			defer func() { <-sem }()
+			ld.issue(op, req, true, intended)
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), nil
+}
+
+// sweepLine is the subset of the server's NDJSON sweep schema the
+// checker needs: per-cell error lines and the final summary. A sweep
+// whose groups fail still answers 200 — the failures ride inside the
+// stream — so the gate has to read the lines, not just the status.
+type sweepLine struct {
+	Error  string `json:"error"`
+	Done   bool   `json:"done"`
+	Errors int    `json:"errors"`
+}
+
+// issue sends one request, classifies its outcome into the op's
+// recorder (when record is set), and checks the response against the
+// first response seen for the same logical request. A zero intended
+// time means closed-loop: latency runs from the actual send.
+func (ld *load) issue(op string, req request, record bool, intended time.Time) {
+	rec := ld.recorders[op]
+	if record {
+		rec.count.Add(1)
+	}
+	observe := func(start time.Time) {
+		if !record {
+			return
+		}
+		if !intended.IsZero() {
+			start = intended
+		}
+		rec.hist.Observe(time.Since(start))
+	}
+	start := time.Now()
+	var (
+		resp *http.Response
+		err  error
+	)
+	if req.method == http.MethodGet {
+		resp, err = ld.client.Get(ld.Addr + req.path)
+	} else {
+		resp, err = ld.client.Post(ld.Addr+req.path, "application/json", bytes.NewReader(req.body))
+	}
+	if err != nil {
+		if record {
+			rec.errors.Add(1)
+		}
+		observe(start)
+		ld.logf("%s: %v", req.path, err)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	observe(start)
+	if err != nil {
+		if record {
+			rec.errors.Add(1)
+		}
+		ld.logf("%s: reading response: %v", req.path, err)
+		return
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// Backpressure, not failure: the server is shedding load as
+		// designed. Open-loop overload runs exist to measure this.
+		if record {
+			rec.backpressure.Add(1)
+		}
+		return
+	}
+	if resp.StatusCode/100 != 2 {
+		if record {
+			rec.non2xx.Add(1)
+		}
+		ld.logf("%s: HTTP %d: %s", req.path, resp.StatusCode, firstLine(body))
+		return
+	}
+	norm := body
+	if req.sweep {
+		norm = ld.checkSweep(req, body, rec, record)
+	}
+	if req.volatile {
+		return
+	}
+	sum := sha256.Sum256(norm)
+	if prev, loaded := ld.seen.LoadOrStore(req.key, sum); loaded && prev.([32]byte) != sum {
+		if record {
+			rec.diverged.Add(1)
+		}
+		ld.logf("%s: response diverged from earlier identical request (%s)", req.path, req.key)
+	}
+}
+
+// checkSweep scans a 200 sweep stream for cell errors and returns the
+// order-normalized body for the divergence check.
+func (ld *load) checkSweep(req request, body []byte, rec *opRecorder, record bool) []byte {
+	cellErr := func(n uint64) {
+		if record {
+			rec.cellErrors.Add(n)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	sawDone := false
+	for _, line := range lines {
+		var l sweepLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			cellErr(1)
+			ld.logf("%s: unparseable NDJSON line %q", req.path, line)
+			continue
+		}
+		if l.Done {
+			sawDone = true
+			if l.Errors > 0 {
+				cellErr(uint64(l.Errors))
+				ld.logf("%s: sweep summary reports %d failed cells (%s)", req.path, l.Errors, req.key)
+			}
+		} else if l.Error != "" {
+			// Counted via the summary; log the details.
+			ld.logf("%s: cell error: %s", req.path, l.Error)
+		}
+	}
+	if !sawDone {
+		cellErr(1)
+		ld.logf("%s: sweep response missing done line (%s)", req.path, req.key)
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}
+
+func (ld *load) logf(format string, args ...any) {
+	if ld.Log == nil {
+		return
+	}
+	ld.logMu.Lock()
+	defer ld.logMu.Unlock()
+	fmt.Fprintf(ld.Log, "loadgen: "+format+"\n", args...)
+}
+
+// serverView fetches the request-count block of /v1/stats,
+// best-effort: targets without a stats endpoint (stub servers in
+// tests) simply produce a report without the server cross-check.
+func (ld *load) serverView() *ServerDelta {
+	resp, err := ld.client.Get(ld.Addr + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var doc struct {
+		Requests struct {
+			Run      uint64 `json:"run"`
+			Sweep    uint64 `json:"sweep"`
+			Diff     uint64 `json:"diff"`
+			Traces   uint64 `json:"traces"`
+			Rejected uint64 `json:"rejected"`
+			Errors   uint64 `json:"errors"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	return &ServerDelta{
+		Run: doc.Requests.Run, Sweep: doc.Requests.Sweep,
+		Diff: doc.Requests.Diff, Traces: doc.Requests.Traces,
+		Rejected: doc.Requests.Rejected, Errors: doc.Requests.Errors,
+	}
+}
+
+// report assembles the final document.
+func (ld *load) report(elapsed time.Duration, before, after *ServerDelta) *Report {
+	r := &Report{
+		Schema:   SchemaVersion,
+		Spec:     *ld.spec,
+		Host:     runner.CurrentHost(),
+		ElapsedS: elapsed.Seconds(),
+		Ops:      map[string]OpStats{},
+	}
+	total := &opRecorder{}
+	for _, op := range ld.opNames {
+		rec := ld.recorders[op]
+		r.Ops[op] = rec.stats()
+		total.merge(rec)
+	}
+	r.Total = total.stats()
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(r.Total.Count) / elapsed.Seconds()
+	}
+	if before != nil && after != nil {
+		r.Server = &ServerDelta{
+			Run:      after.Run - before.Run,
+			Sweep:    after.Sweep - before.Sweep,
+			Diff:     after.Diff - before.Diff,
+			Traces:   after.Traces - before.Traces,
+			Rejected: after.Rejected - before.Rejected,
+			Errors:   after.Errors - before.Errors,
+		}
+	}
+	return r
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// A Schedule is an open-loop arrival process: Next returns the
+// intended start offset of the k-th request, measured from the start
+// of the measurement phase, in nondecreasing order. The offsets are
+// the anchor of coordinated-omission-aware timing — a request's
+// latency is recorded from its intended offset, not from whenever the
+// client got around to sending it, so time a request spends queued
+// behind a server stall (or behind the client's own in-flight cap)
+// counts against the server.
+type Schedule interface {
+	Next() time.Duration
+}
+
+// NewSchedule builds the named schedule at rate requests/second.
+// Poisson inter-arrival gaps are drawn from the seeded rng, so a
+// (schedule, rate, seed) triple reproduces the exact same arrival
+// sequence run after run.
+func NewSchedule(kind string, rate float64, seed int64) (Schedule, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("schedule rate %g must be positive", rate)
+	}
+	switch kind {
+	case ScheduleFixed:
+		return &fixedRate{period: float64(time.Second) / rate}, nil
+	case SchedulePoisson:
+		return &poisson{
+			mean: float64(time.Second) / rate,
+			rng:  rand.New(rand.NewSource(seed)),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q (want %q or %q)", kind, ScheduleFixed, SchedulePoisson)
+	}
+}
+
+// fixedRate spaces arrivals exactly period apart. Offsets are
+// computed as i*period rather than accumulated, so rounding error
+// never drifts the rate over a long run.
+type fixedRate struct {
+	period float64 // nanoseconds
+	i      int64
+}
+
+func (f *fixedRate) Next() time.Duration {
+	d := time.Duration(float64(f.i) * f.period)
+	f.i++
+	return d
+}
+
+// poisson draws exponential inter-arrival gaps (a Poisson arrival
+// process) with the given mean gap — the classic model of independent
+// clients, and the arrival process that actually produces the bursts
+// a fixed-rate schedule never does.
+type poisson struct {
+	mean float64 // nanoseconds
+	rng  *rand.Rand
+	t    float64 // accumulated offset, nanoseconds
+}
+
+func (p *poisson) Next() time.Duration {
+	d := time.Duration(p.t)
+	p.t += p.rng.ExpFloat64() * p.mean
+	return d
+}

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestFixedRateSpacing: offsets are exactly i/rate with no drift —
+// offset 1e6 of a 1000 rps schedule is exactly 1000 seconds in.
+func TestFixedRateSpacing(t *testing.T) {
+	s, err := NewSchedule(ScheduleFixed, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 10 {
+		got := s.Next()
+		want := time.Duration(i) * time.Millisecond
+		if got != want {
+			t.Errorf("offset %d = %v, want %v", i, got, want)
+		}
+	}
+	f := &fixedRate{period: float64(time.Second) / 1000, i: 1_000_000}
+	if got, want := f.Next(), 1000*time.Second; got != want {
+		t.Errorf("offset 1e6 = %v, want %v (rate drifted)", got, want)
+	}
+}
+
+// TestPoissonDeterministic: the same (rate, seed) reproduces the same
+// arrival sequence; a different seed does not.
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := NewSchedule(SchedulePoisson, 200, 42)
+	b, _ := NewSchedule(SchedulePoisson, 200, 42)
+	c, _ := NewSchedule(SchedulePoisson, 200, 43)
+	diff := false
+	for i := range 500 {
+		x, y, z := a.Next(), b.Next(), c.Next()
+		if x != y {
+			t.Fatalf("offset %d diverged under one seed: %v vs %v", i, x, y)
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestPoissonMeanRate: over many arrivals the empirical rate
+// converges on rate_rps, and offsets are nondecreasing.
+func TestPoissonMeanRate(t *testing.T) {
+	const rate, n = 100.0, 20000
+	s, _ := NewSchedule(SchedulePoisson, rate, 7)
+	var last time.Duration
+	for range n {
+		off := s.Next()
+		if off < last {
+			t.Fatalf("offsets not nondecreasing: %v after %v", off, last)
+		}
+		last = off
+	}
+	got := float64(n-1) / last.Seconds()
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Errorf("empirical rate %.1f rps, want ~%.0f", got, rate)
+	}
+}
+
+func TestNewScheduleRejections(t *testing.T) {
+	if _, err := NewSchedule(ScheduleFixed, 0, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewSchedule(ScheduleFixed, -10, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewSchedule("uniform", 10, 0); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodSpec is a minimal valid spec the rejection tests mutate.
+const goodSpec = `{
+  "ops": {"run": 0.6, "sweep": 0.2, "diff": 0.1, "traces": 0.1},
+  "workloads": ["gray"],
+  "scalediv": 50,
+  "zipf_theta": 0.9,
+  "seed": 1,
+  "arrival": {"mode": "closed", "workers": 4},
+  "warmup_requests": 10,
+  "measure_requests": 100
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ops[OpRun] != 0.6 || s.Workloads[0] != "gray" || s.Arrival.Workers != 4 {
+		t.Errorf("parsed spec = %+v", s)
+	}
+	// Defaults resolve without mutating the spec.
+	if got := s.timeout(); got != time.Duration(DefaultTimeout) {
+		t.Errorf("timeout default = %v", got)
+	}
+	if s.maxInFlight() != DefaultMaxInFlight || s.diffDetail() != DefaultDiffDetail {
+		t.Errorf("defaults: maxInFlight %d, diffDetail %d", s.maxInFlight(), s.diffDetail())
+	}
+}
+
+func TestParseSpecOpenLoop(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+	  "ops": {"run": 1},
+	  "workloads": ["gray"],
+	  "arrival": {"mode": "open", "schedule": "poisson", "rate_rps": 50},
+	  "measure_duration": "2s"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.open() || s.Arrival.RateRPS != 50 || time.Duration(s.MeasureDuration) != 2*time.Second {
+		t.Errorf("parsed spec = %+v", s)
+	}
+}
+
+// TestParseSpecRejections: every malformed spec the parser must
+// refuse, with a fragment of the expected complaint.
+func TestParseSpecRejections(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"unknown op",
+			`{"ops": {"scan": 1}, "workloads": ["gray"], "measure_requests": 1}`,
+			"unknown operation"},
+		{"mix under 1",
+			`{"ops": {"run": 0.5, "sweep": 0.4}, "workloads": ["gray"], "measure_requests": 1}`,
+			"must sum to 1"},
+		{"mix over 1",
+			`{"ops": {"run": 0.8, "sweep": 0.4}, "workloads": ["gray"], "measure_requests": 1}`,
+			"must sum to 1"},
+		{"negative weight",
+			`{"ops": {"run": 1.5, "sweep": -0.5}, "workloads": ["gray"], "measure_requests": 1}`,
+			"non-negative"},
+		{"empty mix",
+			`{"ops": {}, "workloads": ["gray"], "measure_requests": 1}`,
+			"at least one operation"},
+		{"no workloads",
+			`{"ops": {"run": 1}, "measure_requests": 1}`,
+			"workloads"},
+		{"theta out of range",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "zipf_theta": 1.0, "measure_requests": 1}`,
+			"zipf_theta"},
+		{"negative rate",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "arrival": {"mode": "open", "schedule": "fixed", "rate_rps": -5}, "measure_requests": 1}`,
+			"rate_rps"},
+		{"zero rate",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "arrival": {"mode": "open", "schedule": "fixed"}, "measure_requests": 1}`,
+			"rate_rps"},
+		{"open without schedule",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "arrival": {"mode": "open", "rate_rps": 5}, "measure_requests": 1}`,
+			"schedule"},
+		{"unknown mode",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "arrival": {"mode": "bursty"}, "measure_requests": 1}`,
+			"unknown mode"},
+		{"unbounded measurement",
+			`{"ops": {"run": 1}, "workloads": ["gray"]}`,
+			"unbounded"},
+		{"negative warmup",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "warmup_requests": -1, "measure_requests": 1}`,
+			"warmup_requests"},
+		{"unknown field",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "measure_requests": 1, "zipf_thata": 0.9}`,
+			"unknown field"},
+		{"bad duration",
+			`{"ops": {"run": 1}, "workloads": ["gray"], "measure_duration": 10}`,
+			"duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.spec))
+			if err == nil {
+				t.Fatalf("spec accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpecRoundTrip: a spec survives marshal/parse, so the spec a
+// report echoes can regenerate the exact run that produced it.
+func TestSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MeasureDuration = Duration(90 * time.Second)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(b)
+	if err != nil {
+		t.Fatalf("round-tripped spec rejected: %v\n%s", err, b)
+	}
+	if s2.MeasureDuration != s.MeasureDuration || s2.Ops[OpDiff] != s.Ops[OpDiff] {
+		t.Errorf("round trip changed spec: %+v vs %+v", s2, s)
+	}
+}

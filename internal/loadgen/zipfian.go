@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws ranks in [0, n) from the Zipfian distribution of Gray
+// et al.'s "Quickly generating billion-record synthetic databases" —
+// the generator YCSB popularized for cache-tier load mixes. Rank 0 is
+// the most popular item; theta in [0, 1) sets the skew (0 is uniform,
+// the YCSB default 0.99 sends ~half of all requests to a handful of
+// ranks). The struct is immutable after construction, so concurrent
+// workers share one instance and pass their own seeded rng to Next —
+// keeping the whole request mix reproducible per (seed, worker).
+type Zipfian struct {
+	n     float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 1 + 0.5^theta, the two-item fast path bound
+}
+
+// NewZipfian precomputes the distribution constants for n items. The
+// harmonic sum zeta(n, theta) is computed directly — corpora here are
+// a few dozen requests, nowhere near the scale that needs Gray's
+// incremental zeta.
+func NewZipfian(n int, theta float64) *Zipfian {
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1.0
+	if n >= 2 {
+		zeta2 = 1 + 1/math.Pow(2, theta)
+	}
+	eta := 1.0
+	if n >= 2 && zetan != zeta2 {
+		eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	}
+	return &Zipfian{
+		n:     float64(n),
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   eta,
+		half:  1 + math.Pow(0.5, theta),
+	}
+}
+
+// Next draws one rank using rng.
+func (z *Zipfian) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	rank := int(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= int(z.n) {
+		rank = int(z.n) - 1
+	}
+	return rank
+}

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfianShape: draws must be skewed toward low ranks, cover the
+// whole corpus, and be monotonically (modulo noise) rank-ordered —
+// the properties the cache-and-coalesce tier is load-tested against.
+func TestZipfianShape(t *testing.T) {
+	const n, draws = 64, 200000
+	z := NewZipfian(n, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	for range draws {
+		r := z.Next(rng)
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of [0, %d)", r, n)
+		}
+		counts[r]++
+	}
+	if counts[0] <= counts[n-1]*10 {
+		t.Errorf("theta 0.99 not skewed: rank 0 drawn %d times, rank %d drawn %d", counts[0], n-1, counts[n-1])
+	}
+	// YCSB's 0.99 sends roughly half the traffic to the few hottest
+	// ranks.
+	hot := counts[0] + counts[1] + counts[2] + counts[3]
+	if float64(hot) < 0.35*draws {
+		t.Errorf("hot-4 ranks drew %d of %d requests; zipfian skew missing", hot, draws)
+	}
+	for r, c := range counts {
+		if c == 0 {
+			t.Errorf("rank %d never drawn in %d draws", r, draws)
+		}
+	}
+}
+
+// TestZipfianUniform: theta 0 degenerates to the uniform
+// distribution.
+func TestZipfianUniform(t *testing.T) {
+	const n, draws = 16, 160000
+	z := NewZipfian(n, 0)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, n)
+	for range draws {
+		counts[z.Next(rng)]++
+	}
+	want := float64(draws) / n
+	for r, c := range counts {
+		if math.Abs(float64(c)-want) > want/4 {
+			t.Errorf("theta 0: rank %d drawn %d times, want ~%.0f", r, c, want)
+		}
+	}
+}
+
+// TestZipfianDeterministic: the same seed reproduces the same request
+// mix — the property that makes load runs comparable across hosts.
+func TestZipfianDeterministic(t *testing.T) {
+	z := NewZipfian(32, 0.9)
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := range 1000 {
+		if x, y := z.Next(a), z.Next(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+	if z.Next(rand.New(rand.NewSource(8))) == -1 {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestZipfianTinyCorpus: one- and two-item corpora stay in range.
+func TestZipfianTinyCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3} {
+		z := NewZipfian(n, 0.99)
+		for range 1000 {
+			if r := z.Next(rng); r < 0 || r >= n {
+				t.Fatalf("n=%d: rank %d out of range", n, r)
+			}
+		}
+	}
+}

@@ -58,6 +58,30 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Merge folds o's observations into h bucket by bucket, so per-shard
+// histograms (one per operation, one per worker) aggregate into a
+// total without losing quantile fidelity: bucket boundaries are fixed,
+// so merged quantiles are exactly what one shared histogram would have
+// reported. o is read with the same atomic loads Snapshot uses;
+// concurrent Observe calls on either side can skew the merge by at
+// most the in-flight observations.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
 // Quantile returns an upper bound for the q-quantile (q in [0, 1]):
 // the top of the bucket holding the q-th observation. It returns 0
 // when nothing was observed.

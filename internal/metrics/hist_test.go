@@ -56,6 +56,41 @@ func TestHistogramEdgeObservations(t *testing.T) {
 	}
 }
 
+// TestHistogramMerge: merging shards must reproduce exactly the
+// counts, sum, max and quantiles one shared histogram would have —
+// the property per-op load reports aggregate totals with.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for range 100 {
+		a.Observe(time.Millisecond)
+		whole.Observe(time.Millisecond)
+	}
+	for range 10 {
+		b.Observe(100 * time.Millisecond)
+		whole.Observe(100 * time.Millisecond)
+	}
+	a.Merge(&b)
+	if got, want := a.Count(), whole.Count(); got != want {
+		t.Fatalf("merged Count = %d, want %d", got, want)
+	}
+	as, ws := a.Snapshot(), whole.Snapshot()
+	if as != ws {
+		t.Errorf("merged snapshot = %+v, want %+v", as, ws)
+	}
+	// Merging an empty histogram changes nothing.
+	var empty Histogram
+	a.Merge(&empty)
+	if got := a.Snapshot(); got != ws {
+		t.Errorf("merge of empty changed snapshot: %+v, want %+v", got, ws)
+	}
+	// Merging into an empty histogram copies.
+	var dst Histogram
+	dst.Merge(&whole)
+	if got := dst.Snapshot(); got != ws {
+		t.Errorf("merge into empty = %+v, want %+v", got, ws)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

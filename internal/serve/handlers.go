@@ -280,6 +280,7 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 		errorBody(w, http.StatusNotFound, "no trace cache configured")
 		return
 	}
+	start := time.Now()
 	entries, err := s.cfg.Traces.List()
 	if err != nil {
 		s.stats.errors.Add(1)
@@ -290,6 +291,7 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	if list.Traces == nil {
 		list.Traces = []disptrace.CacheEntry{}
 	}
+	s.stats.latTraces.Observe(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(list)
 }
@@ -301,6 +303,7 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	start := time.Now()
 	t, size, err := s.cfg.Traces.LoadID(id)
 	if errors.Is(err, disptrace.ErrNoTrace) {
 		errorBody(w, http.StatusNotFound, "no trace %s", id)
@@ -322,6 +325,7 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 		info.StoredBytes += len(seg.Data)
 		info.RawBytes += seg.RawLen()
 	}
+	s.stats.latTraces.Observe(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(info)
 }

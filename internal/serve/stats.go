@@ -27,7 +27,7 @@ type stats struct {
 	canceledRetries                                atomic.Uint64
 	resultsDropped                                 atomic.Uint64
 
-	latRun, latSweep, latDiff metrics.Histogram
+	latRun, latSweep, latDiff, latTraces metrics.Histogram
 }
 
 // StatsResponse is the GET /v1/stats document.
@@ -150,9 +150,10 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 			ResultsDropped: st.resultsDropped.Load(),
 		},
 		Latency: map[string]metrics.HistogramSnapshot{
-			"run":   st.latRun.Snapshot(),
-			"sweep": st.latSweep.Snapshot(),
-			"diff":  st.latDiff.Snapshot(),
+			"run":    st.latRun.Snapshot(),
+			"sweep":  st.latSweep.Snapshot(),
+			"diff":   st.latDiff.Snapshot(),
+			"traces": st.latTraces.Snapshot(),
 		},
 	}
 	if s.cfg.Traces != nil {
