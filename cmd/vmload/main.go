@@ -17,10 +17,19 @@
 //	vmload -n 200 -c 16 -zipf-theta 0.9            # flag-built closed-loop spec
 //	vmload -mode sweep -workloads gray,tscp -stats
 //	vmload diff -current load-report.json BENCH_serve.json
+//	vmload checkmetrics -addr http://127.0.0.1:8321
 //
 // The diff subcommand is the CI regression gate: it compares a report
 // against a checked-in baseline with loose thresholds (per-op p99,
-// error rate, total throughput) sized for shared runners.
+// error rate, total throughput) sized for shared runners. The
+// checkmetrics subcommand scrapes GET /metrics, requires it to parse
+// as Prometheus text format 0.0.4 and requires the core vmserved
+// series to be present.
+//
+// During a run vmload also scrapes /metrics before and after the
+// measurement window and records the delta alongside the /v1/stats
+// delta; the run fails if the two expositions of the same registry
+// disagree.
 //
 // Exit status is non-zero on any transport error, non-2xx response
 // (503 backpressure excluded — the server shedding load under an
@@ -36,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +57,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		if err := diffMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "vmload diff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "checkmetrics" {
+		if err := checkMetricsMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "vmload checkmetrics:", err)
 			os.Exit(1)
 		}
 		return
@@ -79,7 +96,7 @@ func runMain(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request timeout")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected argument %q (subcommands: diff)", fs.Arg(0))
+		return fmt.Errorf("unexpected argument %q (subcommands: diff, checkmetrics)", fs.Arg(0))
 	}
 
 	var spec *loadgen.Spec
@@ -131,6 +148,11 @@ func runMain(args []string) error {
 	t := report.Total
 	if failures := t.Errors + t.Non2xx + t.Diverged + t.CellErrors; failures > 0 {
 		return fmt.Errorf("%d request failure(s) (backpressure excluded: %d)", failures, t.Backpressure)
+	}
+	// /v1/stats and /metrics render the same registry; a disagreement
+	// between the two deltas means one exposition path is broken.
+	if report.Server != nil && report.ServerMetrics != nil && *report.Server != *report.ServerMetrics {
+		return fmt.Errorf("/v1/stats delta %+v disagrees with /metrics delta %+v", *report.Server, *report.ServerMetrics)
 	}
 	return nil
 }
@@ -185,10 +207,31 @@ func printSummary(r *loadgen.Report) {
 		}
 		fmt.Printf("vmload: %-6s %6d reqs  mean %8.1fms  p50 %8.1fms  p90 %8.1fms  p99 %8.1fms  max %8.1fms\n",
 			op, s.Count, s.Latency.MeanMS, s.Latency.P50MS, s.Latency.P90MS, s.Latency.P99MS, s.Latency.MaxMS)
+		if len(s.ServerStages) > 0 {
+			names := make([]string, 0, len(s.ServerStages))
+			for name := range s.ServerStages {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			var b strings.Builder
+			for _, name := range names {
+				fmt.Fprintf(&b, "  %s %.1fms", name, s.ServerStages[name])
+			}
+			fmt.Printf("vmload: %-6s server stages (total):%s\n", op, b.String())
+		}
 	}
 	if r.Server != nil {
 		fmt.Printf("vmload: server saw run %d, sweep %d, diff %d, traces %d, rejected %d, errors %d over the measurement window\n",
 			r.Server.Run, r.Server.Sweep, r.Server.Diff, r.Server.Traces, r.Server.Rejected, r.Server.Errors)
+	}
+	if r.ServerMetrics != nil {
+		agree := "AGREES with /v1/stats"
+		if r.Server != nil && *r.Server != *r.ServerMetrics {
+			agree = "DISAGREES with /v1/stats"
+		}
+		fmt.Printf("vmload: /metrics saw run %d, sweep %d, diff %d, traces %d, rejected %d, errors %d (%s)\n",
+			r.ServerMetrics.Run, r.ServerMetrics.Sweep, r.ServerMetrics.Diff,
+			r.ServerMetrics.Traces, r.ServerMetrics.Rejected, r.ServerMetrics.Errors, agree)
 	}
 }
 
@@ -218,6 +261,49 @@ func diffMain(args []string) error {
 		ThroughputFactor:  *tputFactor,
 	}
 	return loadgen.WriteDiff(os.Stdout, loadgen.Diff(base, cur, t), base, t)
+}
+
+// checkMetricsMain is the CI validity gate for the exposition surface:
+// scrape GET /metrics, require it to parse as Prometheus text format
+// 0.0.4 in full, and require the core vmserved series to be present.
+// A server whose /metrics would not scrape fails the job even when the
+// load numbers look fine.
+func checkMetricsMain(args []string) error {
+	fs := flag.NewFlagSet("checkmetrics", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8321", "vmserved base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "scrape timeout")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	series, err := loadgen.ScrapeMetrics(&http.Client{Timeout: *timeout}, *addr)
+	if err != nil {
+		return err
+	}
+	required := []string{
+		`vmserved_requests_total{endpoint="run"}`,
+		`vmserved_requests_total{endpoint="sweep"}`,
+		`vmserved_requests_total{endpoint="diff"}`,
+		`vmserved_rejected_total`,
+		`vmserved_errors_total`,
+		`vmserved_cache_hits_total`,
+		`vmserved_cache_misses_total`,
+		`vmserved_cache_evictions_total`,
+		`vmserved_in_flight`,
+		`vmserved_request_seconds_count{endpoint="run"}`,
+		`go_goroutines`,
+	}
+	var missing []string
+	for _, s := range required {
+		if _, ok := series[s]; !ok {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required series: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("vmload: /metrics OK: %d series parsed, all %d required series present\n", len(series), len(required))
+	return nil
 }
 
 func printStats(addr string) error {

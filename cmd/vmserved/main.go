@@ -18,7 +18,14 @@
 //	GET  /v1/traces       on-disk trace cache index
 //	GET  /v1/traces/{id}  one trace's metadata
 //	GET  /v1/stats        hit rates, coalescing, latency percentiles
+//	GET  /metrics         Prometheus text exposition of the same counters
+//	GET  /debug/requests  recent and slowest request traces
 //	GET  /healthz         liveness
+//
+// -debug-addr binds a second listener with pprof alongside /metrics
+// and /debug/requests, so profiling stays off the public port.
+// -access-log writes one JSON record per request (request ID,
+// endpoint, status, cache outcome, latency) to stderr.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +55,8 @@ func main() {
 	maxCells := flag.Int("max-cells", serve.DefaultMaxCells, "max cells one sweep may resolve to")
 	scaleDiv := flag.Int("scalediv", 1, "default scale divisor for requests that omit scalediv")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof, /metrics and /debug/requests (empty = none)")
+	accessLog := flag.Bool("access-log", false, "write JSON access logs to stderr")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vmserved: unexpected argument %q\n", flag.Arg(0))
@@ -63,6 +73,9 @@ func main() {
 	if *traceCache != "" {
 		cfg.Traces = disptrace.NewCache(*traceCache)
 	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := serve.New(cfg)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -72,6 +85,21 @@ func main() {
 	}
 	log.Printf("vmserved: listening on %s (trace cache %q, LRU %d, inflight %d)",
 		ln.Addr(), *traceCache, *cacheSize, *inflight)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("vmserved: debug listener: %v", err)
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		log.Printf("vmserved: debug listener on %s (pprof, /metrics, /debug/requests)", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("vmserved: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,6 +120,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("vmserved: shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	srv.Close()
 	log.Printf("vmserved: bye")

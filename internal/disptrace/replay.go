@@ -1,16 +1,19 @@
 package disptrace
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmopt/internal/core"
 	"vmopt/internal/cpu"
 	"vmopt/internal/metrics"
+	"vmopt/internal/obs"
 )
 
 // Replay drives sim over the trace: every recorded event is applied
@@ -30,7 +33,16 @@ import (
 // use a fresh sim for a fresh result. sim.Sink is ignored during
 // replay (replaying must not re-record).
 func Replay(t *Trace, sim *cpu.Sim, jobs int) error {
-	return replayEach(t, []*cpu.Sim{sim}, jobs)
+	return replayEach(context.Background(), t, []*cpu.Sim{sim}, jobs)
+}
+
+// ReplayCtx is Replay under a request context: when ctx carries an
+// obs trace, the replay's cursor-decode and sim-apply time is
+// attributed to the trace's "decode" and "apply" stages. Counters are
+// byte-identical to Replay; without a trace on the context the replay
+// takes exactly Replay's path.
+func ReplayCtx(ctx context.Context, t *Trace, sim *cpu.Sim, jobs int) error {
+	return replayEach(ctx, t, []*cpu.Sim{sim}, jobs)
 }
 
 // ReplayEach replays the trace into several simulators at once with a
@@ -45,7 +57,16 @@ func Replay(t *Trace, sim *cpu.Sim, jobs int) error {
 // would deliver, so the per-sim counters stay byte-identical to
 // direct simulation.
 func ReplayEach(t *Trace, sims []*cpu.Sim) error {
-	return replayEach(t, sims, defaultDecodeJobs())
+	return replayEach(context.Background(), t, sims, defaultDecodeJobs())
+}
+
+// ReplayEachCtx is ReplayEach under a request context, attributing
+// the replay to the obs trace riding ctx (see ReplayCtx). The
+// pipelined schedule overlaps decode and apply on separate
+// goroutines, so it reports the combined wall time as a single
+// "apply" stage rather than double-counting the window.
+func ReplayEachCtx(ctx context.Context, t *Trace, sims []*cpu.Sim) error {
+	return replayEach(ctx, t, sims, defaultDecodeJobs())
 }
 
 // defaultDecodeJobs sizes the decode side of the replay pipeline.
@@ -110,7 +131,7 @@ func (b *opBatch) release(p *batchPool) {
 
 // replayEach is the shared replay path: detach sinks, credit the
 // stream totals, and run the decode/apply schedule.
-func replayEach(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
+func replayEach(ctx context.Context, t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 	if len(sims) == 0 {
 		return nil
 	}
@@ -131,11 +152,22 @@ func replayEach(t *Trace, sims []*cpu.Sim, decodeJobs int) error {
 		}
 	}()
 
+	traced := obs.FromContext(ctx) != nil
 	var err error
 	if len(sims) == 1 && (decodeJobs <= 1 || len(t.Segs) <= 1) {
-		err = replaySequential(t, sims[0])
+		if traced {
+			err = replaySequentialTraced(ctx, t, sims[0])
+		} else {
+			err = replaySequential(t, sims[0])
+		}
 	} else {
+		start := time.Now()
 		err = replayPipelined(t, sims, decodeJobs)
+		if traced {
+			// Decode workers run concurrently with the appliers, so the
+			// whole pipeline's wall time is one "apply" stage.
+			obs.Observe(ctx, "apply", time.Since(start))
+		}
 	}
 	if err != nil {
 		return err
@@ -158,6 +190,33 @@ func replaySequential(t *Trace, sim *cpu.Sim) error {
 			return c.Err()
 		}
 		sim.Apply(batch)
+		ops = batch
+	}
+}
+
+// replaySequentialTraced is replaySequential with per-phase
+// accounting: segment decode accumulates into the trace's "decode"
+// stage and event application into "apply", at two clock reads per
+// segment batch (segments are coarse, so the overhead is noise next
+// to the work being measured).
+func replaySequentialTraced(ctx context.Context, t *Trace, sim *cpu.Sim) (err error) {
+	c := NewCursor(t)
+	var ops []cpu.Op
+	var decode, apply time.Duration
+	defer func() {
+		obs.Observe(ctx, "decode", decode)
+		obs.Observe(ctx, "apply", apply)
+	}()
+	for {
+		t0 := time.Now()
+		batch, ok := c.NextBatch(ops[:0])
+		t1 := time.Now()
+		decode += t1.Sub(t0)
+		if !ok {
+			return c.Err()
+		}
+		sim.Apply(batch)
+		apply += time.Since(t1)
 		ops = batch
 	}
 }

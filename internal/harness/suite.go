@@ -9,6 +9,7 @@ import (
 	"vmopt/internal/cpu"
 	"vmopt/internal/disptrace"
 	"vmopt/internal/metrics"
+	"vmopt/internal/obs"
 	"vmopt/internal/runner"
 	"vmopt/internal/superinst"
 	"vmopt/internal/workload"
@@ -346,19 +347,34 @@ func (s *Suite) configFor(w *workload.Workload, v Variant) (core.Config, error) 
 // a (benchmark, variant) pair records its dispatch stream and every
 // other machine replays it instead of re-executing the guest VM.
 func (s *Suite) Run(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
-	key := resultKey{bench: w.Name, variant: v.Name, machine: m.Name, scale: s.scale(w)}
-	return s.results.Do(key,
-		func() (metrics.Counters, error) { return s.runUncached(w, v, m) })
+	return s.RunCtx(s.context(), w, v, m)
 }
 
-func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
+// RunCtx is Run under a request context: when ctx carries an obs
+// trace, the cell's work is attributed to its stages — "sim" for
+// direct simulation, "record" when this call records the dispatch
+// trace, "trace_load" when it loads one from the cache, and the
+// replay's "decode"/"apply" split. Coalesced concurrent callers share
+// one computation, whose stages land on the trace of the caller that
+// ran it. Results are identical to Run.
+func (s *Suite) RunCtx(ctx context.Context, w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
+	key := resultKey{bench: w.Name, variant: v.Name, machine: m.Name, scale: s.scale(w)}
+	return s.results.Do(key,
+		func() (metrics.Counters, error) { return s.runUncached(ctx, w, v, m) })
+}
+
+func (s *Suite) runUncached(ctx context.Context, w *workload.Workload, v Variant, m cpu.Machine) (metrics.Counters, error) {
 	if s.Traces == nil {
-		return s.simulate(w, v, m, nil)
+		sp := obs.Start(ctx, "sim")
+		c, err := s.simulate(w, v, m, nil)
+		sp.End()
+		return c, err
 	}
 	// The recording run is itself a direct simulation on m, so when
 	// this cell is the one that records, its counters are used as-is
 	// (replaying its own trace would reproduce them byte for byte).
 	var recorded *metrics.Counters
+	sp := obs.Start(ctx, "trace_load")
 	tr, _, err := s.Traces.GetOrRecord(s.TraceKey(w, v), func() (*disptrace.Trace, error) {
 		tr, c, err := s.RecordTrace(w, v, m)
 		if err != nil {
@@ -367,6 +383,13 @@ func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (met
 		recorded = &c
 		return tr, nil
 	})
+	if recorded != nil {
+		// Only learned after the fact: the get-or-record call spent its
+		// time recording, not loading.
+		sp.EndAs("record")
+	} else {
+		sp.End()
+	}
 	if err != nil {
 		return metrics.Counters{}, err
 	}
@@ -377,7 +400,7 @@ func (s *Suite) runUncached(w *workload.Workload, v Variant, m cpu.Machine) (met
 	// jobs=1: this runs inside the suite's worker pool, which already
 	// saturates the cores; sequential replay keeps its buffer reuse
 	// instead of nesting decode goroutines that have nowhere to run.
-	if err := disptrace.Replay(tr, sim, 1); err != nil {
+	if err := disptrace.ReplayCtx(ctx, tr, sim, 1); err != nil {
 		return metrics.Counters{}, fmt.Errorf("%s/%s on %s: replaying trace: %w", w.Name, v.Name, m.Name, err)
 	}
 	return sim.C, nil
@@ -507,7 +530,7 @@ func (s *Suite) RunSpecsCtx(ctx context.Context, specs []RunSpec) ([]metrics.Cou
 		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
 		func(ctx context.Context, i int) (metrics.Counters, error) {
 			sp := specs[i]
-			return s.Run(sp.W, sp.V, sp.M)
+			return s.RunCtx(ctx, sp.W, sp.V, sp.M)
 		})
 }
 
@@ -533,7 +556,7 @@ func (s *Suite) runSpecsTraced(ctx context.Context, specs []RunSpec) ([]metrics.
 		runner.Options{Jobs: s.Jobs, Progress: s.Progress},
 		func(ctx context.Context, gi int) (struct{}, error) {
 			idxs := groups[order[gi]]
-			cs, err := s.runGroup(specs, idxs)
+			cs, err := s.runGroup(ctx, specs, idxs)
 			if err != nil {
 				return struct{}{}, err
 			}
@@ -550,7 +573,7 @@ func (s *Suite) runSpecsTraced(ctx context.Context, specs []RunSpec) ([]metrics.
 // are taken from the cache, the rest are replayed together. Every
 // result is published into the suite's result cache so later Run
 // calls and Snapshot see it.
-func (s *Suite) runGroup(specs []RunSpec, idxs []int) ([]metrics.Counters, error) {
+func (s *Suite) runGroup(ctx context.Context, specs []RunSpec, idxs []int) ([]metrics.Counters, error) {
 	w, v := specs[idxs[0]].W, specs[idxs[0]].V
 	scale := s.scale(w)
 
@@ -571,6 +594,7 @@ func (s *Suite) runGroup(specs []RunSpec, idxs []int) ([]metrics.Counters, error
 		// Record on the first needed machine, or load the trace; the
 		// recording run doubles as that machine's result.
 		var recorded *metrics.Counters
+		sp := obs.Start(ctx, "trace_load")
 		tr, _, err := s.Traces.GetOrRecord(s.TraceKey(w, v), func() (*disptrace.Trace, error) {
 			tr, c, err := s.RecordTrace(w, v, need[0])
 			if err != nil {
@@ -579,6 +603,11 @@ func (s *Suite) runGroup(specs []RunSpec, idxs []int) ([]metrics.Counters, error
 			recorded = &c
 			return tr, nil
 		})
+		if recorded != nil {
+			sp.EndAs("record")
+		} else {
+			sp.End()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -593,7 +622,7 @@ func (s *Suite) runGroup(specs []RunSpec, idxs []int) ([]metrics.Counters, error
 			for k, m := range replay {
 				sims[k] = cpu.NewSim(m)
 			}
-			if err := disptrace.ReplayEach(tr, sims); err != nil {
+			if err := disptrace.ReplayEachCtx(ctx, tr, sims); err != nil {
 				return nil, fmt.Errorf("%s/%s: replaying trace: %w", w.Name, v.Name, err)
 			}
 			for k, m := range replay {
@@ -613,7 +642,7 @@ func (s *Suite) runGroup(specs []RunSpec, idxs []int) ([]metrics.Counters, error
 
 	out := make([]metrics.Counters, len(idxs))
 	for j, i := range idxs {
-		c, err := s.Run(specs[i].W, specs[i].V, specs[i].M)
+		c, err := s.RunCtx(ctx, specs[i].W, specs[i].V, specs[i].M)
 		if err != nil {
 			return nil, err
 		}

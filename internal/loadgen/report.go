@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"vmopt/internal/metrics"
@@ -46,6 +47,12 @@ type OpStats struct {
 	// the arrival schedule (coordinated-omission-aware); closed-loop
 	// latencies are measured from actual send.
 	Latency metrics.HistogramSnapshot `json:"latency"`
+	// ServerStages aggregates the server's own Server-Timing stage
+	// attribution (milliseconds summed across the op's responses), so
+	// a latency regression can be split into server-side stages —
+	// cache lookup vs queueing vs simulation vs encode — without
+	// server access. Absent when the target sends no Server-Timing.
+	ServerStages map[string]float64 `json:"server_stages_ms,omitempty"`
 }
 
 // ServerDelta is the server's own /v1/stats movement across the
@@ -87,6 +94,11 @@ type Report struct {
 	// Server is the /v1/stats delta over the measurement window,
 	// absent when the target does not serve /v1/stats.
 	Server *ServerDelta `json:"server,omitempty"`
+	// ServerMetrics is the same delta read from the Prometheus
+	// /metrics exposition — a second, independently rendered view of
+	// the same registry. The two must agree; vmload fails the run when
+	// they do not.
+	ServerMetrics *ServerDelta `json:"server_metrics,omitempty"`
 }
 
 // WriteJSON serializes the report as indented JSON.
@@ -129,6 +141,26 @@ type opRecorder struct {
 	count, errors, non2xx, backpressure, diverged, cellErrors atomic.Uint64
 
 	hist metrics.Histogram
+
+	// stageMS accumulates Server-Timing attribution; the mutex is fine
+	// here because the header only arrives once per completed response.
+	stageMu sync.Mutex
+	stageMS map[string]float64
+}
+
+// addStages folds one response's Server-Timing breakdown in.
+func (r *opRecorder) addStages(stages map[string]float64) {
+	if len(stages) == 0 {
+		return
+	}
+	r.stageMu.Lock()
+	defer r.stageMu.Unlock()
+	if r.stageMS == nil {
+		r.stageMS = map[string]float64{}
+	}
+	for name, ms := range stages {
+		r.stageMS[name] += ms
+	}
 }
 
 // stats freezes the recorder into its report form.
@@ -146,6 +178,14 @@ func (r *opRecorder) stats() OpStats {
 		s.ErrorRate = float64(s.Errors+s.Non2xx+s.Diverged+s.CellErrors) / float64(s.Count)
 		s.BackpressureRate = float64(s.Backpressure) / float64(s.Count)
 	}
+	r.stageMu.Lock()
+	if len(r.stageMS) > 0 {
+		s.ServerStages = make(map[string]float64, len(r.stageMS))
+		for name, ms := range r.stageMS {
+			s.ServerStages[name] = ms
+		}
+	}
+	r.stageMu.Unlock()
 	return s
 }
 
@@ -158,4 +198,11 @@ func (r *opRecorder) merge(o *opRecorder) {
 	r.diverged.Add(o.diverged.Load())
 	r.cellErrors.Add(o.cellErrors.Load())
 	r.hist.Merge(&o.hist)
+	o.stageMu.Lock()
+	stages := make(map[string]float64, len(o.stageMS))
+	for name, ms := range o.stageMS {
+		stages[name] = ms
+	}
+	o.stageMu.Unlock()
+	r.addStages(stages)
 }

@@ -97,6 +97,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	}
 
 	before := ld.serverView()
+	mBefore := ld.metricsView()
 
 	var elapsed time.Duration
 	if spec.open() {
@@ -112,7 +113,8 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	}
 
 	after := ld.serverView()
-	return ld.report(elapsed, before, after), nil
+	mAfter := ld.metricsView()
+	return ld.report(elapsed, before, after, mBefore, mAfter), nil
 }
 
 // drawOp picks one operation from the mix.
@@ -287,6 +289,18 @@ func (ld *load) issue(op string, req request, record bool, intended time.Time) {
 		ld.logf("%s: reading response: %v", req.path, err)
 		return
 	}
+	if record {
+		// Buffered endpoints send Server-Timing as a header; the
+		// streaming sweep sends it as a trailer, readable once the body
+		// has been consumed.
+		st := resp.Header.Get("Server-Timing")
+		if st == "" {
+			st = resp.Trailer.Get("Server-Timing")
+		}
+		if st != "" {
+			rec.addStages(parseServerTiming(st))
+		}
+	}
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		// Backpressure, not failure: the server is shedding load as
 		// designed. Open-loop overload runs exist to measure this.
@@ -396,8 +410,44 @@ func (ld *load) serverView() *ServerDelta {
 	}
 }
 
+// metricsView reads the same request counters from the Prometheus
+// exposition — the independent second rendering of the server's
+// registry the report cross-checks /v1/stats against. Best-effort
+// like serverView: targets without /metrics produce a report without
+// the cross-check.
+func (ld *load) metricsView() *ServerDelta {
+	series, err := ScrapeMetrics(ld.client, ld.Addr)
+	if err != nil {
+		return nil
+	}
+	ep := func(name string) uint64 {
+		return uint64(series[fmt.Sprintf(`vmserved_requests_total{endpoint="%s"}`, name)])
+	}
+	return &ServerDelta{
+		Run: ep("run"), Sweep: ep("sweep"),
+		Diff: ep("diff"), Traces: ep("traces"),
+		Rejected: uint64(series["vmserved_rejected_total"]),
+		Errors:   uint64(series["vmserved_errors_total"]),
+	}
+}
+
+// delta subtracts a before snapshot from an after snapshot.
+func delta(before, after *ServerDelta) *ServerDelta {
+	if before == nil || after == nil {
+		return nil
+	}
+	return &ServerDelta{
+		Run:      after.Run - before.Run,
+		Sweep:    after.Sweep - before.Sweep,
+		Diff:     after.Diff - before.Diff,
+		Traces:   after.Traces - before.Traces,
+		Rejected: after.Rejected - before.Rejected,
+		Errors:   after.Errors - before.Errors,
+	}
+}
+
 // report assembles the final document.
-func (ld *load) report(elapsed time.Duration, before, after *ServerDelta) *Report {
+func (ld *load) report(elapsed time.Duration, before, after, mBefore, mAfter *ServerDelta) *Report {
 	r := &Report{
 		Schema:   SchemaVersion,
 		Spec:     *ld.spec,
@@ -415,16 +465,8 @@ func (ld *load) report(elapsed time.Duration, before, after *ServerDelta) *Repor
 	if elapsed > 0 {
 		r.ThroughputRPS = float64(r.Total.Count) / elapsed.Seconds()
 	}
-	if before != nil && after != nil {
-		r.Server = &ServerDelta{
-			Run:      after.Run - before.Run,
-			Sweep:    after.Sweep - before.Sweep,
-			Diff:     after.Diff - before.Diff,
-			Traces:   after.Traces - before.Traces,
-			Rejected: after.Rejected - before.Rejected,
-			Errors:   after.Errors - before.Errors,
-		}
-	}
+	r.Server = delta(before, after)
+	r.ServerMetrics = delta(mBefore, mAfter)
 	return r
 }
 

@@ -58,6 +58,39 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the total of all observations in nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// NumBuckets is the number of fixed power-of-two buckets a Histogram
+// exposes; see BucketUpperNS for the boundary of each.
+const NumBuckets = histBuckets
+
+// BucketUpperNS returns the exclusive upper bound of bucket i in
+// nanoseconds: bucket i counts observations with
+// BucketUpperNS(i-1) <= ns < BucketUpperNS(i). The last bucket is
+// effectively unbounded (its nominal bound exceeds any observable
+// duration). Exposition formats (the Prometheus renderer) use these
+// as their le boundaries.
+func BucketUpperNS(i int) uint64 {
+	if i >= histBuckets-1 {
+		// 2^64 doesn't fit; the last bucket's nominal bound. Callers
+		// render this bucket as +Inf.
+		return 1 << 63
+	}
+	return 1 << (i + 1)
+}
+
+// BucketCounts returns a point-in-time copy of the per-bucket
+// observation counts (not cumulative). Concurrent observes can skew
+// individual buckets by the in-flight observations, same as Snapshot.
+func (h *Histogram) BucketCounts() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
 // Merge folds o's observations into h bucket by bucket, so per-shard
 // histograms (one per operation, one per worker) aggregate into a
 // total without losing quantile fidelity: bucket boundaries are fixed,

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output for a
+// registry exercising every metric kind: unlabeled and labeled
+// counters, a gauge, a function counter, and a histogram with known
+// observations — including the +Inf bucket and HELP/label escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.")
+	c.Add(41)
+	c.Inc()
+	vec := r.CounterVec("test_by_endpoint_total", `Help with back\slash and "quotes"`+"\nand a newline.", "endpoint")
+	vec.With("run").Add(7)
+	vec.With(`we"ird\val`).Inc()
+	g := r.Gauge("test_inflight", "Current in-flight requests.")
+	g.Set(3.5)
+	r.CounterFunc("test_evictions_total", "Evictions.", func() uint64 { return 9 })
+	h := r.Histogram("test_latency_seconds", "Request latency.")
+	h.Observe(500 * time.Nanosecond)  // below the first rendered bound
+	h.Observe(100 * time.Microsecond) // 1e5 ns: between 2^16 and 2^18
+	h.Observe(50 * time.Millisecond)  // 5e7 ns: between 2^24 and 2^26
+	h.Observe(2 * time.Minute)        // beyond the last rendered bound
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_by_endpoint_total Help with back\\slash and "quotes"\nand a newline.
+# TYPE test_by_endpoint_total counter
+test_by_endpoint_total{endpoint="run"} 7
+test_by_endpoint_total{endpoint="we\"ird\\val"} 1
+# HELP test_evictions_total Evictions.
+# TYPE test_evictions_total counter
+test_evictions_total 9
+# HELP test_inflight Current in-flight requests.
+# TYPE test_inflight gauge
+test_inflight 3.5
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1.024e-06"} 1
+test_latency_seconds_bucket{le="4.096e-06"} 1
+test_latency_seconds_bucket{le="1.6384e-05"} 1
+test_latency_seconds_bucket{le="6.5536e-05"} 1
+test_latency_seconds_bucket{le="0.000262144"} 2
+test_latency_seconds_bucket{le="0.001048576"} 2
+test_latency_seconds_bucket{le="0.004194304"} 2
+test_latency_seconds_bucket{le="0.016777216"} 2
+test_latency_seconds_bucket{le="0.067108864"} 3
+test_latency_seconds_bucket{le="0.268435456"} 3
+test_latency_seconds_bucket{le="1.073741824"} 3
+test_latency_seconds_bucket{le="4.294967296"} 3
+test_latency_seconds_bucket{le="17.179869184"} 3
+test_latency_seconds_bucket{le="68.719476736"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 120.0501005
+test_latency_seconds_count 4
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 42
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic("duplicate name", func() { r.Counter("dup_total", "") })
+	mustPanic("duplicate across kinds", func() { r.Gauge("dup_total", "") })
+	mustPanic("bad metric name", func() { r.Counter("0bad", "") })
+	mustPanic("bad metric name chars", func() { r.Counter("has space", "") })
+	mustPanic("bad label name", func() { r.CounterVec("ok_total", "", "bad-label") })
+}
+
+func TestHistogramBucketExport(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond) // 3000ns -> bucket 11 (2048..4095)
+	counts := h.BucketCounts()
+	if counts[11] != 1 {
+		t.Errorf("bucket 11 = %d, want 1 (3µs lands in [2^11, 2^12))", counts[11])
+	}
+	if got := BucketUpperNS(11); got != 4096 {
+		t.Errorf("BucketUpperNS(11) = %d, want 4096", got)
+	}
+	if got := BucketUpperNS(NumBuckets - 1); got != 1<<63 {
+		t.Errorf("top bucket bound = %d, want 2^63 sentinel", got)
+	}
+	if h.Sum() != 3000 {
+		t.Errorf("Sum = %d, want 3000", h.Sum())
+	}
+}
+
+// TestRuntimeMetricsRender checks the runtime sampler registers and
+// renders parseable series.
+func TestRuntimeMetricsRender(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"go_goroutines", "go_gomaxprocs", "go_heap_alloc_bytes", "go_gc_pause_ns_total"} {
+		if !strings.Contains(out, "\n"+name+" ") && !strings.HasPrefix(out, name+" ") {
+			t.Errorf("runtime metric %s missing from exposition:\n%s", name, out)
+		}
+	}
+}

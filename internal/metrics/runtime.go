@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats per staleness window so
+// a scrape hitting several runtime gauges pays for one read, not one
+// per gauge. ReadMemStats briefly stops the world; once per scrape is
+// cheap, four times per scrape is silly.
+type memSampler struct {
+	mu       sync.Mutex
+	at       time.Time
+	ms       runtime.MemStats
+	maxStale time.Duration
+}
+
+func (s *memSampler) stats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.at) > s.maxStale {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+	}
+	return s.ms
+}
+
+// RegisterRuntime registers the process runtime gauges on the
+// registry: goroutine count, GOMAXPROCS, heap usage and GC activity —
+// the box-level context every per-endpoint latency number needs
+// ("was the p99 spike a GC pause or real work?").
+func RegisterRuntime(r *Registry) {
+	sampler := &memSampler{maxStale: 100 * time.Millisecond}
+	r.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs",
+		"GOMAXPROCS: the scheduler's processor parallelism.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(sampler.stats().HeapAlloc) })
+	r.GaugeFunc("go_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(sampler.stats().HeapObjects) })
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() uint64 { return uint64(sampler.stats().NumGC) })
+	r.CounterFunc("go_gc_pause_ns_total",
+		"Cumulative stop-the-world GC pause time in nanoseconds.",
+		func() uint64 { return sampler.stats().PauseTotalNs })
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Defaults for NewRecorder arguments left <= 0.
+const (
+	DefaultRecent  = 128
+	DefaultSlowest = 8
+)
+
+// Recorder retains finished request traces for the debug surface: a
+// lock-free ring of the most recent traces across all endpoints, plus
+// the slowest N traces per endpoint, so a latency spike stays
+// inspectable after the ring has churned past it.
+type Recorder struct {
+	// recent is a power-of-two ring written with one atomic counter
+	// bump and one atomic pointer store per request — publication
+	// never takes a lock on the request path.
+	idx    atomic.Uint64
+	recent []atomic.Pointer[Trace]
+
+	// slowest admission is mutex-guarded per endpoint; it runs once
+	// per request against a handful of entries, after the response is
+	// already on the wire.
+	mu      sync.Mutex
+	perEP   map[string]*slowList
+	slowCap int
+}
+
+// slowList keeps the slowest traces of one endpoint, ascending by
+// duration so the admission threshold is element 0.
+type slowList struct {
+	traces []*Trace
+}
+
+// NewRecorder builds a Recorder keeping recent traces overall and the
+// slowest per endpoint (<= 0 picks the defaults). The recent capacity
+// is rounded up to a power of two so ring indexing is a mask.
+func NewRecorder(recent, slowest int) *Recorder {
+	if recent <= 0 {
+		recent = DefaultRecent
+	}
+	n := 1
+	for n < recent {
+		n <<= 1
+	}
+	if slowest <= 0 {
+		slowest = DefaultSlowest
+	}
+	return &Recorder{
+		recent:  make([]atomic.Pointer[Trace], n),
+		perEP:   make(map[string]*slowList),
+		slowCap: slowest,
+	}
+}
+
+// Record publishes a finished trace (one whose Finish has run).
+func (r *Recorder) Record(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	i := r.idx.Add(1) - 1
+	r.recent[i&uint64(len(r.recent)-1)].Store(tr)
+
+	d := tr.duration()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sl := r.perEP[tr.Endpoint]
+	if sl == nil {
+		sl = &slowList{}
+		r.perEP[tr.Endpoint] = sl
+	}
+	if len(sl.traces) < r.slowCap {
+		sl.traces = append(sl.traces, tr)
+		sort.Slice(sl.traces, func(a, b int) bool { return sl.traces[a].duration() < sl.traces[b].duration() })
+		return
+	}
+	if d <= sl.traces[0].duration() {
+		return
+	}
+	sl.traces[0] = tr
+	sort.Slice(sl.traces, func(a, b int) bool { return sl.traces[a].duration() < sl.traces[b].duration() })
+}
+
+// duration reads the finished trace's total latency.
+func (tr *Trace) duration() (d int64) {
+	tr.mu.Lock()
+	d = int64(tr.total)
+	tr.mu.Unlock()
+	return d
+}
+
+// DebugRequests is the GET /debug/requests document.
+type DebugRequests struct {
+	// Recent lists the most recently finished traces, newest first.
+	Recent []TraceSnapshot `json:"recent"`
+	// Slowest maps endpoint to its slowest retained traces, slowest
+	// first.
+	Slowest map[string][]TraceSnapshot `json:"slowest"`
+}
+
+// Snapshot freezes the recorder's state for serving.
+func (r *Recorder) Snapshot() DebugRequests {
+	out := DebugRequests{Slowest: map[string][]TraceSnapshot{}}
+	n := uint64(len(r.recent))
+	next := r.idx.Load()
+	for k := uint64(0); k < n; k++ {
+		// Walk backwards from the most recent write.
+		tr := r.recent[(next-1-k)&(n-1)].Load()
+		if tr == nil {
+			break
+		}
+		out.Recent = append(out.Recent, tr.snapshot())
+	}
+	if out.Recent == nil {
+		out.Recent = []TraceSnapshot{}
+	}
+
+	r.mu.Lock()
+	lists := make(map[string][]*Trace, len(r.perEP))
+	for ep, sl := range r.perEP {
+		lists[ep] = append([]*Trace(nil), sl.traces...)
+	}
+	r.mu.Unlock()
+	for ep, traces := range lists {
+		snaps := make([]TraceSnapshot, 0, len(traces))
+		for i := len(traces) - 1; i >= 0; i-- { // slowest first
+			snaps = append(snaps, traces[i].snapshot())
+		}
+		out.Slowest[ep] = snaps
+	}
+	return out
+}
+
+// Handler serves the recorder as JSON — the GET /debug/requests
+// endpoint.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}

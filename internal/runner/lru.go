@@ -1,6 +1,9 @@
 package runner
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // lruEntry is one resident key/value pair on the recency list.
 type lruEntry[K comparable, V any] struct {
@@ -23,6 +26,11 @@ type LRU[K comparable, V any] struct {
 	cap        int
 	m          map[K]*lruEntry[K, V]
 	head, tail *lruEntry[K, V] // head is most recent
+
+	// evictions counts entries displaced by capacity pressure —
+	// hit-rate alone cannot distinguish a cold cache (misses, no
+	// evictions) from a thrashing one (misses with evictions).
+	evictions atomic.Uint64
 }
 
 // NewLRU returns an LRU bounded to capacity entries.
@@ -94,6 +102,7 @@ func (c *LRU[K, V]) Add(key K, value V) {
 		lru := c.tail
 		c.unlink(lru)
 		delete(c.m, lru.key)
+		c.evictions.Add(1)
 	}
 	e := &lruEntry[K, V]{key: key, value: value}
 	c.m[key] = e
@@ -109,3 +118,7 @@ func (c *LRU[K, V]) Len() int {
 
 // Cap returns the configured capacity.
 func (c *LRU[K, V]) Cap() int { return c.cap }
+
+// Evictions returns how many entries capacity pressure has displaced
+// since creation.
+func (c *LRU[K, V]) Evictions() uint64 { return c.evictions.Load() }

@@ -26,6 +26,24 @@ func TestLRUEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
+	if n := c.Evictions(); n != 1 {
+		t.Errorf("Evictions = %d, want 1 (only b was displaced)", n)
+	}
+}
+
+func TestLRUEvictionCounter(t *testing.T) {
+	c := NewLRU[int, int](2)
+	for i := range 5 {
+		c.Add(i, i)
+	}
+	if n := c.Evictions(); n != 3 {
+		t.Errorf("Evictions = %d, want 3 (5 inserts into capacity 2)", n)
+	}
+	// Refreshing a resident key is not an eviction.
+	c.Add(4, 40)
+	if n := c.Evictions(); n != 3 {
+		t.Errorf("Evictions after refresh = %d, want still 3", n)
+	}
 }
 
 func TestLRUUpdateRefreshes(t *testing.T) {

@@ -6,26 +6,60 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
-	"time"
 
 	"vmopt/internal/disptrace"
+	"vmopt/internal/metrics"
+	"vmopt/internal/obs"
 	"vmopt/internal/runner"
 )
 
-// Handler returns the server's HTTP routing table.
+// Handler returns the server's HTTP routing table. Every /v1 endpoint
+// runs under the observability middleware (request counter, trace,
+// X-Request-ID, Server-Timing, latency histogram, access log);
+// /metrics and /debug/requests deliberately do not, so scraping never
+// perturbs the request counters it reports.
 func (s *Server) Handler() http.Handler {
+	st := &s.stats
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/diff", s.handleDiff)
-	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
-	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/run", s.instrument("run", st.reqRun, st.latRun, false, s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", st.reqSweep, st.latSweep, true, s.handleSweep))
+	mux.HandleFunc("POST /v1/diff", s.instrument("diff", st.reqDiff, st.latDiff, false, s.handleDiff))
+	mux.HandleFunc("GET /v1/traces", s.instrument("traces", st.reqTraces, st.latTraces, false, s.handleTraceList))
+	mux.HandleFunc("GET /v1/traces/{id}", s.instrument("traces", st.reqTraces, st.latTraces, false, s.handleTraceInfo))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", st.reqStats, st.latStats, false, s.handleStats))
+	mux.Handle("GET /metrics", s.MetricsHandler())
+	mux.Handle("GET /debug/requests", s.recorder.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
+	return mux
+}
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format 0.0.4 — GET /metrics.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", metrics.TextContentType)
+		s.stats.reg.WritePrometheus(w)
+	})
+}
+
+// DebugHandler returns the surface cmd/vmserved binds to its separate
+// -debug-addr listener: pprof, the metric exposition and the recent/
+// slowest request traces. Kept off the public handler so profiling
+// endpoints are only reachable where the operator points them.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/requests", s.recorder.Handler())
+	mux.Handle("/metrics", s.MetricsHandler())
 	return mux
 }
 
@@ -78,10 +112,27 @@ func failStatus(err error) int {
 	}
 }
 
+// writeJSON marshals the response body before touching the writer —
+// the "encode" stage — then writes it in one shot, so the
+// Server-Timing header stamped at WriteHeader already accounts for
+// encoding.
+func writeJSON(w http.ResponseWriter, ctx context.Context, v any) {
+	sp := obs.Start(ctx, "encode")
+	body, err := json.Marshal(v)
+	sp.End()
+	if err != nil {
+		errorBody(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.stats.reqRun.Add(1)
+	sp := obs.Start(r.Context(), "parse")
 	var req RunRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		sp.End()
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
@@ -91,6 +142,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		scaleDiv = s.cfg.defaultScaleDiv()
 	}
 	rc, err := resolveCell(req, scaleDiv)
+	sp.End()
 	if err != nil {
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusBadRequest, "%v", err)
@@ -101,7 +153,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	start := time.Now()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
@@ -112,15 +163,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	run := runner.NewRun(rc.cell.workload, rc.cell.variant, rc.cell.machine, s.scaleOf(rc), c)
-	s.stats.latRun.Observe(time.Since(start))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(run)
+	writeJSON(w, ctx, run)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.stats.reqSweep.Add(1)
+	sp := obs.Start(r.Context(), "parse")
 	var req SweepRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		sp.End()
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
@@ -130,6 +180,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		scaleDiv = s.cfg.defaultScaleDiv()
 	}
 	groups, err := resolveSweep(req, scaleDiv)
+	sp.End()
 	if err != nil {
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusBadRequest, "%v", err)
@@ -149,7 +200,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	start := time.Now()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
@@ -213,7 +263,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.stats.errors.Add(1)
 	}
 	writeLine(SweepLine{Done: true, Cells: cells, Groups: len(groups), Errors: errCells})
-	s.stats.latSweep.Observe(time.Since(start))
 }
 
 // handleDiff serves POST /v1/diff: an instruction-aligned comparison
@@ -221,17 +270,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // requests coalesce onto one computation and share its marshaled
 // body, so duplicates are byte-identical.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	s.stats.reqDiff.Add(1)
 	if s.cfg.Traces == nil {
 		errorBody(w, http.StatusNotFound, "no trace cache configured")
 		return
 	}
+	sp := obs.Start(r.Context(), "parse")
 	var req DiffRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		sp.End()
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
+	sp.End()
 	if !disptrace.ValidID(req.A) || !disptrace.ValidID(req.B) {
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusBadRequest, "a and b must be trace content addresses (see GET /v1/traces)")
@@ -249,7 +300,6 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	start := time.Now()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
@@ -269,19 +319,18 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.stats.latDiff.Observe(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
 }
 
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
-	s.stats.reqTraces.Add(1)
 	if s.cfg.Traces == nil {
 		errorBody(w, http.StatusNotFound, "no trace cache configured")
 		return
 	}
-	start := time.Now()
+	sp := obs.Start(r.Context(), "trace_load")
 	entries, err := s.cfg.Traces.List()
+	sp.End()
 	if err != nil {
 		s.stats.errors.Add(1)
 		errorBody(w, http.StatusInternalServerError, "reading trace cache: %v", err)
@@ -291,20 +340,18 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	if list.Traces == nil {
 		list.Traces = []disptrace.CacheEntry{}
 	}
-	s.stats.latTraces.Observe(time.Since(start))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(list)
+	writeJSON(w, r.Context(), list)
 }
 
 func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
-	s.stats.reqTraces.Add(1)
 	if s.cfg.Traces == nil {
 		errorBody(w, http.StatusNotFound, "no trace cache configured")
 		return
 	}
 	id := r.PathValue("id")
-	start := time.Now()
+	sp := obs.Start(r.Context(), "trace_load")
 	t, size, err := s.cfg.Traces.LoadID(id)
+	sp.End()
 	if errors.Is(err, disptrace.ErrNoTrace) {
 		errorBody(w, http.StatusNotFound, "no trace %s", id)
 		return
@@ -325,15 +372,17 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 		info.StoredBytes += len(seg.Data)
 		info.RawBytes += seg.RawLen()
 	}
-	s.stats.latTraces.Observe(time.Since(start))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(info)
+	writeJSON(w, r.Context(), info)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.stats.reqStats.Add(1)
+	sp := obs.Start(r.Context(), "encode")
+	body, err := json.MarshalIndent(s.stats.snapshot(s), "", "  ")
+	sp.End()
+	if err != nil {
+		errorBody(w, http.StatusInternalServerError, "encoding stats: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.stats.snapshot(s))
+	w.Write(append(body, '\n'))
 }

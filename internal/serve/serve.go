@@ -40,6 +40,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -47,6 +48,7 @@ import (
 	"vmopt/internal/disptrace"
 	"vmopt/internal/harness"
 	"vmopt/internal/metrics"
+	"vmopt/internal/obs"
 	"vmopt/internal/runner"
 )
 
@@ -84,6 +86,14 @@ type Config struct {
 	// MaxSteps bounds each simulated run; 0 means the harness
 	// default.
 	MaxSteps uint64
+	// AccessLog, when non-nil, receives one structured record per
+	// instrumented request: request ID, endpoint, status, cache
+	// outcome and latency.
+	AccessLog *slog.Logger
+	// DebugRecent and DebugSlowest size the /debug/requests trace
+	// recorder (<= 0 picks obs defaults).
+	DebugRecent  int
+	DebugSlowest int
 }
 
 // Defaults for Config fields left zero.
@@ -170,6 +180,9 @@ type Server struct {
 	suites *runner.LRU[int, *harness.Suite]
 
 	stats stats
+
+	// recorder retains finished request traces for /debug/requests.
+	recorder *obs.Recorder
 }
 
 // New builds a Server from the config.
@@ -186,10 +199,15 @@ func New(cfg Config) *Server {
 		lru:        runner.NewLRU[cell, metrics.Counters](cfg.cacheSize()),
 		computeSem: make(chan struct{}, jobs),
 		suites:     runner.NewLRU[int, *harness.Suite](cfg.maxSuites()),
+		recorder:   obs.NewRecorder(cfg.DebugRecent, cfg.DebugSlowest),
 	}
-	s.stats.start = time.Now()
+	s.stats.init(s)
 	return s
 }
+
+// Registry exposes the server's metric registry — what GET /metrics
+// renders and what cmd/vmserved hands to its debug listener.
+func (s *Server) Registry() *metrics.Registry { return s.stats.reg }
 
 // acquireCompute takes one computation slot, honoring cancellation
 // while queued. The returned release must be called when compute is
@@ -263,11 +281,14 @@ func coalesce[K comparable, V any](ctx context.Context, f *runner.Flight[K, V], 
 // LRU, coalesced flight, suite (which itself consults its result
 // cache and the disk trace cache).
 func (s *Server) runCell(ctx context.Context, rc resolved) (metrics.Counters, error) {
+	tr := obs.FromContext(ctx)
 	if c, ok := s.lru.Get(rc.cell); ok {
 		s.stats.lruHits.Add(1)
+		tr.SetOutcome(obs.OutcomeHit)
 		return c, nil
 	}
 	s.stats.lruMisses.Add(1)
+	flightStart := time.Now()
 	c, joined, err := coalesce(ctx, &s.runFlight, &s.stats, rc.cell, func() (metrics.Counters, error) {
 		// Re-check: a fresh leader may start after a previous leader
 		// published to the LRU but before this caller's outer lookup
@@ -275,25 +296,34 @@ func (s *Server) runCell(ctx context.Context, rc resolved) (metrics.Counters, er
 		// covers every duplicate however the race lands.
 		if c, ok := s.lru.Get(rc.cell); ok {
 			s.stats.lruHits.Add(1)
+			tr.SetOutcome(obs.OutcomeHit)
 			return c, nil
 		}
+		sp := obs.Start(ctx, "queue")
 		release, err := s.acquireCompute(ctx)
+		sp.End()
 		if err != nil {
 			return metrics.Counters{}, err
 		}
 		defer release()
 		suite := s.suiteFor(rc.cell.scaleDiv)
-		c, err := suite.Run(rc.w, rc.v, rc.m)
+		c, err := suite.RunCtx(ctx, rc.w, rc.v, rc.m)
 		if err != nil {
 			return metrics.Counters{}, err
 		}
 		s.lru.Add(rc.cell, c)
 		s.stats.computedCells.Add(1)
+		tr.SetOutcome(obs.OutcomeComputed)
 		s.boundSuite(suite)
 		return c, nil
 	})
 	if joined && err == nil {
 		s.stats.coalescedRuns.Add(1)
+		// The joiner's wait on the leader is only knowable after the
+		// fact — attribute it now so its Server-Timing shows where the
+		// time went.
+		obs.Observe(ctx, "flight", time.Since(flightStart))
+		tr.SetOutcome(obs.OutcomeCoalesced)
 	}
 	return c, err
 }
@@ -303,6 +333,7 @@ func (s *Server) runCell(ctx context.Context, rc resolved) (metrics.Counters, er
 // computed behind one coalesced flight, sharing a single trace decode
 // across its machines via Suite.RunSpecs.
 func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Counters, error) {
+	tr := obs.FromContext(ctx)
 	out := make(map[string]metrics.Counters, len(g.cells))
 	hits := 0
 	for _, rc := range g.cells {
@@ -317,9 +348,11 @@ func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Coun
 	s.stats.lruHits.Add(uint64(hits))
 	s.stats.lruMisses.Add(uint64(len(g.cells) - hits))
 	if hits == len(g.cells) {
+		tr.SetOutcome(obs.OutcomeHit)
 		return out, nil
 	}
 
+	flightStart := time.Now()
 	res, joined, err := coalesce(ctx, &s.groupFlight, &s.stats, g.key, func() (map[string]metrics.Counters, error) {
 		// Re-check: a previous leader may have published every cell
 		// between this caller's scan and its flight entry; don't
@@ -333,9 +366,12 @@ func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Coun
 			m[rc.cell.machine] = c
 		}
 		if len(m) == len(g.cells) {
+			tr.SetOutcome(obs.OutcomeHit)
 			return m, nil
 		}
+		sp := obs.Start(ctx, "queue")
 		release, err := s.acquireCompute(ctx)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -356,6 +392,7 @@ func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Coun
 		}
 		s.stats.computedGroups.Add(1)
 		s.stats.computedCells.Add(uint64(len(g.cells)))
+		tr.SetOutcome(obs.OutcomeComputed)
 		s.boundSuite(suite)
 		return m, nil
 	})
@@ -364,6 +401,8 @@ func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Coun
 	}
 	if joined {
 		s.stats.coalescedGroups.Add(1)
+		obs.Observe(ctx, "flight", time.Since(flightStart))
+		tr.SetOutcome(obs.OutcomeCoalesced)
 	}
 	return res, nil
 }
@@ -397,29 +436,46 @@ const (
 // two full traces is real work, so it runs under a compute slot like
 // simulations do.
 func (s *Server) runDiff(ctx context.Context, k diffKey) ([]byte, bool, error) {
-	return coalesce(ctx, &s.diffFlight, &s.stats, k, func() ([]byte, error) {
+	tr := obs.FromContext(ctx)
+	flightStart := time.Now()
+	body, joined, err := coalesce(ctx, &s.diffFlight, &s.stats, k, func() ([]byte, error) {
+		sp := obs.Start(ctx, "queue")
 		release, err := s.acquireCompute(ctx)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		sp = obs.Start(ctx, "trace_load")
 		a, _, err := s.cfg.Traces.LoadID(k.a)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		b, _, err := s.cfg.Traces.LoadID(k.b)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		sp = obs.Start(ctx, "diff")
 		report, err := disptrace.DiffTraces(a, b, k.n)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		sp = obs.Start(ctx, "encode")
 		body, err := json.Marshal(DiffResponse{A: k.a, B: k.b, Report: report})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		s.stats.computedDiffs.Add(1)
+		tr.SetOutcome(obs.OutcomeComputed)
 		return append(body, '\n'), nil
 	})
+	if joined && err == nil {
+		obs.Observe(ctx, "flight", time.Since(flightStart))
+		tr.SetOutcome(obs.OutcomeCoalesced)
+	}
+	return body, joined, err
 }

@@ -9,25 +9,100 @@ import (
 	"vmopt/internal/runner"
 )
 
-// stats is the server's observability surface: lock-free counters the
-// request paths bump and /v1/stats snapshots. Latency histograms come
-// from internal/metrics.
+// stats is the server's observability surface, backed by one
+// metrics.Registry: the request paths bump registry-owned counters
+// and histograms, GET /metrics renders the registry as Prometheus
+// text format, and /v1/stats snapshots the same live values into its
+// JSON document — two views over one source, so they can never
+// disagree.
 type stats struct {
 	start time.Time
+	reg   *metrics.Registry
 
+	// inFlight is read by admission control on every request, so it
+	// stays a plain atomic and is exported through a GaugeFunc.
 	inFlight atomic.Int64
 
-	reqRun, reqSweep, reqDiff, reqTraces, reqStats atomic.Uint64
-	rejected, errors                               atomic.Uint64
+	reqRun, reqSweep, reqDiff, reqTraces, reqStats *metrics.Counter
+	rejected, errors                               *metrics.Counter
 
-	lruHits, lruMisses atomic.Uint64
+	lruHits, lruMisses *metrics.Counter
 
-	coalescedRuns, coalescedGroups, coalescedDiffs atomic.Uint64
-	computedCells, computedGroups, computedDiffs   atomic.Uint64
-	canceledRetries                                atomic.Uint64
-	resultsDropped                                 atomic.Uint64
+	coalescedRuns, coalescedGroups, coalescedDiffs *metrics.Counter
+	computedCells, computedGroups, computedDiffs   *metrics.Counter
+	canceledRetries                                *metrics.Counter
+	resultsDropped                                 *metrics.Counter
 
-	latRun, latSweep, latDiff, latTraces metrics.Histogram
+	latRun, latSweep, latDiff, latTraces, latStats *metrics.Histogram
+}
+
+// init builds the registry and registers every server metric. It runs
+// once from New, after the server's caches exist (several gauges read
+// them at collection time).
+func (st *stats) init(s *Server) {
+	st.start = time.Now()
+	r := metrics.NewRegistry()
+	st.reg = r
+	metrics.RegisterRuntime(r)
+
+	req := r.CounterVec("vmserved_requests_total",
+		"HTTP requests received, by endpoint.", "endpoint")
+	st.reqRun = req.With("run")
+	st.reqSweep = req.With("sweep")
+	st.reqDiff = req.With("diff")
+	st.reqTraces = req.With("traces")
+	st.reqStats = req.With("stats")
+
+	st.rejected = r.Counter("vmserved_rejected_total",
+		"Requests rejected by admission control (503).")
+	st.errors = r.Counter("vmserved_errors_total",
+		"Requests that failed: malformed/unresolvable (4xx) or execution errors.")
+
+	st.lruHits = r.Counter("vmserved_cache_hits_total",
+		"In-memory result LRU hits.")
+	st.lruMisses = r.Counter("vmserved_cache_misses_total",
+		"In-memory result LRU misses.")
+	r.CounterFunc("vmserved_cache_evictions_total",
+		"In-memory result LRU entries displaced by capacity pressure.",
+		s.lru.Evictions)
+	r.GaugeFunc("vmserved_cache_entries",
+		"Resident entries in the in-memory result LRU.",
+		func() float64 { return float64(s.lru.Len()) })
+
+	coal := r.CounterVec("vmserved_coalesced_total",
+		"Requests that joined an in-progress identical computation, by kind.", "kind")
+	st.coalescedRuns = coal.With("runs")
+	st.coalescedGroups = coal.With("groups")
+	st.coalescedDiffs = coal.With("diffs")
+
+	comp := r.CounterVec("vmserved_computed_total",
+		"Simulations, replays and diffs actually performed, by kind.", "kind")
+	st.computedCells = comp.With("cells")
+	st.computedGroups = comp.With("groups")
+	st.computedDiffs = comp.With("diffs")
+
+	st.canceledRetries = r.Counter("vmserved_canceled_retries_total",
+		"Computations re-led after a cancelled leader poisoned a shared flight result.")
+	st.resultsDropped = r.Counter("vmserved_suite_results_dropped_total",
+		"Suite-level result-cache resets performed to bound memory.")
+
+	r.GaugeFunc("vmserved_in_flight",
+		"Admitted requests currently executing.",
+		func() float64 { return float64(st.inFlight.Load()) })
+	r.GaugeFunc("vmserved_suites_live",
+		"Live per-scalediv suites in the pool.",
+		func() float64 { return float64(s.suiteCount()) })
+	r.GaugeFunc("vmserved_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(st.start).Seconds() })
+
+	lat := r.HistogramVec("vmserved_request_seconds",
+		"End-to-end handler latency, by endpoint.", "endpoint")
+	st.latRun = lat.With("run")
+	st.latSweep = lat.With("sweep")
+	st.latDiff = lat.With("diff")
+	st.latTraces = lat.With("traces")
+	st.latStats = lat.With("stats")
 }
 
 // StatsResponse is the GET /v1/stats document.
@@ -76,11 +151,14 @@ type RequestStats struct {
 
 // CacheTier describes the in-memory result LRU.
 type CacheTier struct {
-	Size    int     `json:"size"`
-	Cap     int     `json:"cap"`
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
+	Size   int    `json:"size"`
+	Cap    int    `json:"cap"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries displaced by capacity pressure —
+	// what separates a cold cache from a thrashing one.
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // CoalesceStats counts thundering-herd suppression.
@@ -128,11 +206,12 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 			Errors:   st.errors.Load(),
 		},
 		Cache: CacheTier{
-			Size:    s.lru.Len(),
-			Cap:     s.lru.Cap(),
-			Hits:    hits,
-			Misses:  misses,
-			HitRate: rate,
+			Size:      s.lru.Len(),
+			Cap:       s.lru.Cap(),
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: s.lru.Evictions(),
+			HitRate:   rate,
 		},
 		Coalesced: CoalesceStats{
 			Runs:            st.coalescedRuns.Load(),
@@ -154,6 +233,7 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 			"sweep":  st.latSweep.Snapshot(),
 			"diff":   st.latDiff.Snapshot(),
 			"traces": st.latTraces.Snapshot(),
+			"stats":  st.latStats.Snapshot(),
 		},
 	}
 	if s.cfg.Traces != nil {
