@@ -79,6 +79,8 @@ func runMain(args []string) error {
 	addr := fs.String("addr", "http://127.0.0.1:8321", "vmserved base URL")
 	specPath := fs.String("spec", "", "workload spec file (JSON); overrides the grid/mix flags below")
 	out := fs.String("out", "", "write the vmload/v1 JSON report to this file")
+	responses := fs.String("responses", "", "write a response dump (sorted key<TAB>sha256 lines) to this file")
+	checkResponses := fs.String("check-responses", "", "compare this run's responses against a reference dump; any shared key whose hash differs fails the run")
 	stats := fs.Bool("stats", false, "fetch and print /v1/stats after the run")
 
 	// Flag-built spec (ignored when -spec is given): the quick
@@ -118,12 +120,30 @@ func runMain(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	r := &loadgen.Runner{Addr: *addr, Spec: spec, Log: os.Stderr}
+	r := &loadgen.Runner{
+		Addr: *addr, Spec: spec, Log: os.Stderr,
+		KeepResponses: *responses != "" || *checkResponses != "",
+	}
 	report, err := r.Run(ctx)
 	if err != nil {
 		return err
 	}
 	printSummary(report)
+
+	if *responses != "" {
+		f, err := os.Create(*responses)
+		if err != nil {
+			return err
+		}
+		werr := loadgen.WriteResponses(f, report.Responses)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing response dump: %w", werr)
+		}
+		fmt.Printf("vmload: %d response hash(es) written to %s\n", len(report.Responses), *responses)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -148,6 +168,24 @@ func runMain(args []string) error {
 	t := report.Total
 	if failures := t.Errors + t.Non2xx + t.Diverged + t.CellErrors; failures > 0 {
 		return fmt.Errorf("%d request failure(s) (backpressure excluded: %d)", failures, t.Backpressure)
+	}
+	if *checkResponses != "" {
+		// The chaos-CI byte-identity gate: every logical request this
+		// run and the reference run both served must have hashed
+		// identically. Zero overlap would pass vacuously, so it fails.
+		ref, err := loadgen.ReadResponsesFile(*checkResponses)
+		if err != nil {
+			return err
+		}
+		compared, mismatched := loadgen.CompareResponses(ref, report.Responses)
+		if len(mismatched) > 0 {
+			return fmt.Errorf("%d of %d shared response(s) differ from %s: %s",
+				len(mismatched), compared, *checkResponses, strings.Join(mismatched, ", "))
+		}
+		if compared == 0 {
+			return fmt.Errorf("no responses in common with %s: nothing was actually compared", *checkResponses)
+		}
+		fmt.Printf("vmload: %d response(s) byte-identical to %s\n", compared, *checkResponses)
 	}
 	// /v1/stats and /metrics render the same registry; a disagreement
 	// between the two deltas means one exposition path is broken.
@@ -197,9 +235,9 @@ func printSummary(r *loadgen.Report) {
 		mode = fmt.Sprintf("open loop, %s @ %g rps", r.Spec.Arrival.Schedule, r.Spec.Arrival.RateRPS)
 	}
 	t := r.Total
-	fmt.Printf("vmload: %d requests in %.2fs (%.1f req/s, %s): %d errors, %d non-2xx, %d backpressure, %d divergences, %d failed cells\n",
+	fmt.Printf("vmload: %d requests in %.2fs (%.1f req/s, %s): %d errors, %d non-2xx, %d backpressure, %d divergences, %d failed cells, %d retries\n",
 		t.Count, r.ElapsedS, r.ThroughputRPS, mode,
-		t.Errors, t.Non2xx, t.Backpressure, t.Diverged, t.CellErrors)
+		t.Errors, t.Non2xx, t.Backpressure, t.Diverged, t.CellErrors, t.Retries)
 	for _, op := range loadgen.Ops {
 		s, ok := r.Ops[op]
 		if !ok || s.Count == 0 {

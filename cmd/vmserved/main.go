@@ -26,6 +26,18 @@
 // and /debug/requests, so profiling stays off the public port.
 // -access-log writes one JSON record per request (request ID,
 // endpoint, status, cache outcome, latency) to stderr.
+//
+// Robustness controls:
+//
+//	-run-deadline/-sweep-deadline/-diff-deadline  per-endpoint server-side
+//	    budgets; a request that exhausts its budget gets 504 with a
+//	    machine-readable body and releases its slot
+//	-faults spec.json   arm deterministic fault injection (disk
+//	    corruption, injected latency, forced 503s; see internal/faults)
+//	-scrub              verify every trace-cache file against its content
+//	    address, quarantine failures, and exit
+//	-read-header-timeout/-idle-timeout  slowloris and idle-connection
+//	    guards on both listeners
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"time"
 
 	"vmopt/internal/disptrace"
+	"vmopt/internal/faults"
 	"vmopt/internal/serve"
 )
 
@@ -54,6 +67,13 @@ func main() {
 	inflight := flag.Int("inflight", serve.DefaultMaxInFlight, "max concurrently executing run/sweep requests (backpressure; 503 beyond)")
 	maxCells := flag.Int("max-cells", serve.DefaultMaxCells, "max cells one sweep may resolve to")
 	scaleDiv := flag.Int("scalediv", 1, "default scale divisor for requests that omit scalediv")
+	runDeadline := flag.Duration("run-deadline", 0, "server-side deadline for one /v1/run request (504 beyond; 0 = none)")
+	sweepDeadline := flag.Duration("sweep-deadline", 0, "server-side deadline for one /v1/sweep request (0 = none)")
+	diffDeadline := flag.Duration("diff-deadline", 0, "server-side deadline for one /v1/diff request (0 = none)")
+	faultSpec := flag.String("faults", "", "fault-injection spec file (JSON; see internal/faults) armed for the whole process")
+	scrub := flag.Bool("scrub", false, "verify every trace-cache file (full decode + content-address check), quarantine failures, and exit")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "per-connection request-header read timeout (slowloris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive connection idle timeout")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	debugAddr := flag.String("debug-addr", "", "separate listener for pprof, /metrics and /debug/requests (empty = none)")
 	accessLog := flag.Bool("access-log", false, "write JSON access logs to stderr")
@@ -69,16 +89,48 @@ func main() {
 		MaxInFlight:     *inflight,
 		MaxCells:        *maxCells,
 		DefaultScaleDiv: *scaleDiv,
+		RunDeadline:     *runDeadline,
+		SweepDeadline:   *sweepDeadline,
+		DiffDeadline:    *diffDeadline,
 	}
 	if *traceCache != "" {
 		cfg.Traces = disptrace.NewCache(*traceCache)
+	}
+	if *scrub {
+		if cfg.Traces == nil {
+			log.Fatalf("vmserved: -scrub needs -trace-cache")
+		}
+		rep, err := cfg.Traces.Scrub()
+		if err != nil {
+			log.Fatalf("vmserved: scrub: %v", err)
+		}
+		log.Printf("vmserved: scrub: %d trace file(s) checked (%d bytes), %d quarantined",
+			rep.Checked, rep.Bytes, rep.Quarantined)
+		return
+	}
+	if *faultSpec != "" {
+		fs, err := faults.ReadSpecFile(*faultSpec)
+		if err != nil {
+			log.Fatalf("vmserved: %v", err)
+		}
+		inj := faults.New(fs)
+		cfg.Faults = inj
+		if cfg.Traces != nil {
+			cfg.Traces.Faults = inj
+		}
+		log.Printf("vmserved: fault injection armed from %s (%d rule(s))", *faultSpec, len(fs.Faults))
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	srv := serve.New(cfg)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("vmserved: %v", err)
@@ -92,7 +144,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("vmserved: debug listener: %v", err)
 		}
-		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		debugSrv = &http.Server{
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: *readHeaderTimeout,
+			IdleTimeout:       *idleTimeout,
+		}
 		log.Printf("vmserved: debug listener on %s (pprof, /metrics, /debug/requests)", dln.Addr())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {

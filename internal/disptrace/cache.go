@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmopt/internal/faults"
 	"vmopt/internal/runner"
 )
 
@@ -79,6 +80,12 @@ type Cache struct {
 	// Dir is the cache directory (created on first store).
 	Dir string
 
+	// Faults optionally injects I/O failures at the cache.read and
+	// cache.write sites (delays, errors, payload corruption). nil
+	// injects nothing; the self-healing paths below exist so every
+	// injected fault is absorbed without failing a request.
+	Faults *faults.Injector
+
 	flight runner.Flight[string, cacheOutcome]
 
 	// metas memoizes per-file index metadata for List (id ->
@@ -89,7 +96,8 @@ type Cache struct {
 	// are dropped during List.
 	metas sync.Map
 
-	loads, records, joined atomic.Uint64
+	loads, records, joined              atomic.Uint64
+	quarantined, readErrors, saveErrors atomic.Uint64
 }
 
 // cachedMeta is one memoized ReadMeta result with its validators.
@@ -109,16 +117,32 @@ type CacheStats struct {
 	Loads   uint64 `json:"loads"`
 	Records uint64 `json:"records"`
 	Joined  uint64 `json:"joined"`
+
+	// Quarantined counts corrupt or mismatched files moved to the
+	// quarantine sidecar dir instead of served; ReadErrors counts
+	// loads that failed at the I/O layer and fell back to
+	// re-simulation; SaveErrors counts recordings whose cache store
+	// failed but whose trace was still served.
+	Quarantined uint64 `json:"quarantined"`
+	ReadErrors  uint64 `json:"read_errors"`
+	SaveErrors  uint64 `json:"save_errors"`
 }
 
 // Stats snapshots the cache's activity counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Loads:   c.loads.Load(),
-		Records: c.records.Load(),
-		Joined:  c.joined.Load(),
+		Loads:       c.loads.Load(),
+		Records:     c.records.Load(),
+		Joined:      c.joined.Load(),
+		Quarantined: c.quarantined.Load(),
+		ReadErrors:  c.readErrors.Load(),
+		SaveErrors:  c.saveErrors.Load(),
 	}
 }
+
+// Quarantined reports files quarantined since process start (the
+// vmserved_cache_quarantined_total metric).
+func (c *Cache) Quarantined() uint64 { return c.quarantined.Load() }
 
 // cacheOutcome is one GetOrRecord result shared across a flight.
 type cacheOutcome struct {
@@ -134,15 +158,54 @@ func (c *Cache) Path(k Key) string {
 	return filepath.Join(c.Dir, k.ID()+".vmdt")
 }
 
+// QuarantineDir is the sidecar directory under Dir that corrupt or
+// mismatched cache files are moved into (never deleted): the bytes
+// stay available for a postmortem, the cache heals by re-recording,
+// and the move shows up in CacheStats.Quarantined.
+const QuarantineDir = "quarantine"
+
+// quarantine moves a bad cache file into the sidecar dir. If the move
+// itself fails (cross-device, permissions) the file is removed
+// instead — a poisoned entry that cannot be set aside must still not
+// wedge every future run on its key.
+func (c *Cache) quarantine(path string) {
+	qdir := filepath.Join(c.Dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			c.quarantined.Add(1)
+			return
+		}
+	}
+	if os.Remove(path) == nil {
+		c.quarantined.Add(1)
+	}
+}
+
+// readFile reads one cache file through the fault-injection sites:
+// injected latency first, then an injected read error, then payload
+// corruption of the bytes actually read.
+func (c *Cache) readFile(path string) ([]byte, error) {
+	c.Faults.Delay(faults.SiteCacheRead)
+	if err := c.Faults.Err(faults.SiteCacheRead); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.Faults.Corrupt(faults.SiteCacheRead, b), nil
+}
+
 // Load returns the cached trace for a key, or (nil, nil) on a clean
-// miss. A corrupt or mismatched cache file is removed and reported as
-// a miss so the caller re-records over it; read errors other than
-// absence (permissions, fd exhaustion) propagate — deleting a valid
-// trace over a transient I/O failure would silently discard the
-// cache.
+// miss. A corrupt or mismatched cache file is quarantined and
+// reported as a miss so the caller re-records over it; read errors
+// other than absence (permissions, fd exhaustion, injected faults)
+// propagate — quarantining a valid trace over a transient I/O failure
+// would needlessly discard cache (GetOrRecord absorbs the error by
+// re-simulating instead).
 func (c *Cache) Load(k Key) (*Trace, error) {
 	path := c.Path(k)
-	b, err := os.ReadFile(path)
+	b, err := c.readFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, nil
@@ -151,13 +214,13 @@ func (c *Cache) Load(k Key) (*Trace, error) {
 	}
 	t, err := Decode(b)
 	if err != nil {
-		// A truncated or stale file: drop it and treat as a miss
-		// rather than wedging every run on the key.
-		os.Remove(path)
+		// Truncated, bit-flipped, or stale: set it aside and treat as
+		// a miss rather than wedging every run on the key.
+		c.quarantine(path)
 		return nil, nil
 	}
 	if !k.matches(t.Header) {
-		os.Remove(path)
+		c.quarantine(path)
 		return nil, nil
 	}
 	return t, nil
@@ -256,7 +319,9 @@ func (c *Cache) List() ([]CacheEntry, error) {
 
 // LoadID loads a cached trace by its content address, returning the
 // trace and its on-disk size. Absent IDs return ErrNoTrace (also for
-// malformed IDs, which cannot name a cache file).
+// malformed IDs, which cannot name a cache file). A file that reads
+// but fails to decode is quarantined and reported as absent: the
+// cache has no valid trace under that ID any more.
 func (c *Cache) LoadID(id string) (*Trace, int64, error) {
 	if !ValidID(id) {
 		return nil, 0, ErrNoTrace
@@ -269,21 +334,49 @@ func (c *Cache) LoadID(id string) (*Trace, int64, error) {
 		}
 		return nil, 0, fmt.Errorf("disptrace: %w", err)
 	}
-	t, err := Load(path)
+	b, err := c.readFile(path)
 	if err != nil {
-		return nil, 0, err
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, ErrNoTrace
+		}
+		return nil, 0, fmt.Errorf("disptrace: %w", err)
+	}
+	t, err := Decode(b)
+	if err != nil {
+		c.quarantine(path)
+		return nil, 0, ErrNoTrace
 	}
 	return t, fi.Size(), nil
+}
+
+// store writes a trace into the cache through the cache.write fault
+// sites: injected latency first, then an injected write error, then
+// payload corruption of the encoded bytes on their way to disk (a
+// later read fails its segment CRC and exercises quarantine).
+func (c *Cache) store(k Key, t *Trace) error {
+	c.Faults.Delay(faults.SiteCacheWrite)
+	if err := c.Faults.Err(faults.SiteCacheWrite); err != nil {
+		return err
+	}
+	return atomicWrite(c.Path(k), c.Faults.Corrupt(faults.SiteCacheWrite, t.EncodeCodec(DefaultCodec)))
 }
 
 // GetOrRecord returns the trace for key, loading it from disk or
 // recording it with record exactly once per in-process flight.
 // recorded reports whether this call (or the flight it joined)
 // performed a fresh recording rather than a disk load.
+//
+// Storage failure in either direction is absorbed rather than served:
+// a load that errors at the I/O layer falls back to re-simulation
+// (counted in ReadErrors), and a recording whose cache store fails is
+// still returned to the caller (counted in SaveErrors) — losing a
+// cache entry costs the next request a re-simulation; losing the
+// response would fail this one.
 func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, recorded bool, err error) {
 	o, leader, err := c.flight.Do(k.ID(), func() (cacheOutcome, error) {
-		if t, err := c.Load(k); err != nil {
-			return cacheOutcome{}, err
+		t, lerr := c.Load(k)
+		if lerr != nil {
+			c.readErrors.Add(1)
 		} else if t != nil {
 			c.loads.Add(1)
 			return cacheOutcome{t: t}, nil
@@ -292,8 +385,8 @@ func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, rec
 		if err != nil {
 			return cacheOutcome{}, err
 		}
-		if err := t.Save(c.Path(k)); err != nil {
-			return cacheOutcome{}, err
+		if err := c.store(k, t); err != nil {
+			c.saveErrors.Add(1)
 		}
 		c.records.Add(1)
 		return cacheOutcome{t: t, recorded: true}, nil
@@ -302,4 +395,56 @@ func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, rec
 		c.joined.Add(1)
 	}
 	return o.t, o.recorded, err
+}
+
+// ScrubReport summarizes a cache verification pass.
+type ScrubReport struct {
+	// Checked counts trace files examined; Quarantined counts those
+	// that failed to decode or did not match their content address
+	// and were moved to the quarantine sidecar dir.
+	Checked     int   `json:"checked"`
+	Quarantined int   `json:"quarantined"`
+	Bytes       int64 `json:"bytes"`
+}
+
+// Scrub verifies every resident trace file — full decode (every
+// segment CRC) plus a content-address check of the decoded header —
+// and quarantines the failures. It reads the disk directly, bypassing
+// injected read faults: scrub verifies what is actually stored.
+// vmserved runs it at startup under -scrub.
+func (c *Cache) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	entries, err := os.ReadDir(c.Dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return rep, nil
+		}
+		return rep, fmt.Errorf("disptrace: %w", err)
+	}
+	for _, e := range entries {
+		id, isTrace := strings.CutSuffix(e.Name(), ".vmdt")
+		if !isTrace || !ValidID(id) {
+			continue
+		}
+		path := filepath.Join(c.Dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue // deleted mid-scrub, or unreadable: nothing to verify
+		}
+		rep.Checked++
+		rep.Bytes += int64(len(b))
+		t, derr := Decode(b)
+		if derr == nil {
+			h := t.Header
+			k := Key{Workload: h.Workload, Lang: h.Lang, Variant: h.Variant,
+				Technique: h.Technique, Scale: h.Scale, ScaleDiv: h.ScaleDiv,
+				MaxSteps: h.MaxSteps, ISAHash: h.ISAHash}
+			if k.ID() == id {
+				continue
+			}
+		}
+		c.quarantine(path)
+		rep.Quarantined++
+	}
+	return rep, nil
 }

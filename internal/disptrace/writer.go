@@ -354,6 +354,13 @@ func (t *Trace) Save(path string) error { return t.SaveCodec(path, DefaultCodec)
 
 // SaveCodec is Save with an explicit segment codec.
 func (t *Trace) SaveCodec(path string, c Codec) error {
+	return atomicWrite(path, t.EncodeCodec(c))
+}
+
+// atomicWrite writes b to path via a temp file + rename in path's
+// directory (created if needed), so readers only ever observe whole
+// files. The cache's fault-injected store path shares it with Save.
+func atomicWrite(path string, b []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("disptrace: %w", err)
@@ -363,7 +370,7 @@ func (t *Trace) SaveCodec(path string, c Codec) error {
 		return fmt.Errorf("disptrace: %w", err)
 	}
 	tmp := f.Name()
-	_, werr := f.Write(t.EncodeCodec(c))
+	_, werr := f.Write(b)
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +25,11 @@ type OpStats struct {
 	Count uint64 `json:"count"`
 	// Errors counts transport failures (dial, timeout, broken body).
 	Errors uint64 `json:"errors"`
+	// Retries counts extra attempts spent recovering requests under
+	// the spec's retry policy. A request that ultimately succeeded
+	// after retries is a success everywhere else in the report; its
+	// recovery cost shows up here and in its latency.
+	Retries uint64 `json:"retries"`
 	// Non2xx counts non-2xx responses other than 503.
 	Non2xx uint64 `json:"non_2xx"`
 	// Backpressure counts 503 responses: the server shedding load as
@@ -99,6 +106,68 @@ type Report struct {
 	// the same registry. The two must agree; vmload fails the run when
 	// they do not.
 	ServerMetrics *ServerDelta `json:"server_metrics,omitempty"`
+
+	// Responses maps each logical request key to the sha256 of its
+	// normalized response body (volatile ops excluded), present when
+	// the runner was asked to keep them. Two runs of the same spec —
+	// one fault-free, one under fault injection — must agree on every
+	// key they share; CompareResponses is the chaos-CI gate.
+	Responses map[string]string `json:"responses,omitempty"`
+}
+
+// WriteResponses renders a response dump as sorted "key<TAB>hash"
+// lines — a stable text artifact two CI runs can be joined on.
+func WriteResponses(w io.Writer, m map[string]string) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", k, m[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponsesFile parses a dump written by WriteResponses.
+func ReadResponsesFile(path string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		k, h, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed response-dump line %q", path, line)
+		}
+		m[k] = h
+	}
+	return m, nil
+}
+
+// CompareResponses checks a response dump against a reference one:
+// every key present in both must hash identically. It reports how
+// many keys were compared (a gate should require > 0 — disjoint dumps
+// vacuously match) and which diverged.
+func CompareResponses(ref, got map[string]string) (compared int, mismatched []string) {
+	for k, h := range got {
+		rh, ok := ref[k]
+		if !ok {
+			continue
+		}
+		compared++
+		if rh != h {
+			mismatched = append(mismatched, k)
+		}
+	}
+	sort.Strings(mismatched)
+	return compared, mismatched
 }
 
 // WriteJSON serializes the report as indented JSON.
@@ -138,7 +207,7 @@ func ReadReportFile(path string) (*Report, error) {
 // measurement phase. Counters are atomic so closed-loop workers and
 // open-loop request goroutines record without locks.
 type opRecorder struct {
-	count, errors, non2xx, backpressure, diverged, cellErrors atomic.Uint64
+	count, errors, non2xx, backpressure, diverged, cellErrors, retries atomic.Uint64
 
 	hist metrics.Histogram
 
@@ -168,6 +237,7 @@ func (r *opRecorder) stats() OpStats {
 	s := OpStats{
 		Count:        r.count.Load(),
 		Errors:       r.errors.Load(),
+		Retries:      r.retries.Load(),
 		Non2xx:       r.non2xx.Load(),
 		Backpressure: r.backpressure.Load(),
 		Diverged:     r.diverged.Load(),
@@ -193,6 +263,7 @@ func (r *opRecorder) stats() OpStats {
 func (r *opRecorder) merge(o *opRecorder) {
 	r.count.Add(o.count.Load())
 	r.errors.Add(o.errors.Load())
+	r.retries.Add(o.retries.Load())
 	r.non2xx.Add(o.non2xx.Load())
 	r.backpressure.Add(o.backpressure.Load())
 	r.diverged.Add(o.diverged.Load())

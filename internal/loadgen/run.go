@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +35,10 @@ type Runner struct {
 	// non-2xx response, divergence or failed sweep cell); nil
 	// discards them.
 	Log io.Writer
+	// KeepResponses records each logical request's normalized response
+	// hash into Report.Responses — the byte-identity artifact chaos CI
+	// compares between a fault-free and a fault-injected run.
+	KeepResponses bool
 }
 
 // load is the mutable state of one run.
@@ -234,74 +242,222 @@ func (ld *load) openLoop(ctx context.Context) (time.Duration, error) {
 }
 
 // sweepLine is the subset of the server's NDJSON sweep schema the
-// checker needs: per-cell error lines and the final summary. A sweep
-// whose groups fail still answers 200 — the failures ride inside the
-// stream — so the gate has to read the lines, not just the status.
+// checker needs: per-cell error lines, resume cursors, and the final
+// summary. A sweep whose groups fail still answers 200 — the failures
+// ride inside the stream — so the gate has to read the lines, not
+// just the status.
 type sweepLine struct {
 	Error  string `json:"error"`
+	Cursor string `json:"cursor"`
 	Done   bool   `json:"done"`
 	Errors int    `json:"errors"`
 }
 
-// issue sends one request, classifies its outcome into the op's
-// recorder (when record is set), and checks the response against the
-// first response seen for the same logical request. A zero intended
-// time means closed-loop: latency runs from the actual send.
+// attemptResult is one HTTP attempt's outcome. A non-nil err with a
+// non-zero status means the body broke mid-read (for a streaming
+// sweep, the salvageable case).
+type attemptResult struct {
+	status  int
+	header  http.Header
+	trailer http.Header
+	body    []byte
+	err     error
+}
+
+// retryable reports whether the attempt's failure class is worth
+// retrying: transport errors, broken bodies, and every 5xx (503
+// backpressure included — that is exactly what Retry-After is for).
+// 2xx and 4xx are terminal: repeating a malformed request cannot fix
+// it.
+func (a attemptResult) retryable() bool { return a.err != nil || a.status/100 == 5 }
+
+func (a attemptResult) summary() string {
+	if a.err != nil {
+		return a.err.Error()
+	}
+	return fmt.Sprintf("HTTP %d", a.status)
+}
+
+// retryAfter reads the server's backoff floor, zero when absent.
+func (a attemptResult) retryAfter() time.Duration {
+	if a.header == nil {
+		return 0
+	}
+	s, err := strconv.Atoi(a.header.Get("Retry-After"))
+	if err != nil || s <= 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// send performs one attempt of a request. Retried attempts carry
+// X-Retry-Attempt so the server's vmserved_retried_requests_total
+// counter sees them; a non-empty resume cursor is injected into sweep
+// bodies so the server skips groups the broken stream already
+// delivered.
+func (ld *load) send(req request, attempt int, resume string) attemptResult {
+	body := req.body
+	if resume != "" {
+		if b, err := injectResume(req.body, resume); err == nil {
+			body = b
+		}
+	}
+	method := req.method
+	if method == "" {
+		method = http.MethodPost
+	}
+	hr, err := http.NewRequest(method, ld.Addr+req.path, bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	if method != http.MethodGet {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	if attempt > 0 {
+		hr.Header.Set("X-Retry-Attempt", strconv.Itoa(attempt))
+	}
+	resp, err := ld.client.Do(hr)
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	b, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return attemptResult{status: resp.StatusCode, header: resp.Header, trailer: resp.Trailer, body: b, err: rerr}
+}
+
+// injectResume adds the resume cursor to a sweep request body.
+func injectResume(body []byte, cursor string) ([]byte, error) {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	m["resume"] = cursor
+	return json.Marshal(m)
+}
+
+// backoffFor computes the pause before retrying one logical request:
+// exponential from the spec's base, capped at its max, scaled by a
+// deterministic jitter in [0.5, 1) drawn from the request key and
+// attempt number (no global rand — a seeded run stays reproducible),
+// and floored by the server's Retry-After, itself capped at the max
+// so a conservative server cannot stall the run.
+func (ld *load) backoffFor(key string, attempt int, retryAfter time.Duration) time.Duration {
+	base, maxB := ld.spec.baseBackoff(), ld.spec.maxBackoff()
+	d := base
+	for i := 0; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	d = time.Duration(float64(d) * (0.5 + float64(h.Sum64()%1024)/2048))
+	if retryAfter > maxB {
+		retryAfter = maxB
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// salvageSweep extracts the complete lines of a broken sweep stream
+// and the last resume cursor they carry. The trailing partial line is
+// dropped; cell lines are kept wherever they sit — groups the cursor
+// does not cover are re-streamed whole by the resumed request, and
+// checkSweep's exact-duplicate normalization absorbs the overlap.
+func salvageSweep(body []byte) (lines []string, cursor string) {
+	s := string(body)
+	i := strings.LastIndexByte(s, '\n')
+	if i < 0 {
+		return nil, ""
+	}
+	for _, line := range strings.Split(s[:i], "\n") {
+		var l sweepLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			continue
+		}
+		switch {
+		case l.Cursor != "":
+			cursor = l.Cursor
+		case !l.Done:
+			lines = append(lines, line)
+		}
+	}
+	return lines, cursor
+}
+
+// issue sends one logical request — retrying per the spec's retry
+// policy, resuming broken sweep streams from their last cursor —
+// classifies the final attempt's outcome into the op's recorder (when
+// record is set), and checks the response against the first response
+// seen for the same logical request. Latency covers every attempt and
+// backoff; a zero intended time means closed-loop (latency from the
+// first actual send), otherwise from the intended start on the
+// arrival schedule.
 func (ld *load) issue(op string, req request, record bool, intended time.Time) {
 	rec := ld.recorders[op]
 	if record {
 		rec.count.Add(1)
 	}
-	observe := func(start time.Time) {
-		if !record {
-			return
+	start := time.Now()
+
+	maxAttempts := ld.spec.maxAttempts()
+	var salvaged []string // complete sweep lines rescued from broken streams
+	resume := ""
+	var ar attemptResult
+	for attempt := 0; ; attempt++ {
+		ar = ld.send(req, attempt, resume)
+		if !ar.retryable() || attempt+1 >= maxAttempts {
+			break
 		}
+		if req.sweep && ar.status == http.StatusOK {
+			// The stream broke mid-body: keep its complete cell lines
+			// and resume from its last cursor instead of replaying the
+			// whole grid.
+			lines, cursor := salvageSweep(ar.body)
+			salvaged = append(salvaged, lines...)
+			if cursor != "" {
+				resume = cursor
+			}
+		}
+		if record {
+			rec.retries.Add(1)
+		}
+		d := ld.backoffFor(req.key, attempt, ar.retryAfter())
+		ld.logf("%s: attempt %d failed (%s), retrying in %s", req.path, attempt+1, ar.summary(), d)
+		time.Sleep(d)
+	}
+	if record {
 		if !intended.IsZero() {
 			start = intended
 		}
 		rec.hist.Observe(time.Since(start))
 	}
-	start := time.Now()
-	var (
-		resp *http.Response
-		err  error
-	)
-	if req.method == http.MethodGet {
-		resp, err = ld.client.Get(ld.Addr + req.path)
-	} else {
-		resp, err = ld.client.Post(ld.Addr+req.path, "application/json", bytes.NewReader(req.body))
-	}
-	if err != nil {
+
+	// Classification is by the final attempt alone: a request that
+	// recovered on retry is a success.
+	if ar.err != nil {
 		if record {
 			rec.errors.Add(1)
 		}
-		observe(start)
-		ld.logf("%s: %v", req.path, err)
-		return
-	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	observe(start)
-	if err != nil {
-		if record {
-			rec.errors.Add(1)
-		}
-		ld.logf("%s: reading response: %v", req.path, err)
+		ld.logf("%s: %v", req.path, ar.err)
 		return
 	}
 	if record {
 		// Buffered endpoints send Server-Timing as a header; the
 		// streaming sweep sends it as a trailer, readable once the body
 		// has been consumed.
-		st := resp.Header.Get("Server-Timing")
+		st := ar.header.Get("Server-Timing")
 		if st == "" {
-			st = resp.Trailer.Get("Server-Timing")
+			st = ar.trailer.Get("Server-Timing")
 		}
 		if st != "" {
 			rec.addStages(parseServerTiming(st))
 		}
 	}
-	if resp.StatusCode == http.StatusServiceUnavailable {
+	if ar.status == http.StatusServiceUnavailable {
 		// Backpressure, not failure: the server is shedding load as
 		// designed. Open-loop overload runs exist to measure this.
 		if record {
@@ -309,16 +465,17 @@ func (ld *load) issue(op string, req request, record bool, intended time.Time) {
 		}
 		return
 	}
-	if resp.StatusCode/100 != 2 {
+	if ar.status/100 != 2 {
 		if record {
 			rec.non2xx.Add(1)
 		}
-		ld.logf("%s: HTTP %d: %s", req.path, resp.StatusCode, firstLine(body))
+		ld.logf("%s: HTTP %d: %s", req.path, ar.status, firstLine(ar.body))
 		return
 	}
-	norm := body
+	norm := ar.body
 	if req.sweep {
-		norm = ld.checkSweep(req, body, rec, record)
+		lines := append(salvaged, strings.Split(strings.TrimRight(string(ar.body), "\n"), "\n")...)
+		norm = ld.checkSweep(req, lines, rec, record)
 	}
 	if req.volatile {
 		return
@@ -332,15 +489,23 @@ func (ld *load) issue(op string, req request, record bool, intended time.Time) {
 	}
 }
 
-// checkSweep scans a 200 sweep stream for cell errors and returns the
-// order-normalized body for the divergence check.
-func (ld *load) checkSweep(req request, body []byte, rec *opRecorder, record bool) []byte {
+// checkSweep scans a sweep's (possibly stitched-across-resumes) lines
+// for cell errors and returns the order-normalized form the
+// divergence check hashes: the sorted, deduplicated cell and error
+// lines. Cursor tokens and the summary are excluded — cursors encode
+// completion order and a resumed stream's summary legitimately
+// reports skipped groups — while the cell multiset must be identical
+// however the stream was delivered. Exact-duplicate lines collapse
+// because a resumed request re-streams whole groups the lost stream
+// had partially delivered; cells are deterministic, so byte-equal
+// duplicates are the same cell.
+func (ld *load) checkSweep(req request, lines []string, rec *opRecorder, record bool) []byte {
 	cellErr := func(n uint64) {
 		if record {
 			rec.cellErrors.Add(n)
 		}
 	}
-	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	var norm []string
 	sawDone := false
 	for _, line := range lines {
 		var l sweepLine
@@ -349,23 +514,24 @@ func (ld *load) checkSweep(req request, body []byte, rec *opRecorder, record boo
 			ld.logf("%s: unparseable NDJSON line %q", req.path, line)
 			continue
 		}
-		if l.Done {
+		switch {
+		case l.Done:
 			sawDone = true
-			if l.Errors > 0 {
-				cellErr(uint64(l.Errors))
-				ld.logf("%s: sweep summary reports %d failed cells (%s)", req.path, l.Errors, req.key)
-			}
-		} else if l.Error != "" {
-			// Counted via the summary; log the details.
+		case l.Cursor != "":
+		case l.Error != "":
+			cellErr(1)
 			ld.logf("%s: cell error: %s", req.path, l.Error)
+			norm = append(norm, line)
+		default:
+			norm = append(norm, line)
 		}
 	}
 	if !sawDone {
 		cellErr(1)
 		ld.logf("%s: sweep response missing done line (%s)", req.path, req.key)
 	}
-	sort.Strings(lines)
-	return []byte(strings.Join(lines, "\n"))
+	sort.Strings(norm)
+	return []byte(strings.Join(slices.Compact(norm), "\n"))
 }
 
 func (ld *load) logf(format string, args ...any) {
@@ -467,6 +633,14 @@ func (ld *load) report(elapsed time.Duration, before, after, mBefore, mAfter *Se
 	}
 	r.Server = delta(before, after)
 	r.ServerMetrics = delta(mBefore, mAfter)
+	if ld.KeepResponses {
+		r.Responses = map[string]string{}
+		ld.seen.Range(func(k, v any) bool {
+			sum := v.([32]byte)
+			r.Responses[k.(string)] = hex.EncodeToString(sum[:])
+			return true
+		})
+	}
 	return r
 }
 

@@ -90,11 +90,35 @@ type Arrival struct {
 	MaxInFlight int `json:"max_inflight,omitempty"`
 }
 
+// Retry configures client-side recovery of failed requests: transport
+// errors and 5xx responses (including 503 backpressure) are retried
+// with capped exponential backoff. Jitter is deterministic — drawn
+// from the request key and attempt number, not a global rand — so a
+// seeded run stays reproducible. A server Retry-After header floors
+// the backoff (capped at max_backoff, so a conservative server cannot
+// stall the run). Retried attempts announce themselves with an
+// X-Retry-Attempt header and are counted separately in the report;
+// classification is by the final attempt alone.
+type Retry struct {
+	// MaxAttempts is the total number of tries for one logical
+	// request, including the first; <= 1 disables retries.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// BaseBackoff is the first retry's backoff, doubling per attempt;
+	// zero means DefaultBaseBackoff.
+	BaseBackoff Duration `json:"base_backoff,omitempty"`
+	// MaxBackoff caps the backoff and any Retry-After; zero means
+	// DefaultMaxBackoff.
+	MaxBackoff Duration `json:"max_backoff,omitempty"`
+}
+
 // Defaults for spec fields left zero.
 const (
 	DefaultWorkers     = 8
 	DefaultMaxInFlight = 512
 	DefaultDiffDetail  = 3
+
+	DefaultBaseBackoff = 50 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
 )
 
 // DefaultTimeout bounds one request when the spec does not.
@@ -137,6 +161,10 @@ type Spec struct {
 	// both, whichever trips first ends the phase.
 	MeasureRequests int      `json:"measure_requests,omitempty"`
 	MeasureDuration Duration `json:"measure_duration,omitempty"`
+
+	// Retry, when present, retries failed requests with deterministic
+	// backoff (see Retry). Absent means one attempt per request.
+	Retry *Retry `json:"retry,omitempty"`
 
 	// Timeout bounds each request; zero means DefaultTimeout.
 	Timeout Duration `json:"timeout,omitempty"`
@@ -212,6 +240,18 @@ func (s *Spec) Validate() error {
 	if s.Timeout < 0 {
 		return fmt.Errorf("timeout must be >= 0")
 	}
+	if r := s.Retry; r != nil {
+		if r.MaxAttempts < 0 {
+			return fmt.Errorf("retry: max_attempts %d must be >= 0", r.MaxAttempts)
+		}
+		if r.BaseBackoff < 0 || r.MaxBackoff < 0 {
+			return fmt.Errorf("retry: backoffs must be >= 0")
+		}
+		if r.MaxBackoff > 0 && r.MaxBackoff < r.BaseBackoff {
+			return fmt.Errorf("retry: max_backoff %s below base_backoff %s",
+				time.Duration(r.MaxBackoff), time.Duration(r.BaseBackoff))
+		}
+	}
 	return nil
 }
 
@@ -243,6 +283,27 @@ func (s *Spec) diffDetail() int {
 		return s.DiffDetail
 	}
 	return DefaultDiffDetail
+}
+
+func (s *Spec) maxAttempts() int {
+	if s.Retry != nil && s.Retry.MaxAttempts > 1 {
+		return s.Retry.MaxAttempts
+	}
+	return 1
+}
+
+func (s *Spec) baseBackoff() time.Duration {
+	if s.Retry != nil && s.Retry.BaseBackoff > 0 {
+		return time.Duration(s.Retry.BaseBackoff)
+	}
+	return DefaultBaseBackoff
+}
+
+func (s *Spec) maxBackoff() time.Duration {
+	if s.Retry != nil && s.Retry.MaxBackoff > 0 {
+		return time.Duration(s.Retry.MaxBackoff)
+	}
+	return DefaultMaxBackoff
 }
 
 func (s *Spec) open() bool { return s.Arrival.Mode == ModeOpen }

@@ -34,9 +34,10 @@ const (
 	outcomeCoalesced
 	outcomeComputed
 	outcomeError
+	outcomeTimeout
 )
 
-var outcomeNames = [...]string{"", "hit", "coalesced", "computed", "error"}
+var outcomeNames = [...]string{"", "hit", "coalesced", "computed", "error", "timeout"}
 
 // Outcome labels for Trace.SetOutcome.
 const (
@@ -44,6 +45,11 @@ const (
 	OutcomeCoalesced = "coalesced"
 	OutcomeComputed  = "computed"
 	OutcomeError     = "error"
+	// OutcomeTimeout marks a request that ran out of its server-side
+	// deadline budget (504). It outranks error: a timed-out request
+	// that also tripped a stage error is reported as the timeout the
+	// operator needs to tune for.
+	OutcomeTimeout = "timeout"
 )
 
 func outcomeRank(name string) int {
@@ -256,7 +262,8 @@ type TraceSnapshot struct {
 	DurMS float64 `json:"dur_ms"`
 	// Status is the HTTP status the handler answered with.
 	Status int `json:"status"`
-	// Outcome is the cache outcome: hit, coalesced, computed or error.
+	// Outcome is the cache outcome: hit, coalesced, computed, error
+	// or timeout.
 	Outcome string `json:"outcome,omitempty"`
 	// Stages aggregates the stage spans by name in first-seen order,
 	// including the unattributed "other" remainder.

@@ -1,7 +1,12 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -35,13 +40,19 @@ type SweepRequest struct {
 	Variants  []string `json:"variants,omitempty"`
 	Machines  []string `json:"machines,omitempty"`
 	ScaleDiv  int      `json:"scalediv,omitempty"`
+	// Resume is a cursor token from a previous, interrupted response
+	// to this same sweep (the cursor lines the stream interleaves):
+	// groups the cursor marks done are skipped and only the remaining
+	// grid is computed and streamed. A cursor issued for a different
+	// grid (other workloads/variants/machines/scalediv) is rejected.
+	Resume string `json:"resume,omitempty"`
 }
 
 // SweepLine is one NDJSON line of a sweep response: a completed cell,
-// a failed group cell, or the final summary. Exactly one of Run,
-// Error or Done is meaningful per line. Lines are emitted as cells
-// complete, so their order varies between identical requests; their
-// multiset does not.
+// a failed group cell, a resume cursor, or the final summary. Exactly
+// one of Run, Error, Cursor or Done is meaningful per line. Lines are
+// emitted as cells complete, so their order varies between identical
+// requests; their multiset does not.
 type SweepLine struct {
 	Run *runner.Run `json:"run,omitempty"`
 
@@ -50,10 +61,21 @@ type SweepLine struct {
 	Machine  string `json:"machine,omitempty"`
 	Error    string `json:"error,omitempty"`
 
+	// Cursor is a resume token covering every group completed so far
+	// (cumulative, including groups a resumed request skipped). A
+	// client that loses the stream re-requests the sweep with the
+	// last cursor it saw as SweepRequest.Resume and receives exactly
+	// the remaining groups. Each successful group emits one cursor
+	// line after its cells.
+	Cursor string `json:"cursor,omitempty"`
+
 	Done   bool `json:"done,omitempty"`
 	Cells  int  `json:"cells,omitempty"`
 	Groups int  `json:"groups,omitempty"`
 	Errors int  `json:"errors,omitempty"`
+	// Skipped, on the summary line, counts groups a resume cursor
+	// marked done and this response did not re-stream.
+	Skipped int `json:"skipped,omitempty"`
 }
 
 // TraceInfo is the metadata GET /v1/traces/{id} reports about one
@@ -237,6 +259,64 @@ func resolveSweep(req SweepRequest, scaleDiv int) ([]group, error) {
 		return nil, fmt.Errorf("sweep resolves to no cells")
 	}
 	return groups, nil
+}
+
+// gridHash fingerprints a resolved sweep grid: a short digest over
+// the deterministic group-key sequence. Cursors embed it so a token
+// can only resume the sweep it was issued for.
+func gridHash(groups []group) string {
+	h := sha256.New()
+	for _, g := range groups {
+		io.WriteString(h, g.key)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// sweepCursor is the decoded form of a resume token: which groups of
+// which grid are already done. The wire form is base64url-encoded
+// JSON — opaque to clients, but debuggable by hand.
+type sweepCursor struct {
+	V    int    `json:"v"`
+	Grid string `json:"grid"`
+	Done []int  `json:"done"`
+}
+
+// encodeCursor renders a resume token for the groups marked done.
+func encodeCursor(grid string, done []bool) string {
+	c := sweepCursor{V: 1, Grid: grid}
+	for i, d := range done {
+		if d {
+			c.Done = append(c.Done, i)
+		}
+	}
+	b, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// decodeCursor validates a resume token against the grid the request
+// resolved to and returns the done group indices.
+func decodeCursor(token, grid string, n int) ([]int, error) {
+	b, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return nil, fmt.Errorf("resume cursor is not base64url: %v", err)
+	}
+	var c sweepCursor
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("resume cursor is not valid: %v", err)
+	}
+	if c.V != 1 {
+		return nil, fmt.Errorf("resume cursor version %d not supported", c.V)
+	}
+	if c.Grid != grid {
+		return nil, fmt.Errorf("resume cursor was issued for a different sweep grid")
+	}
+	for _, i := range c.Done {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("resume cursor references group %d of a %d-group grid", i, n)
+		}
+	}
+	return c.Done, nil
 }
 
 // groupKey canonicalizes a group for coalescing: identical concurrent

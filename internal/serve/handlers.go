@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
 	"vmopt/internal/disptrace"
 	"vmopt/internal/metrics"
@@ -112,6 +113,34 @@ func failStatus(err error) int {
 	}
 }
 
+// failRequest writes the failure document for a post-admission
+// computation error. A request that exhausted its server-side
+// deadline budget gets 504 with a machine-readable body (timeout flag
+// plus the budget, so clients can distinguish "raise my deadline"
+// from "server is sick"); cancellation and shutdown get 503 with
+// Retry-After — every 503 this server emits carries the header, so
+// retrying clients never need to guess a backoff floor.
+func (s *Server) failRequest(w http.ResponseWriter, ctx context.Context, err error, deadline time.Duration) {
+	s.stats.errors.Add(1)
+	if isDeadline(ctx, err) {
+		s.stats.deadlineTimeouts.Add(1)
+		obs.FromContext(ctx).SetOutcome(obs.OutcomeTimeout)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":       ErrDeadline.Error(),
+			"timeout":     true,
+			"deadline_ms": deadline.Milliseconds(),
+		})
+		return
+	}
+	status := failStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	errorBody(w, status, "%v", err)
+}
+
 // writeJSON marshals the response body before touching the writer —
 // the "encode" stage — then writes it in one shot, so the
 // Server-Timing header stamped at WriteHeader already accounts for
@@ -155,11 +184,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx, cancelD := deadlineCtx(ctx, s.cfg.RunDeadline)
+	defer cancelD()
 
 	c, err := s.runCell(ctx, rc)
 	if err != nil {
-		s.stats.errors.Add(1)
-		errorBody(w, failStatus(err), "%v", err)
+		s.failRequest(w, ctx, err, s.cfg.RunDeadline)
 		return
 	}
 	run := runner.NewRun(rc.cell.workload, rc.cell.variant, rc.cell.machine, s.scaleOf(rc), c)
@@ -195,6 +225,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		errorBody(w, http.StatusRequestEntityTooLarge, "sweep resolves to %d cells (limit %d)", cells, max)
 		return
 	}
+	grid := gridHash(groups)
+	var preDone []int
+	if req.Resume != "" {
+		preDone, err = decodeCursor(req.Resume, grid, len(groups))
+		if err != nil {
+			s.stats.errors.Add(1)
+			errorBody(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	release, ok := s.admit(w)
 	if !ok {
 		return
@@ -202,6 +242,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx, cancelD := deadlineCtx(ctx, s.cfg.SweepDeadline)
+	defer cancelD()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -216,14 +258,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A resume cursor marks groups a previous response already
+	// delivered; they are skipped entirely. Only the remaining grid
+	// is dispatched, and cursors stay cumulative over the whole grid
+	// so the client can lose this stream too and resume again.
+	doneIdx := make([]bool, len(groups))
+	skippedCells := 0
+	for _, i := range preDone {
+		doneIdx[i] = true
+		skippedCells += len(groups[i].cells)
+	}
+	if req.Resume != "" {
+		s.stats.sweepResumes.Add(1)
+	}
+	todo := make([]int, 0, len(groups))
+	for i := range groups {
+		if !doneIdx[i] {
+			todo = append(todo, i)
+		}
+	}
+
 	// One pool job per group: groups stream out as they complete
 	// while Suite.RunSpecs shares each group's trace decode
 	// internally. Failures are per-group — every cell of a failed
-	// group reports the error — and never abort the remaining groups.
-	// processed records which groups the closure actually handled:
-	// runner.Map skips jobs it never dispatches after a cancellation
-	// without invoking the closure, and those groups still owe the
-	// client error lines and an honest errors count.
+	// group reports the error, and failed groups stay out of the
+	// cursor so a resume retries them — and never abort the remaining
+	// groups. processed records which groups the closure actually
+	// handled: runner.Map skips jobs it never dispatches after a
+	// cancellation without invoking the closure, and those groups
+	// still owe the client error lines and an honest errors count.
 	errCells := 0
 	var emu sync.Mutex
 	failGroup := func(g group, err error) {
@@ -237,11 +300,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	processed := make([]bool, len(groups))
-	_, _ = runner.Map(ctx, len(groups), runner.Options{Jobs: s.cfg.Jobs},
-		func(ctx context.Context, gi int) (struct{}, error) {
-			processed[gi] = true
-			g := groups[gi]
+	// markDone admits a group into the cursor and renders the token
+	// under the same lock, so every emitted cursor is a consistent
+	// prefix of completion history (a token containing group G is
+	// always written after G's cells).
+	markDone := func(gi int) string {
+		emu.Lock()
+		defer emu.Unlock()
+		doneIdx[gi] = true
+		return encodeCursor(grid, doneIdx)
+	}
+	processed := make([]bool, len(todo))
+	_, _ = runner.Map(ctx, len(todo), runner.Options{Jobs: s.cfg.Jobs},
+		func(ctx context.Context, ti int) (struct{}, error) {
+			processed[ti] = true
+			g := groups[todo[ti]]
 			res, err := s.runGroup(ctx, g)
 			if err != nil {
 				failGroup(g, err)
@@ -252,17 +325,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					s.scaleOf(rc), res[rc.cell.machine])
 				writeLine(SweepLine{Run: &run})
 			}
+			writeLine(SweepLine{Cursor: markDone(todo[ti])})
 			return struct{}{}, nil
 		})
-	for gi, g := range groups {
-		if !processed[gi] {
-			failGroup(g, fmt.Errorf("skipped: %w", context.Cause(ctx)))
+	for ti, gi := range todo {
+		if !processed[ti] {
+			failGroup(groups[gi], fmt.Errorf("skipped: %w", context.Cause(ctx)))
 		}
 	}
 	if errCells > 0 {
 		s.stats.errors.Add(1)
 	}
-	writeLine(SweepLine{Done: true, Cells: cells, Groups: len(groups), Errors: errCells})
+	// A sweep that ran out of its budget mid-stream cannot 504 (the
+	// header is long gone) — the skipped groups carry per-cell
+	// deadline errors instead — but it still counts as a timeout and
+	// reports as one in /debug/requests.
+	if isDeadline(ctx, nil) {
+		s.stats.deadlineTimeouts.Add(1)
+		obs.FromContext(ctx).SetOutcome(obs.OutcomeTimeout)
+	}
+	writeLine(SweepLine{Done: true, Cells: cells - skippedCells, Groups: len(todo),
+		Errors: errCells, Skipped: len(preDone)})
 }
 
 // handleDiff serves POST /v1/diff: an instruction-aligned comparison
@@ -302,20 +385,23 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx, cancelD := deadlineCtx(ctx, s.cfg.DiffDeadline)
+	defer cancelD()
 
 	body, joined, err := s.runDiff(ctx, diffKey{a: req.A, b: req.B, n: n})
 	if joined && err == nil {
 		s.stats.coalescedDiffs.Add(1)
 	}
 	if err != nil {
-		s.stats.errors.Add(1)
 		switch {
 		case errors.Is(err, disptrace.ErrNoTrace):
+			s.stats.errors.Add(1)
 			errorBody(w, http.StatusNotFound, "%v", err)
 		case errors.Is(err, disptrace.ErrMismatched):
+			s.stats.errors.Add(1)
 			errorBody(w, http.StatusBadRequest, "%v", err)
 		default:
-			errorBody(w, failStatus(err), "%v", err)
+			s.failRequest(w, ctx, err, s.cfg.DiffDeadline)
 		}
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"vmopt/internal/faults"
 	"vmopt/internal/metrics"
 	"vmopt/internal/obs"
 )
@@ -59,6 +60,12 @@ func (tw *timingWriter) Flush() {
 func (s *Server) instrument(endpoint string, reqs *metrics.Counter, lat *metrics.Histogram, stream bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
+		// A client-announced retry attempt (X-Retry-Attempt > 0) is
+		// counted so the operator can see retry pressure server-side,
+		// not just in client reports.
+		if a := r.Header.Get("X-Retry-Attempt"); a != "" && a != "0" {
+			s.stats.retriedRequests.Add(1)
+		}
 		id := obs.RequestID(r.Header.Get("X-Request-ID"))
 		ctx, tr := obs.NewTrace(r.Context(), endpoint, id)
 		w.Header().Set("X-Request-ID", id)
@@ -69,7 +76,18 @@ func (s *Server) instrument(endpoint string, reqs *metrics.Counter, lat *metrics
 		}
 		start := time.Now()
 		tw := &timingWriter{ResponseWriter: w, tr: tr, start: start, stream: stream}
-		h(tw, r.WithContext(ctx))
+		// The serve.handler fault site: an injected stall delays the
+		// whole request; an injected rejection answers 503 exactly like
+		// admission-control backpressure (Retry-After included, counted
+		// as rejected) before any work happens.
+		s.cfg.Faults.Delay(faults.SiteHandler)
+		if s.cfg.Faults.Reject(faults.SiteHandler) {
+			s.stats.rejected.Add(1)
+			tw.Header().Set("Retry-After", "1")
+			errorBody(tw, http.StatusServiceUnavailable, "injected unavailability (fault site %s)", faults.SiteHandler)
+		} else {
+			h(tw, r.WithContext(ctx))
+		}
 		elapsed := time.Since(start)
 		status := tw.status
 		if status == 0 {

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"vmopt/internal/disptrace"
+	"vmopt/internal/faults"
 	"vmopt/internal/harness"
 	"vmopt/internal/metrics"
 	"vmopt/internal/obs"
@@ -86,6 +87,21 @@ type Config struct {
 	// MaxSteps bounds each simulated run; 0 means the harness
 	// default.
 	MaxSteps uint64
+	// RunDeadline, SweepDeadline and DiffDeadline bound how long one
+	// admitted request of each kind may run server-side. A request
+	// that exhausts its budget gets 504 with a machine-readable body
+	// (or, mid-stream, per-cell deadline error lines) and its
+	// computation is cancelled at the next cell boundary, releasing
+	// the in-flight slot. 0 means no server-side deadline.
+	RunDeadline   time.Duration
+	SweepDeadline time.Duration
+	DiffDeadline  time.Duration
+	// Faults optionally injects failures at the serve.handler site
+	// (stalls, forced 503s before any work) and the serve.compute
+	// site (stalls and errors inside the compute path). nil injects
+	// nothing. The trace cache's own injector is configured on
+	// Traces.Faults.
+	Faults *faults.Injector
 	// AccessLog, when non-nil, receives one structured record per
 	// instrumented request: request ID, endpoint, status, cache
 	// outcome and latency.
@@ -209,10 +225,41 @@ func New(cfg Config) *Server {
 // renders and what cmd/vmserved hands to its debug listener.
 func (s *Server) Registry() *metrics.Registry { return s.stats.reg }
 
+// ErrDeadline marks a request that exhausted its server-side deadline
+// budget. It is installed as the cancellation cause by deadlineCtx,
+// so the failure path can tell a server-imposed timeout (504) from a
+// client disconnect or shutdown (503) — both surface as context
+// errors from the compute path.
+var ErrDeadline = errors.New("request deadline exceeded")
+
+// deadlineCtx applies one endpoint's server-side budget to an
+// admitted request's context. d <= 0 means no deadline.
+func deadlineCtx(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, d, ErrDeadline)
+}
+
+// isDeadline reports whether a computation failed because the
+// request's server-side budget ran out (rather than a client
+// cancel): the sentinel travels either in the error chain (paths that
+// propagate context.Cause) or as the context's recorded cause.
+func isDeadline(ctx context.Context, err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(context.Cause(ctx), ErrDeadline)
+}
+
 // acquireCompute takes one computation slot, honoring cancellation
 // while queued. The returned release must be called when compute is
 // done.
 func (s *Server) acquireCompute(ctx context.Context) (release func(), err error) {
+	// An already-expired context must lose even when a semaphore slot
+	// is free (select picks randomly among ready cases): a request
+	// whose deadline lapsed during an injected stall or while queued
+	// behind the flight must not start computing.
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	select {
 	case s.computeSem <- struct{}{}:
 		return func() { <-s.computeSem }, nil
@@ -299,6 +346,10 @@ func (s *Server) runCell(ctx context.Context, rc resolved) (metrics.Counters, er
 			tr.SetOutcome(obs.OutcomeHit)
 			return c, nil
 		}
+		s.cfg.Faults.Delay(faults.SiteCompute)
+		if err := s.cfg.Faults.Err(faults.SiteCompute); err != nil {
+			return metrics.Counters{}, err
+		}
 		sp := obs.Start(ctx, "queue")
 		release, err := s.acquireCompute(ctx)
 		sp.End()
@@ -368,6 +419,10 @@ func (s *Server) runGroup(ctx context.Context, g group) (map[string]metrics.Coun
 		if len(m) == len(g.cells) {
 			tr.SetOutcome(obs.OutcomeHit)
 			return m, nil
+		}
+		s.cfg.Faults.Delay(faults.SiteCompute)
+		if err := s.cfg.Faults.Err(faults.SiteCompute); err != nil {
+			return nil, err
 		}
 		sp := obs.Start(ctx, "queue")
 		release, err := s.acquireCompute(ctx)

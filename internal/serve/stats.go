@@ -33,6 +33,10 @@ type stats struct {
 	canceledRetries                                *metrics.Counter
 	resultsDropped                                 *metrics.Counter
 
+	deadlineTimeouts *metrics.Counter
+	retriedRequests  *metrics.Counter
+	sweepResumes     *metrics.Counter
+
 	latRun, latSweep, latDiff, latTraces, latStats *metrics.Histogram
 }
 
@@ -86,6 +90,24 @@ func (st *stats) init(s *Server) {
 	st.resultsDropped = r.Counter("vmserved_suite_results_dropped_total",
 		"Suite-level result-cache resets performed to bound memory.")
 
+	st.deadlineTimeouts = r.Counter("vmserved_deadline_timeouts_total",
+		"Requests that exhausted their server-side deadline budget (504, or mid-stream sweep deadline errors).")
+	st.retriedRequests = r.Counter("vmserved_retried_requests_total",
+		"Requests arriving with X-Retry-Attempt > 0: client-side retries landing on this server.")
+	st.sweepResumes = r.Counter("vmserved_sweep_resumes_total",
+		"Sweep requests that resumed from a cursor instead of replaying the whole grid.")
+	r.CounterFunc("vmserved_cache_quarantined_total",
+		"Corrupt or mismatched trace-cache files moved to the quarantine sidecar dir.",
+		func() uint64 {
+			if s.cfg.Traces == nil {
+				return 0
+			}
+			return s.cfg.Traces.Quarantined()
+		})
+	r.CounterFunc("vmserved_faults_injected_total",
+		"Injected faults fired across every configured fault site.",
+		func() uint64 { return s.cfg.Faults.Total() })
+
 	r.GaugeFunc("vmserved_in_flight",
 		"Admitted requests currently executing.",
 		func() float64 { return float64(st.inFlight.Load()) })
@@ -131,7 +153,18 @@ type StatsResponse struct {
 	// Suites reports the per-scalediv suite pool backing computation.
 	Suites SuiteStats `json:"suites"`
 
+	// Faults reports injected-fault activity when a fault spec is
+	// armed: total fires plus a per-"site/mode" breakdown (absent on
+	// a fault-free server).
+	Faults *FaultStats `json:"faults,omitempty"`
+
 	Latency map[string]metrics.HistogramSnapshot `json:"latency"`
+}
+
+// FaultStats is the injected-fault view of /v1/stats.
+type FaultStats struct {
+	Injected uint64            `json:"injected"`
+	PerSite  map[string]uint64 `json:"per_site,omitempty"`
 }
 
 // RequestStats counts requests by endpoint plus terminal outcomes.
@@ -141,12 +174,22 @@ type RequestStats struct {
 	Diff   uint64 `json:"diff"`
 	Traces uint64 `json:"traces"`
 	Stats  uint64 `json:"stats"`
-	// Rejected counts requests turned away by backpressure (503).
+	// Rejected counts requests turned away by backpressure (503),
+	// including injected serve.handler unavailability.
 	Rejected uint64 `json:"rejected"`
 	// Errors counts requests that failed for any other reason:
 	// malformed or unresolvable requests (4xx) and post-admission
 	// execution failures alike.
 	Errors uint64 `json:"errors"`
+	// DeadlineTimeouts counts requests that exhausted their
+	// server-side deadline budget (504s, plus sweeps whose deadline
+	// fired mid-stream).
+	DeadlineTimeouts uint64 `json:"deadline_timeouts"`
+	// Retried counts requests that arrived announcing a client-side
+	// retry (X-Retry-Attempt > 0).
+	Retried uint64 `json:"retried"`
+	// SweepResumes counts sweeps resumed from a cursor.
+	SweepResumes uint64 `json:"sweep_resumes"`
 }
 
 // CacheTier describes the in-memory result LRU.
@@ -197,13 +240,16 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 		Host:     runner.CurrentHost(),
 		InFlight: st.inFlight.Load(),
 		Requests: RequestStats{
-			Run:      st.reqRun.Load(),
-			Sweep:    st.reqSweep.Load(),
-			Diff:     st.reqDiff.Load(),
-			Traces:   st.reqTraces.Load(),
-			Stats:    st.reqStats.Load(),
-			Rejected: st.rejected.Load(),
-			Errors:   st.errors.Load(),
+			Run:              st.reqRun.Load(),
+			Sweep:            st.reqSweep.Load(),
+			Diff:             st.reqDiff.Load(),
+			Traces:           st.reqTraces.Load(),
+			Stats:            st.reqStats.Load(),
+			Rejected:         st.rejected.Load(),
+			Errors:           st.errors.Load(),
+			DeadlineTimeouts: st.deadlineTimeouts.Load(),
+			Retried:          st.retriedRequests.Load(),
+			SweepResumes:     st.sweepResumes.Load(),
 		},
 		Cache: CacheTier{
 			Size:      s.lru.Len(),
@@ -239,6 +285,12 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 	if s.cfg.Traces != nil {
 		ts := s.cfg.Traces.Stats()
 		resp.Traces = &ts
+	}
+	if s.cfg.Faults != nil {
+		resp.Faults = &FaultStats{
+			Injected: s.cfg.Faults.Total(),
+			PerSite:  s.cfg.Faults.Snapshot(),
+		}
 	}
 	return resp
 }
