@@ -1,0 +1,21 @@
+# Build vmserved and vmload into a minimal runtime image. The same
+# image runs every role: replicas and the router are both `vmserved`
+# with different flags (see deploy/compose.yaml), and vmload rides
+# along for in-container load checks.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+# Static binaries: the runtime stage has no libc.
+RUN CGO_ENABLED=0 go build -trimpath -o /out/vmserved ./cmd/vmserved \
+ && CGO_ENABLED=0 go build -trimpath -o /out/vmload ./cmd/vmload
+
+FROM alpine:3.20
+# busybox wget serves the compose health probes; no other tooling.
+RUN adduser -D -H vmopt && mkdir -p /var/lib/vmopt/traces && chown -R vmopt /var/lib/vmopt
+COPY --from=build /out/vmserved /usr/local/bin/vmserved
+COPY --from=build /out/vmload /usr/local/bin/vmload
+USER vmopt
+EXPOSE 8321
+ENTRYPOINT ["vmserved"]
+CMD ["-addr", ":8321", "-trace-cache", "/var/lib/vmopt/traces"]

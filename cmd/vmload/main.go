@@ -81,6 +81,7 @@ func runMain(args []string) error {
 	out := fs.String("out", "", "write the vmload/v1 JSON report to this file")
 	responses := fs.String("responses", "", "write a response dump (sorted key<TAB>sha256 lines) to this file")
 	checkResponses := fs.String("check-responses", "", "compare this run's responses against a reference dump; any shared key whose hash differs fails the run")
+	instances := fs.String("instances", "", "comma-separated replica base URLs behind -addr (a router); the /v1/stats and /metrics cross-check deltas are summed across them")
 	stats := fs.Bool("stats", false, "fetch and print /v1/stats after the run")
 
 	// Flag-built spec (ignored when -spec is given): the quick
@@ -122,6 +123,7 @@ func runMain(args []string) error {
 	defer stop()
 	r := &loadgen.Runner{
 		Addr: *addr, Spec: spec, Log: os.Stderr,
+		Instances:     split(*instances),
 		KeepResponses: *responses != "" || *checkResponses != "",
 	}
 	report, err := r.Run(ctx)

@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/serve"
+)
+
+// testScaleDiv shrinks every workload to its scale floor so the
+// cluster tests exercise routing and peer fill, not simulation time.
+const testScaleDiv = 400
+
+// fleet is an in-process cluster: n replicas with shared-nothing trace
+// caches wired to each other through PeerClients, fronted by a Router.
+type fleet struct {
+	urls    []string
+	caches  []*disptrace.Cache
+	servers []*serve.Server
+	backend []*httptest.Server
+	router  *Router
+	front   *httptest.Server
+}
+
+// newFleet stands the cluster up. Listener addresses have to exist
+// before ring membership can (member names ARE the URLs), so each
+// backend starts unstarted: the listener provides the URL, the ring is
+// built over all URLs, and only then are servers constructed and
+// handlers installed.
+func newFleet(t *testing.T, n int) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		ts := httptest.NewUnstartedServer(nil)
+		f.backend = append(f.backend, ts)
+		f.urls = append(f.urls, "http://"+ts.Listener.Addr().String())
+		f.caches = append(f.caches, disptrace.NewCache(t.TempDir()))
+	}
+	ring := NewRing(f.urls, DefaultVNodes, 0)
+	for i, ts := range f.backend {
+		pc := NewPeerClient(ring, f.urls[i], 5*time.Second)
+		f.caches[i].Fill = pc.Fill
+		f.caches[i].FillID = pc.FillID
+		s := serve.New(serve.Config{Traces: f.caches[i], InstanceID: f.urls[i]})
+		f.servers = append(f.servers, s)
+		ts.Config.Handler = s.Handler()
+		ts.Start()
+	}
+	f.router = NewRouter(RouterConfig{Instances: f.urls, HopDeadline: time.Minute})
+	f.front = httptest.NewServer(f.router.Handler())
+	t.Cleanup(func() {
+		f.front.Close()
+		for i, ts := range f.backend {
+			ts.Close()
+			f.servers[i].Close()
+		}
+	})
+	return f
+}
+
+func post(t *testing.T, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// metricValue scrapes one un-labeled counter/gauge series off an
+// instance's /metrics.
+func metricValue(t *testing.T, base, series string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %s value %q: %v", series, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found on %s", series, base)
+	return 0
+}
+
+// sweepCellLines normalizes a sweep NDJSON body to its comparable
+// content: the multiset of cell and error lines, sorted. Cursor and
+// done lines legitimately differ between topologies.
+func sweepCellLines(t *testing.T, body []byte) []string {
+	t.Helper()
+	var cells []string
+	for _, raw := range bytes.Split(body, []byte{'\n'}) {
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var line serve.SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatalf("undecodable sweep line %q: %v", raw, err)
+		}
+		if line.Done || line.Cursor != "" {
+			continue
+		}
+		cells = append(cells, string(raw))
+	}
+	sort.Strings(cells)
+	return cells
+}
+
+// TestClusterByteIdentity is the tentpole invariant: a 3-instance
+// cluster behind a router answers every run, sweep and diff with
+// exactly the bytes a single instance produces for the same requests.
+func TestClusterByteIdentity(t *testing.T) {
+	_, single := newSingle(t)
+	f := newFleet(t, 3)
+
+	// Runs: every variant the CI loadspec exercises.
+	for _, variant := range []string{"plain", "dynamic super"} {
+		req := serve.RunRequest{Workload: "gray", Variant: variant,
+			Machine: "celeron-800", ScaleDiv: testScaleDiv}
+		st1, b1, _ := post(t, single.URL+"/v1/run", req)
+		st2, b2, hdr := post(t, f.front.URL+"/v1/run", req)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("run %q: single %d, cluster %d", variant, st1, st2)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("run %q: cluster response differs from single instance:\n%s\nvs\n%s", variant, b2, b1)
+		}
+		if by := hdr.Get("X-Served-By"); by == "" {
+			t.Errorf("run %q: cluster response missing X-Served-By", variant)
+		} else if f.router.Ring().Owner(CellKey("gray", variant, testScaleDiv)) != by {
+			t.Errorf("run %q: served by %s, not the cell owner", variant, by)
+		}
+		if hdr.Get("X-Cluster-Hop") != "1" {
+			t.Errorf("run %q: X-Cluster-Hop = %q, want 1", variant, hdr.Get("X-Cluster-Hop"))
+		}
+	}
+
+	// Sweep: two groups, routed to (potentially) different owners and
+	// stitched back together. Comparable on the cell-line multiset.
+	sweep := serve.SweepRequest{Workloads: []string{"gray"},
+		Variants: []string{"plain", "dynamic super"},
+		Machines: []string{"celeron-800"}, ScaleDiv: testScaleDiv}
+	st1, b1, _ := post(t, single.URL+"/v1/sweep", sweep)
+	st2, b2, _ := post(t, f.front.URL+"/v1/sweep", sweep)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("sweep: single %d, cluster %d", st1, st2)
+	}
+	c1, c2 := sweepCellLines(t, b1), sweepCellLines(t, b2)
+	if len(c1) == 0 {
+		t.Fatal("sweep produced no cell lines")
+	}
+	if fmt.Sprint(c1) != fmt.Sprint(c2) {
+		t.Fatalf("sweep cell lines differ:\n%v\nvs\n%v", c2, c1)
+	}
+
+	// Diff: both topologies now hold the same content-addressed traces.
+	var list serve.TraceList
+	resp, err := http.Get(single.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Count < 2 {
+		t.Fatalf("single instance has %d traces, want >= 2", list.Count)
+	}
+	diff := serve.DiffRequest{A: list.Traces[0].ID, B: list.Traces[1].ID}
+	st1, b1, _ = post(t, single.URL+"/v1/diff", diff)
+	st2, b2, _ = post(t, f.front.URL+"/v1/diff", diff)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("diff: single %d, cluster %d", st1, st2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("diff: cluster response differs from single instance:\n%s\nvs\n%s", b2, b1)
+	}
+
+	// The merged cluster trace index matches the single instance's.
+	st2, b2, _ = get(t, f.front.URL+"/v1/traces")
+	if st2 != http.StatusOK {
+		t.Fatalf("cluster trace list: %d", st2)
+	}
+	var merged serve.TraceList
+	if err := json.Unmarshal(b2, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != list.Count {
+		t.Fatalf("cluster trace index has %d entries, single has %d", merged.Count, list.Count)
+	}
+}
+
+func newSingle(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(serve.Config{Traces: disptrace.NewCache(t.TempDir())})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestClusterPeerFill drives a run on the owning replica, then the
+// same run directly on a non-owner: the non-owner must fill its cache
+// from the peer rather than re-simulate, answer byte-identically, and
+// the owner must count the serve.
+func TestClusterPeerFill(t *testing.T) {
+	f := newFleet(t, 3)
+	req := serve.RunRequest{Workload: "gray", Variant: "plain",
+		Machine: "celeron-800", ScaleDiv: testScaleDiv}
+	owner := f.router.Ring().Owner(CellKey("gray", "plain", testScaleDiv))
+	nonOwner := ""
+	for _, u := range f.urls {
+		if u != owner {
+			nonOwner = u
+			break
+		}
+	}
+
+	st, want, _ := post(t, owner+"/v1/run", req)
+	if st != http.StatusOK {
+		t.Fatalf("owner run: %d", st)
+	}
+	if rec := metricValue(t, owner, "vmserved_trace_records_total"); rec != 1 {
+		t.Fatalf("owner recorded %v traces, want 1", rec)
+	}
+
+	st, got, _ := post(t, nonOwner+"/v1/run", req)
+	if st != http.StatusOK {
+		t.Fatalf("non-owner run: %d", st)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("peer-filled response differs from owner's:\n%s\nvs\n%s", got, want)
+	}
+	if hits := metricValue(t, nonOwner, "vmserved_peer_fill_hits_total"); hits != 1 {
+		t.Errorf("non-owner peer fill hits = %v, want 1", hits)
+	}
+	if rec := metricValue(t, nonOwner, "vmserved_trace_records_total"); rec != 0 {
+		t.Errorf("non-owner recorded %v traces; peer fill should have avoided simulation-for-recording", rec)
+	}
+	if serves := metricValue(t, owner, "vmserved_peer_serves_total"); serves != 1 {
+		t.Errorf("owner peer serves = %v, want 1", serves)
+	}
+}
+
+// TestClusterFailover kills the owning replica and re-issues its cell
+// through the router: the request must still succeed, served by
+// another replica, with byte-identical content (the survivor
+// re-simulates deterministically when its peer fill finds the owner
+// gone).
+func TestClusterFailover(t *testing.T) {
+	f := newFleet(t, 3)
+	req := serve.RunRequest{Workload: "gray", Variant: "plain",
+		Machine: "celeron-800", ScaleDiv: testScaleDiv}
+	owner := f.router.Ring().Owner(CellKey("gray", "plain", testScaleDiv))
+
+	st, want, hdr := post(t, f.front.URL+"/v1/run", req)
+	if st != http.StatusOK {
+		t.Fatalf("first run: %d", st)
+	}
+	if hdr.Get("X-Served-By") != owner {
+		t.Fatalf("first run served by %s, want owner %s", hdr.Get("X-Served-By"), owner)
+	}
+
+	for i, u := range f.urls {
+		if u == owner {
+			f.backend[i].Close()
+		}
+	}
+	st, got, hdr := post(t, f.front.URL+"/v1/run", req)
+	if st != http.StatusOK {
+		t.Fatalf("failover run: %d (%s)", st, got)
+	}
+	if by := hdr.Get("X-Served-By"); by == owner || by == "" {
+		t.Fatalf("failover run served by %q, want a surviving non-owner", by)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("failover response differs:\n%s\nvs\n%s", got, want)
+	}
+	if hop := hdr.Get("X-Cluster-Hop"); hop == "1" {
+		t.Errorf("failover took hop %s, expected a retry", hop)
+	}
+
+	// The router noticed: retries counted, the dead instance marked
+	// down in its stats.
+	_, sb, _ := get(t, f.front.URL+"/v1/stats")
+	var rs RouterStats
+	if err := json.Unmarshal(sb, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Retries == 0 {
+		t.Error("router stats report no retries after a failover")
+	}
+	for _, in := range rs.Instances {
+		if in.Instance == owner && in.Up {
+			t.Error("dead owner still marked up in router stats")
+		}
+	}
+}
+
+// TestClusterSweepResume replays the single-instance resume protocol
+// through the router: a cursor from a completed cluster sweep resumes
+// to an immediate, empty completion, and a cursor minted by a single
+// instance for the same grid is honored too (shared grid fingerprint
+// and token codec).
+func TestClusterSweepResume(t *testing.T) {
+	_, single := newSingle(t)
+	f := newFleet(t, 3)
+	sweep := serve.SweepRequest{Workloads: []string{"gray"},
+		Variants: []string{"plain", "dynamic super"},
+		Machines: []string{"celeron-800"}, ScaleDiv: testScaleDiv}
+
+	st, body, _ := post(t, f.front.URL+"/v1/sweep", sweep)
+	if st != http.StatusOK {
+		t.Fatalf("sweep: %d", st)
+	}
+	var lastCursor string
+	var done serve.SweepLine
+	for _, raw := range bytes.Split(body, []byte{'\n'}) {
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var line serve.SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Cursor != "" {
+			lastCursor = line.Cursor
+		}
+		if line.Done {
+			done = line
+		}
+	}
+	if lastCursor == "" {
+		t.Fatal("cluster sweep emitted no cursor lines")
+	}
+	if !done.Done || done.Errors != 0 || done.Groups != 2 {
+		t.Fatalf("cluster sweep summary: %+v", done)
+	}
+
+	resume := sweep
+	resume.Resume = lastCursor
+	st, body, _ = post(t, f.front.URL+"/v1/sweep", resume)
+	if st != http.StatusOK {
+		t.Fatalf("resumed sweep: %d", st)
+	}
+	if cells := sweepCellLines(t, body); len(cells) != 0 {
+		t.Fatalf("fully-resumed sweep re-streamed %d cell lines", len(cells))
+	}
+
+	// Interop: a single instance's cursor resumes through the router.
+	st, body, _ = post(t, single.URL+"/v1/sweep", sweep)
+	if st != http.StatusOK {
+		t.Fatalf("single sweep: %d", st)
+	}
+	singleCursor := ""
+	for _, raw := range bytes.Split(body, []byte{'\n'}) {
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var line serve.SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Cursor != "" {
+			singleCursor = line.Cursor
+		}
+	}
+	resume.Resume = singleCursor
+	st, body, _ = post(t, f.front.URL+"/v1/sweep", resume)
+	if st != http.StatusOK {
+		t.Fatalf("cross-topology resume: %d (%s)", st, body)
+	}
+	if cells := sweepCellLines(t, body); len(cells) != 0 {
+		t.Fatalf("cross-topology resume re-streamed %d cell lines", len(cells))
+	}
+}
+
+// TestClusterDrainRouting flips one replica's readiness and lets the
+// active prober move it to the back of the preference order: its cells
+// route to another replica while it drains, without a failed request
+// in between.
+func TestClusterDrainRouting(t *testing.T) {
+	f := newFleet(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.router.cfg.ProbeInterval = 20 * time.Millisecond
+	f.router.StartProbes(ctx)
+
+	req := serve.RunRequest{Workload: "gray", Variant: "plain",
+		Machine: "celeron-800", ScaleDiv: testScaleDiv}
+	owner := f.router.Ring().Owner(CellKey("gray", "plain", testScaleDiv))
+	for i, u := range f.urls {
+		if u == owner {
+			f.servers[i].SetReady(false)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.router.healthy(owner) {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never marked the draining owner down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st, _, hdr := post(t, f.front.URL+"/v1/run", req)
+	if st != http.StatusOK {
+		t.Fatalf("run during drain: %d", st)
+	}
+	if by := hdr.Get("X-Served-By"); by == owner {
+		t.Errorf("request routed to the draining owner")
+	}
+
+	// Recovery: readiness back on, the prober restores the owner.
+	for i, u := range f.urls {
+		if u == owner {
+			f.servers[i].SetReady(true)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for !f.router.healthy(owner) {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never restored the recovered owner")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterDiffPeerFill runs the two CI cells so their traces live
+// on (potentially different) owners, then diffs the pair through the
+// router: whichever instance serves the diff must fill the trace it
+// does not hold by content address (FillID) and answer identically to
+// a single instance holding both.
+func TestClusterDiffPeerFill(t *testing.T) {
+	_, single := newSingle(t)
+	f := newFleet(t, 3)
+	var ids []string
+	for _, variant := range []string{"plain", "dynamic super"} {
+		req := serve.RunRequest{Workload: "gray", Variant: variant,
+			Machine: "celeron-800", ScaleDiv: testScaleDiv}
+		if st, _, _ := post(t, single.URL+"/v1/run", req); st != http.StatusOK {
+			t.Fatalf("single run: %d", st)
+		}
+		if st, _, _ := post(t, f.front.URL+"/v1/run", req); st != http.StatusOK {
+			t.Fatalf("cluster run: %d", st)
+		}
+	}
+	var list serve.TraceList
+	_, b, _ := get(t, single.URL+"/v1/traces")
+	if err := json.Unmarshal(b, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range list.Traces {
+		ids = append(ids, e.ID)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("expected 2 traces, got %d", len(ids))
+	}
+	diff := serve.DiffRequest{A: ids[0], B: ids[1]}
+	st1, b1, _ := post(t, single.URL+"/v1/diff", diff)
+	st2, b2, _ := post(t, f.front.URL+"/v1/diff", diff)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("diff: single %d, cluster %d", st1, st2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cluster diff differs from single instance:\n%s\nvs\n%s", b2, b1)
+	}
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/runner"
+)
+
+// DefaultPeerDeadline bounds one peer-fill fetch. Filling must stay
+// decisively cheaper than re-simulating, but a full-scale trace file
+// can run to tens of megabytes, so the bound is generous relative to
+// a round trip and stingy relative to a simulation.
+const DefaultPeerDeadline = 10 * time.Second
+
+// maxFillBytes bounds one filled trace payload (a defense against a
+// confused or malicious peer, not a tuning knob — real trace files
+// are well under this).
+const maxFillBytes = 1 << 30
+
+// PeerClient implements the trace cache's Fill/FillID hooks over the
+// cluster: a local miss asks the owning peer for the raw trace bytes
+// (GET /v1/traces/{id}/raw) before the caller falls back to
+// simulating. Fetches are bounded by a deadline and coalesced per
+// trace ID through runner.Flight, so a herd missing one key costs the
+// fleet one fetch. The cache verifies every filled payload against
+// its content address; the client only moves bytes.
+type PeerClient struct {
+	// Ring places cell keys; Self is this instance's own member name
+	// (its base URL in the ring), which the client never asks.
+	Ring *Ring
+	Self string
+
+	// Client issues the fetches; its Timeout is the per-fill deadline.
+	Client *http.Client
+
+	flight runner.Flight[string, []byte]
+}
+
+// NewPeerClient builds a peer client for an instance. deadline <= 0
+// means DefaultPeerDeadline.
+func NewPeerClient(ring *Ring, self string, deadline time.Duration) *PeerClient {
+	if deadline <= 0 {
+		deadline = DefaultPeerDeadline
+	}
+	return &PeerClient{Ring: ring, Self: self,
+		Client: &http.Client{Timeout: deadline}}
+}
+
+// Fill fetches the trace for a key from its owning peer. When this
+// instance is itself the owner there is no better-informed peer to
+// ask, so the miss is final (nil, nil) and the caller simulates —
+// that simulation is exactly the work ownership assigns here.
+func (p *PeerClient) Fill(k disptrace.Key) ([]byte, error) {
+	sd := int(k.ScaleDiv)
+	if sd == 0 {
+		sd = 1
+	}
+	owner := p.Ring.Owner(CellKey(k.Workload, k.Variant, sd))
+	if owner == "" || owner == p.Self {
+		return nil, nil
+	}
+	return p.fetch(k.ID(), []string{owner})
+}
+
+// FillID fetches a trace by content address for the diff path, where
+// the owning cell key is not recoverable from the ID alone: peers are
+// asked in ring order (deterministic, so concurrent fills of one ID
+// walk the same sequence) until one has it. A fleet-wide miss is a
+// clean miss.
+func (p *PeerClient) FillID(id string) ([]byte, error) {
+	peers := make([]string, 0, len(p.Ring.Nodes()))
+	for _, n := range p.Ring.Owners(id, len(p.Ring.Nodes())) {
+		if n != p.Self {
+			peers = append(peers, n)
+		}
+	}
+	return p.fetch(id, peers)
+}
+
+// fetch asks each candidate peer for the raw bytes of one trace,
+// coalescing concurrent fetches of the same ID. 404 means the peer
+// does not have it; transport errors and other statuses move on to
+// the next candidate. Exhausting the candidates without an error is a
+// clean miss (nil, nil); a fetch that only ever errored reports the
+// last error so the cache counts it as a fill failure.
+func (p *PeerClient) fetch(id string, peers []string) ([]byte, error) {
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	b, _, err := p.flight.Do(id, func() ([]byte, error) {
+		var lastErr error
+		for _, peer := range peers {
+			b, err := p.fetchOne(peer, id)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if b != nil {
+				return b, nil
+			}
+		}
+		return nil, lastErr
+	})
+	return b, err
+}
+
+// fetchOne performs one GET /v1/traces/{id}/raw against one peer.
+// (nil, nil) reports the peer does not have the trace.
+func (p *PeerClient) fetchOne(peer, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet,
+		peer+"/v1/traces/"+id+"/raw", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxFillBytes))
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
+	}
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://vm%d:8321", i+1)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = CellKey("wl", fmt.Sprintf("variant %d", i), 1+i%7)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(names(5), DefaultVNodes, 42)
+	b := NewRing([]string{names(5)[3], names(5)[0], names(5)[4], names(5)[2], names(5)[1]},
+		DefaultVNodes, 42) // same members, different order
+	for _, k := range keys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("placement depends on member order: %q -> %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+func TestRingSeedChangesPlacement(t *testing.T) {
+	a := NewRing(names(5), DefaultVNodes, 1)
+	b := NewRing(names(5), DefaultVNodes, 2)
+	moved := 0
+	ks := keys(1000)
+	for _, k := range ks {
+		if a.Owner(k) != b.Owner(k) {
+			moved++
+		}
+	}
+	// Two independent seeds should agree on roughly 1/N of keys only.
+	if moved < len(ks)/2 {
+		t.Fatalf("seed barely changes placement: only %d/%d keys moved", moved, len(ks))
+	}
+}
+
+func TestRingDedupAndEmpty(t *testing.T) {
+	var empty Ring
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want empty", got)
+	}
+	if got := empty.Owners("k", 3); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	dup := NewRing([]string{"a", "b", "a", "b", "a"}, 16, 0)
+	if got := len(dup.Nodes()); got != 2 {
+		t.Fatalf("deduped ring has %d nodes, want 2", got)
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(names(5), DefaultVNodes, 0)
+	for _, k := range keys(200) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) returned %d owners", k, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q, 3) repeats %q: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%q)[0] = %q disagrees with Owner = %q", k, owners[0], r.Owner(k))
+		}
+	}
+	// Asking for more replicas than members yields every member once.
+	if got := len(r.Owners("k", 10)); got != 5 {
+		t.Fatalf("Owners(k, 10) on 5 nodes returned %d", got)
+	}
+}
+
+// TestRingBalance checks the load-spread bound the vnode count buys:
+// with 128 vnodes per node, the most-loaded node stays within a
+// modest factor of the mean for every fleet size we would deploy.
+func TestRingBalance(t *testing.T) {
+	const nKeys = 20000
+	ks := make([]string, nKeys)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("cell|%d", i)
+	}
+	for n := 1; n <= 16; n++ {
+		r := NewRing(names(n), DefaultVNodes, 0)
+		counts := map[string]int{}
+		for _, k := range ks {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(nKeys) / float64(n)
+		if ratio := float64(max) / mean; ratio > 1.35 {
+			t.Errorf("n=%d: max/mean load ratio %.3f > 1.35 (max %d, mean %.0f)", n, ratio, max, mean)
+		}
+	}
+}
+
+// TestRingRemap checks the consistency property: adding or removing
+// one node moves roughly 1/N of the keyspace and no more — keys not
+// owned by the changed node must not move at all on a leave, and only
+// keys claimed by the new node move on a join.
+func TestRingRemap(t *testing.T) {
+	const nKeys = 20000
+	ks := make([]string, nKeys)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("cell|%d", i)
+	}
+	for _, n := range []int{3, 5, 8, 12} {
+		small := NewRing(names(n), DefaultVNodes, 0)
+		big := NewRing(names(n+1), DefaultVNodes, 0)
+		joined := names(n + 1)[n]
+		moved := 0
+		for _, k := range ks {
+			before, after := small.Owner(k), big.Owner(k)
+			if before == after {
+				continue
+			}
+			if after != joined {
+				t.Fatalf("n=%d: key %q moved %q -> %q, but the join was %q", n, k, before, after, joined)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(nKeys)
+		ideal := 1 / float64(n+1)
+		if frac > 2*ideal {
+			t.Errorf("n=%d->%d: join moved %.1f%% of keys, > 2x the ideal %.1f%%",
+				n, n+1, 100*frac, 100*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: join moved no keys at all", n, n+1)
+		}
+	}
+}
+
+// TestCIClusterPlacement pins the placements the cluster CI job and
+// the compose topology depend on: the two request-group cell keys the
+// CI loadspec (loadspecs/ci.json) generates must land on different
+// owners, so a 3-instance cluster actually exercises the peer-fill
+// path. If this test fails after a ring change, re-derive the
+// placements and update the CI gate expectations along with it.
+func TestCIClusterPlacement(t *testing.T) {
+	plain := CellKey("gray", "plain", 50)
+	super := CellKey("gray", "dynamic super", 50)
+	for _, tc := range []struct {
+		name      string
+		instances []string
+	}{
+		{"ci", []string{"http://127.0.0.1:8321", "http://127.0.0.1:8322", "http://127.0.0.1:8323"}},
+		{"compose", []string{"http://vm1:8321", "http://vm2:8321", "http://vm3:8321"}},
+	} {
+		r := NewRing(tc.instances, DefaultVNodes, 0)
+		a, b := r.Owner(plain), r.Owner(super)
+		if a == b {
+			t.Errorf("%s: both CI cell groups land on %s; the cluster job would never peer-fill", tc.name, a)
+		}
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	if got := CellKey("gray", "dynamic super", 50); got != "gray|dynamic super|50" {
+		t.Fatalf("CellKey = %q", got)
+	}
+}

@@ -1,0 +1,887 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmopt/internal/disptrace"
+	"vmopt/internal/metrics"
+	"vmopt/internal/obs"
+	"vmopt/internal/runner"
+	"vmopt/internal/serve"
+)
+
+// Router defaults.
+const (
+	// DefaultHopDeadline bounds one forwarded attempt. It must cover a
+	// cold simulation of the slowest group, so it mirrors the serving
+	// tier's default endpoint deadlines rather than a network RTT.
+	DefaultHopDeadline = 2 * time.Minute
+	// DefaultProbeInterval paces the background /readyz prober.
+	DefaultProbeInterval = time.Second
+	// passiveCooldown is how long a passive forward failure keeps an
+	// instance out of the preference order before it is tried again
+	// (the active prober clears or extends it sooner).
+	passiveCooldown = time.Second
+	// probeTimeout bounds one readiness probe.
+	probeTimeout = 2 * time.Second
+)
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Instances are the replica base URLs ("http://host:port"). Their
+	// exact strings are ring member names: every process naming the
+	// same strings computes the same placement.
+	Instances []string
+	// VNodes and Seed parameterize the ring (0 means DefaultVNodes /
+	// seed 0). They must match the replicas' own -vnodes/-ring-seed
+	// for peer fill to ask the instances the router routes to.
+	VNodes int
+	Seed   uint64
+	// HopDeadline bounds each forwarded attempt; <= 0 means
+	// DefaultHopDeadline.
+	HopDeadline time.Duration
+	// ProbeInterval paces the background readiness prober started by
+	// StartProbes; <= 0 means DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// DefaultScaleDiv must match the replicas' -scalediv so the router
+	// resolves a request's cell key to the same value the owning
+	// replica will run it at.
+	DefaultScaleDiv int
+	// MaxCells bounds one sweep's grid like serve.Config.MaxCells;
+	// <= 0 means serve.DefaultMaxCells.
+	MaxCells int
+	// DebugRecent and DebugSlowest size the router's /debug/requests
+	// recorder (<= 0 picks obs defaults).
+	DebugRecent  int
+	DebugSlowest int
+}
+
+// Router fronts a vmserved fleet: it owns the ring, forwards each
+// request to the owner of its cell key with a per-hop deadline, and
+// retries the next replica in ring order when the owner is
+// unavailable. Responses are forwarded verbatim, so a cluster behind
+// a router is byte-identical to a single instance for the same
+// requests — the invariant CI gates on.
+type Router struct {
+	cfg  RouterConfig
+	ring *Ring
+
+	client *http.Client
+
+	// downUntil[i] is the unix-nano time until which instance i is
+	// skipped in the preference order (passive markdown on forward
+	// failure, active markdown by the prober). Indexed in
+	// ring.Nodes() order.
+	downUntil []atomic.Int64
+	nodeIdx   map[string]int
+
+	notReady atomic.Bool
+
+	reg      *metrics.Registry
+	recorder *obs.Recorder
+
+	reqs       *metrics.CounterVec
+	lat        *metrics.HistogramVec
+	forwards   *metrics.CounterVec
+	retries    *metrics.Counter
+	failures   *metrics.Counter
+	sweepSplit *metrics.Counter
+	up         *metrics.GaugeVec
+}
+
+// NewRouter builds a Router over the configured instances.
+func NewRouter(cfg RouterConfig) *Router {
+	ring := NewRing(cfg.Instances, cfg.VNodes, cfg.Seed)
+	hop := cfg.HopDeadline
+	if hop <= 0 {
+		hop = DefaultHopDeadline
+	}
+	rt := &Router{
+		cfg:  cfg,
+		ring: ring,
+		// No Client.Timeout: sweeps stream for as long as their grid
+		// takes; per-attempt bounds come from the hop context.
+		client:    &http.Client{},
+		downUntil: make([]atomic.Int64, len(ring.Nodes())),
+		nodeIdx:   make(map[string]int, len(ring.Nodes())),
+		recorder:  obs.NewRecorder(cfg.DebugRecent, cfg.DebugSlowest),
+	}
+	rt.cfg.HopDeadline = hop
+	for i, n := range ring.Nodes() {
+		rt.nodeIdx[n] = i
+	}
+
+	r := metrics.NewRegistry()
+	rt.reg = r
+	rt.reqs = r.CounterVec("vmrouter_requests_total",
+		"Requests received by the router, by endpoint.", "endpoint")
+	rt.lat = r.HistogramVec("vmrouter_request_seconds",
+		"End-to-end router latency, by endpoint.", "endpoint")
+	rt.forwards = r.CounterVec("vmrouter_forwards_total",
+		"Attempts forwarded to each instance.", "instance")
+	rt.retries = r.Counter("vmrouter_retries_total",
+		"Forward attempts beyond the first: the owner (or a later candidate) was unavailable.")
+	rt.failures = r.Counter("vmrouter_routing_failures_total",
+		"Requests every candidate replica failed to answer.")
+	rt.sweepSplit = r.Counter("vmrouter_sweep_groups_total",
+		"Sweep groups decomposed and forwarded to owners.")
+	rt.up = r.GaugeVec("vmrouter_instance_up",
+		"1 while an instance is in the preference order, 0 while marked down.", "instance")
+	r.GaugeFunc("vmrouter_instances",
+		"Configured cluster size.",
+		func() float64 { return float64(len(ring.Nodes())) })
+	for _, n := range ring.Nodes() {
+		rt.up.With(n).Set(1)
+		rt.forwards.With(n) // pre-register so 0 is visible
+	}
+	return rt
+}
+
+// Registry exposes the router's own metrics (GET /metrics).
+func (rt *Router) Registry() *metrics.Registry { return rt.reg }
+
+// Ring exposes the router's placement, mostly for tests.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// SetReady flips the router's own /readyz (drain before shutdown,
+// same protocol as the replicas).
+func (rt *Router) SetReady(ready bool) { rt.notReady.Store(!ready) }
+
+// markDown removes an instance from the preference order for d.
+func (rt *Router) markDown(inst string, d time.Duration) {
+	if i, ok := rt.nodeIdx[inst]; ok {
+		rt.downUntil[i].Store(time.Now().Add(d).UnixNano())
+		rt.up.With(inst).Set(0)
+	}
+}
+
+// markUp restores an instance immediately.
+func (rt *Router) markUp(inst string) {
+	if i, ok := rt.nodeIdx[inst]; ok {
+		rt.downUntil[i].Store(0)
+		rt.up.With(inst).Set(1)
+	}
+}
+
+// healthy reports whether an instance is currently in the preference
+// order.
+func (rt *Router) healthy(inst string) bool {
+	i, ok := rt.nodeIdx[inst]
+	return ok && time.Now().UnixNano() >= rt.downUntil[i].Load()
+}
+
+// StartProbes runs the active readiness prober until ctx is
+// cancelled: every interval, each instance's /readyz is probed and
+// the instance marked up or down accordingly. The passive path
+// (markDown on forward failure) reacts within one request; the prober
+// both recovers instances early and notices a draining replica
+// before the next forward does.
+func (rt *Router) StartProbes(ctx context.Context) {
+	interval := rt.cfg.ProbeInterval
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	probe := &http.Client{Timeout: probeTimeout}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			for _, inst := range rt.ring.Nodes() {
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, inst+"/readyz", nil)
+				if err != nil {
+					continue
+				}
+				resp, err := probe.Do(req)
+				if err == nil {
+					io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+					resp.Body.Close()
+				}
+				if err != nil || resp.StatusCode != http.StatusOK {
+					rt.markDown(inst, 2*interval)
+				} else {
+					rt.markUp(inst)
+				}
+			}
+		}
+	}()
+}
+
+// Handler returns the router's routing table. The /v1 surface mirrors
+// a single instance's; /metrics, /debug/requests, /healthz and
+// /readyz are the router's own.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", rt.instrument("run", rt.handleRun))
+	mux.HandleFunc("POST /v1/sweep", rt.instrument("sweep", rt.handleSweep))
+	mux.HandleFunc("POST /v1/diff", rt.instrument("diff", rt.handleDiff))
+	mux.HandleFunc("GET /v1/traces", rt.instrument("traces", rt.handleTraceList))
+	mux.HandleFunc("GET /v1/traces/{id}", rt.instrument("traces", rt.handleTraceGet))
+	mux.HandleFunc("GET /v1/traces/{id}/raw", rt.instrument("traces", rt.handleTraceGet))
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", metrics.TextContentType)
+		rt.reg.WritePrometheus(w)
+	}))
+	mux.Handle("GET /debug/requests", rt.recorder.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if rt.notReady.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"ready":false}`)
+			return
+		}
+		fmt.Fprintln(w, `{"ready":true}`)
+	})
+	return mux
+}
+
+// instrument is the router's slim observability middleware: request
+// counter, obs trace (its spans name each forwarded instance, which
+// is how X-Served-By threads into the trace), latency histogram and
+// the debug recorder.
+func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.reqs.With(endpoint).Inc()
+		id := obs.RequestID(r.Header.Get("X-Request-ID"))
+		ctx, tr := obs.NewTrace(r.Context(), endpoint, id)
+		w.Header().Set("X-Request-ID", id)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if status >= 400 {
+			tr.SetOutcome(obs.OutcomeError)
+		}
+		rt.lat.With(endpoint).Observe(elapsed)
+		tr.Finish(status, elapsed)
+		rt.recorder.Record(tr)
+	}
+}
+
+// statusWriter captures the status code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// upstream is one forwarded response, fully buffered.
+type upstream struct {
+	status   int
+	header   http.Header
+	body     []byte
+	instance string
+	hops     int
+}
+
+// candidates returns the preference order for a routing key: the
+// ring's owner sequence with marked-down instances moved to the back
+// — a down owner is still tried last rather than never, so a fleet
+// that is entirely marked down degrades to "try everyone" instead of
+// failing without a single attempt.
+func (rt *Router) candidates(key string) []string {
+	all := rt.ring.Owners(key, len(rt.ring.Nodes()))
+	out := make([]string, 0, len(all))
+	var down []string
+	for _, n := range all {
+		if rt.healthy(n) {
+			out = append(out, n)
+		} else {
+			down = append(down, n)
+		}
+	}
+	return append(out, down...)
+}
+
+// forward sends one buffered request along the preference order for
+// key, one hop at a time, each under the hop deadline. Transport
+// errors and 5xx statuses advance to the next candidate (the replica
+// is marked down only for transport errors — a replica answering 503
+// is alive and shedding load, not gone). The first non-5xx response
+// is returned verbatim; if every candidate failed, the last 5xx
+// response (if any) is returned so backpressure keeps its Retry-After
+// semantics end to end.
+func (rt *Router) forward(ctx context.Context, r *http.Request, key, method, path string, body []byte) (*upstream, error) {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cluster has no instances")
+	}
+	var last *upstream
+	var lastErr error
+	for i, inst := range cands {
+		if i > 0 {
+			rt.retries.Inc()
+		}
+		u, err := rt.forwardOne(ctx, r, inst, i+1, method, path, body)
+		if err != nil {
+			lastErr = err
+			rt.markDown(inst, passiveCooldown)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if u.status >= 500 {
+			last = u
+			continue
+		}
+		return u, nil
+	}
+	if last != nil {
+		return last, nil
+	}
+	rt.failures.Inc()
+	return nil, fmt.Errorf("no instance answered: %v", lastErr)
+}
+
+// forwardOne performs one attempt against one instance under the hop
+// deadline. The obs span is named for the instance, so the debug
+// recorder shows exactly where each request's time went and who
+// served it.
+func (rt *Router) forwardOne(ctx context.Context, r *http.Request, inst string, hop int, method, path string, body []byte) (*upstream, error) {
+	hopCtx, cancel := context.WithTimeout(ctx, rt.cfg.HopDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hopCtx, method, inst+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	copyRequestHeaders(req, r)
+	req.Header.Set("X-Cluster-Hop", strconv.Itoa(hop))
+	sp := obs.Start(ctx, "forward:"+inst)
+	rt.forwards.With(inst).Inc()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	return &upstream{status: resp.StatusCode, header: resp.Header,
+		body: b, instance: inst, hops: hop}, nil
+}
+
+// copyRequestHeaders propagates the client headers a replica acts on.
+func copyRequestHeaders(dst *http.Request, src *http.Request) {
+	if src == nil {
+		return
+	}
+	for _, h := range []string{"Content-Type", "X-Request-ID", "X-Retry-Attempt"} {
+		if v := src.Header.Get(h); v != "" {
+			dst.Header.Set(h, v)
+		}
+	}
+}
+
+// upstreamHeaders is what a forwarded response relays back to the
+// client, beyond the body: the replica's identity, its timing, and
+// retry/request bookkeeping.
+var upstreamHeaders = []string{
+	"Content-Type", "X-Served-By", "Server-Timing", "Retry-After", "X-Request-ID",
+}
+
+// writeUpstream relays a buffered upstream response verbatim, adding
+// X-Cluster-Hop (how many attempts this request took).
+func writeUpstream(w http.ResponseWriter, u *upstream) {
+	for _, h := range upstreamHeaders {
+		if v := u.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Cluster-Hop", strconv.Itoa(u.hops))
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}
+
+// errorBody writes a JSON error document.
+func errorBody(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// unavailable answers for a request no replica could serve: 503 with
+// Retry-After, the same shape as backpressure, because from the
+// client's side that is what a briefly headless cluster is.
+func unavailable(w http.ResponseWriter, err error) {
+	errorBody(w, http.StatusServiceUnavailable, "cluster unavailable: %v", err)
+}
+
+// maxRequestBytes mirrors the serving tier's request-body bound.
+const maxRequestBytes = 1 << 20
+
+// readBody buffers a request body (the router re-sends it, possibly
+// several times).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		errorBody(w, http.StatusBadRequest, "reading request: %v", err)
+		return nil, false
+	}
+	return b, true
+}
+
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	sp := obs.Start(r.Context(), "route")
+	var req serve.RunRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		sp.End()
+		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	scaleDiv := req.ScaleDiv
+	if scaleDiv <= 0 {
+		scaleDiv = rt.defaultScaleDiv()
+	}
+	key := CellKey(req.Workload, req.Variant, scaleDiv)
+	sp.End()
+	u, err := rt.forward(r.Context(), r, key, http.MethodPost, "/v1/run", body)
+	if err != nil {
+		unavailable(w, err)
+		return
+	}
+	writeUpstream(w, u)
+}
+
+func (rt *Router) handleDiff(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	sp := obs.Start(r.Context(), "route")
+	var req serve.DiffRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		sp.End()
+		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	// Diffs have no cell key — the pair names traces by content
+	// address. Routing on the pair keeps repeated diffs of the same
+	// pair on one instance (its diff flight and page cache stay hot);
+	// that instance peer-fills whichever trace it does not own.
+	sp.End()
+	u, err := rt.forward(r.Context(), r, "diff|"+req.A+"|"+req.B, http.MethodPost, "/v1/diff", body)
+	if err != nil {
+		unavailable(w, err)
+		return
+	}
+	writeUpstream(w, u)
+}
+
+// handleTraceGet forwards GET /v1/traces/{id}[ /raw]: any instance
+// may hold the trace (ownership is by cell key, which an ID alone
+// does not reveal), so instances are tried in ring order of the ID
+// until one answers non-404.
+func (rt *Router) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	var last *upstream
+	for i, inst := range rt.candidates(r.PathValue("id")) {
+		u, err := rt.forwardOne(r.Context(), r, inst, i+1, http.MethodGet, r.URL.Path, nil)
+		if err != nil {
+			rt.markDown(inst, passiveCooldown)
+			continue
+		}
+		if u.status == http.StatusNotFound || u.status >= 500 {
+			last = u
+			continue
+		}
+		writeUpstream(w, u)
+		return
+	}
+	if last != nil {
+		writeUpstream(w, last)
+		return
+	}
+	rt.failures.Inc()
+	unavailable(w, fmt.Errorf("no instance answered"))
+}
+
+// handleTraceList merges every instance's trace index: entries
+// deduplicated by content address and sorted by ID — the same order a
+// single instance's directory listing yields — so the merged view is
+// what one big cache would report. Instances that fail to answer are
+// skipped (the listing is advisory); only a fully headless fleet is
+// an error.
+func (rt *Router) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	type result struct {
+		list serve.TraceList
+		err  error
+	}
+	nodes := rt.ring.Nodes()
+	results := make([]result, len(nodes))
+	var wg sync.WaitGroup
+	for i, inst := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u, err := rt.forwardOne(r.Context(), r, inst, 1, http.MethodGet, "/v1/traces", nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if u.status != http.StatusOK {
+				results[i].err = fmt.Errorf("%s: status %d", inst, u.status)
+				return
+			}
+			results[i].err = json.Unmarshal(u.body, &results[i].list)
+		}()
+	}
+	wg.Wait()
+
+	seen := map[string]bool{}
+	list := serve.TraceList{Traces: []disptrace.CacheEntry{}}
+	anyOK := false
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		anyOK = true
+		for _, e := range res.list.Traces {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				list.Traces = append(list.Traces, e)
+			}
+		}
+	}
+	if !anyOK {
+		rt.failures.Inc()
+		unavailable(w, fmt.Errorf("no instance answered"))
+		return
+	}
+	// Single-instance listings come out of ReadDir, i.e. sorted by
+	// content address; the merged view preserves that order.
+	sort.Slice(list.Traces, func(i, j int) bool { return list.Traces[i].ID < list.Traces[j].ID })
+	list.Count = len(list.Traces)
+	body, err := json.Marshal(list)
+	if err != nil {
+		errorBody(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+func (rt *Router) defaultScaleDiv() int {
+	if rt.cfg.DefaultScaleDiv > 0 {
+		return rt.cfg.DefaultScaleDiv
+	}
+	return 1
+}
+
+func (rt *Router) maxCells() int {
+	if rt.cfg.MaxCells > 0 {
+		return rt.cfg.MaxCells
+	}
+	return serve.DefaultMaxCells
+}
+
+// handleSweep decomposes a sweep into its execution groups, forwards
+// each group to the owner of its cell key as a single-group
+// sub-sweep, and stitches the streams back together. Each group's
+// cell lines are relayed verbatim as the group completes (sub-stream
+// cursor and done lines are dropped; the router emits its own
+// cumulative cursor after each group and one final done line), so the
+// line multiset — which is what sweep responses are compared on; line
+// order is explicitly unordered — matches a single instance's. Resume
+// cursors work exactly as on a single instance: same grid
+// fingerprint, same token codec.
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	sp := obs.Start(r.Context(), "route")
+	var req serve.SweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		sp.End()
+		errorBody(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	groups, err := serve.ResolveSweepGroups(req, rt.defaultScaleDiv())
+	sp.End()
+	if err != nil {
+		errorBody(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := 0
+	keys := make([]string, len(groups))
+	for i, g := range groups {
+		cells += len(g.Machines)
+		keys[i] = g.Key
+	}
+	if max := rt.maxCells(); cells > max {
+		errorBody(w, http.StatusRequestEntityTooLarge, "sweep resolves to %d cells (limit %d)", cells, max)
+		return
+	}
+	grid := serve.SweepGridHash(keys)
+	var preDone []int
+	if req.Resume != "" {
+		preDone, err = serve.DecodeSweepCursor(req.Resume, grid, len(groups))
+		if err != nil {
+			errorBody(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	writeChunk := func(lines [][]byte) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		for _, ln := range lines {
+			w.Write(ln)
+			w.Write([]byte{'\n'})
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := func(line serve.SweepLine) []byte {
+		b, _ := json.Marshal(line)
+		return b
+	}
+
+	doneIdx := make([]bool, len(groups))
+	skippedCells := 0
+	for _, i := range preDone {
+		doneIdx[i] = true
+		skippedCells += len(groups[i].Machines)
+	}
+	todo := make([]int, 0, len(groups))
+	for i := range groups {
+		if !doneIdx[i] {
+			todo = append(todo, i)
+		}
+	}
+
+	var emu sync.Mutex
+	errCells := 0
+	// markDone admits a group into the cumulative cursor under the
+	// same lock that renders the token, so an emitted cursor is always
+	// a consistent prefix of completion history.
+	markDone := func(gi int) string {
+		emu.Lock()
+		defer emu.Unlock()
+		doneIdx[gi] = true
+		return serve.EncodeSweepCursor(grid, doneIdx)
+	}
+	failGroup := func(g serve.SweepGroup, err error) {
+		emu.Lock()
+		errCells += len(g.Machines)
+		emu.Unlock()
+		lines := make([][]byte, 0, len(g.Machines))
+		for _, m := range g.Machines {
+			lines = append(lines, enc(serve.SweepLine{
+				Workload: g.Workload, Variant: g.Variant, Machine: m,
+				Error: err.Error(),
+			}))
+		}
+		writeChunk(lines)
+	}
+
+	// One forwarded sub-sweep per group, all concurrent: the replicas'
+	// own admission control and compute semaphores bound the real
+	// work, and a group is at most one trace decode plus its machine
+	// models. runner.Map keeps cancellation semantics consistent with
+	// the single-instance sweep path.
+	rt.sweepSplit.Add(uint64(len(todo)))
+	processed := make([]bool, len(todo))
+	_, _ = runner.Map(r.Context(), len(todo), runner.Options{Jobs: len(todo)},
+		func(ctx context.Context, ti int) (struct{}, error) {
+			processed[ti] = true
+			g := groups[todo[ti]]
+			sub := serve.SweepRequest{
+				Workloads: []string{g.Workload},
+				Variants:  []string{g.Variant},
+				Machines:  req.Machines,
+				ScaleDiv:  g.ScaleDiv,
+			}
+			subBody, _ := json.Marshal(sub)
+			// Route by the CELL key, not the full group key (which
+			// includes the machine list): a sweep group and a /v1/run of
+			// the same (workload, variant, scalediv) must land on the
+			// same replica, so they share one dispatch trace and one
+			// in-flight recording instead of racing to simulate it on
+			// two instances.
+			lines, err := rt.forwardSweepGroup(ctx, r,
+				CellKey(g.Workload, g.Variant, g.ScaleDiv), subBody)
+			if err != nil {
+				failGroup(g, err)
+				return struct{}{}, nil
+			}
+			lines = append(lines, enc(serve.SweepLine{Cursor: markDone(todo[ti])}))
+			writeChunk(lines)
+			return struct{}{}, nil
+		})
+	for ti, gi := range todo {
+		if !processed[ti] {
+			failGroup(groups[gi], fmt.Errorf("skipped: %w", context.Cause(r.Context())))
+		}
+	}
+	writeChunk([][]byte{enc(serve.SweepLine{Done: true, Cells: cells - skippedCells,
+		Groups: len(todo), Errors: errCells, Skipped: len(preDone)})})
+}
+
+// forwardSweepGroup runs one group's sub-sweep against the owner
+// (retrying along the ring on failure) and returns the relayable
+// lines: cell and error lines verbatim, sub-stream cursor and done
+// lines dropped. A sub-sweep whose own done line reports errors is
+// retried on the next replica too — a replica that answered but could
+// not compute (e.g. mid-drain cancellation) should not burn the
+// group's only attempt.
+func (rt *Router) forwardSweepGroup(ctx context.Context, r *http.Request, key string, body []byte) ([][]byte, error) {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cluster has no instances")
+	}
+	var lastErr error
+	for i, inst := range cands {
+		if i > 0 {
+			rt.retries.Inc()
+		}
+		u, err := rt.forwardOne(ctx, r, inst, i+1, http.MethodPost, "/v1/sweep", body)
+		if err != nil {
+			lastErr = err
+			rt.markDown(inst, passiveCooldown)
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
+			continue
+		}
+		if u.status != http.StatusOK {
+			lastErr = fmt.Errorf("%s: status %d", inst, u.status)
+			continue
+		}
+		lines, errCount, perr := parseSweepBody(u.body)
+		if perr != nil {
+			lastErr = fmt.Errorf("%s: %v", inst, perr)
+			continue
+		}
+		if errCount > 0 {
+			lastErr = fmt.Errorf("%s: %d cells errored", inst, errCount)
+			continue
+		}
+		return lines, nil
+	}
+	rt.failures.Inc()
+	return nil, fmt.Errorf("no instance completed group: %v", lastErr)
+}
+
+// parseSweepBody splits a buffered sub-sweep NDJSON body into
+// relayable lines, dropping cursor and done lines and counting
+// reported cell errors. The done line must be present — a missing
+// summary means the sub-stream was cut off and the group must be
+// retried, not relayed half-finished.
+func parseSweepBody(body []byte) (lines [][]byte, errCount int, err error) {
+	sawDone := false
+	for _, raw := range bytes.Split(body, []byte{'\n'}) {
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var line serve.SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, 0, fmt.Errorf("undecodable sweep line: %v", err)
+		}
+		if line.Done {
+			sawDone = true
+			errCount = line.Errors
+			continue
+		}
+		if line.Cursor != "" {
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	if !sawDone {
+		return nil, 0, fmt.Errorf("sub-sweep stream truncated")
+	}
+	return lines, errCount, nil
+}
+
+// RouterStats is the router's GET /v1/stats document — deliberately a
+// different shape from a replica's (the router computes nothing; it
+// routes).
+type RouterStats struct {
+	Instances []InstanceState   `json:"instances"`
+	Forwards  map[string]uint64 `json:"forwards"`
+	Retries   uint64            `json:"retries"`
+	Failures  uint64            `json:"failures"`
+}
+
+// InstanceState is one replica's health as the router sees it.
+type InstanceState struct {
+	Instance string `json:"instance"`
+	Up       bool   `json:"up"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := RouterStats{
+		Forwards: make(map[string]uint64, len(rt.ring.Nodes())),
+		Retries:  rt.retries.Load(),
+		Failures: rt.failures.Load(),
+	}
+	for _, n := range rt.ring.Nodes() {
+		st.Instances = append(st.Instances, InstanceState{Instance: n, Up: rt.healthy(n)})
+		st.Forwards[n] = rt.forwards.With(n).Load()
+	}
+	body, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		errorBody(w, http.StatusInternalServerError, "encoding stats: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}

@@ -86,6 +86,19 @@ type Cache struct {
 	// injected fault is absorbed without failing a request.
 	Faults *faults.Injector
 
+	// Fill, when set, is consulted on a clean local miss before the
+	// trace is recorded by simulation: it returns the encoded trace
+	// bytes from elsewhere (in a cluster, the owning peer), nil bytes
+	// for a clean miss, or an error. Filled bytes are verified against
+	// the key before use and stored locally, so a cold or re-hashed
+	// instance warms from the fleet instead of redoing work. Fill runs
+	// inside the per-key flight, so a herd on one key asks at most
+	// once. FillID is the same hook for by-ID loads (the diff path);
+	// its result is verified against the content address. Both must be
+	// set before the cache serves traffic.
+	Fill   func(k Key) ([]byte, error)
+	FillID func(id string) ([]byte, error)
+
 	flight runner.Flight[string, cacheOutcome]
 
 	// metas memoizes per-file index metadata for List (id ->
@@ -98,6 +111,8 @@ type Cache struct {
 
 	loads, records, joined              atomic.Uint64
 	quarantined, readErrors, saveErrors atomic.Uint64
+	peerFills, peerFillMisses           atomic.Uint64
+	peerFillErrors, peerServes          atomic.Uint64
 }
 
 // cachedMeta is one memoized ReadMeta result with its validators.
@@ -126,17 +141,33 @@ type CacheStats struct {
 	Quarantined uint64 `json:"quarantined"`
 	ReadErrors  uint64 `json:"read_errors"`
 	SaveErrors  uint64 `json:"save_errors"`
+
+	// PeerFills counts misses satisfied by the Fill/FillID hooks (in a
+	// cluster, traces fetched from the owning peer instead of
+	// re-simulated); PeerFillMisses counts hook calls that came back
+	// empty and fell through to simulation; PeerFillErrors counts hook
+	// failures plus filled payloads rejected by verification.
+	// PeerServes counts raw trace files this instance handed to peers
+	// through ReadRaw.
+	PeerFills      uint64 `json:"peer_fills,omitempty"`
+	PeerFillMisses uint64 `json:"peer_fill_misses,omitempty"`
+	PeerFillErrors uint64 `json:"peer_fill_errors,omitempty"`
+	PeerServes     uint64 `json:"peer_serves,omitempty"`
 }
 
 // Stats snapshots the cache's activity counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Loads:       c.loads.Load(),
-		Records:     c.records.Load(),
-		Joined:      c.joined.Load(),
-		Quarantined: c.quarantined.Load(),
-		ReadErrors:  c.readErrors.Load(),
-		SaveErrors:  c.saveErrors.Load(),
+		Loads:          c.loads.Load(),
+		Records:        c.records.Load(),
+		Joined:         c.joined.Load(),
+		Quarantined:    c.quarantined.Load(),
+		ReadErrors:     c.readErrors.Load(),
+		SaveErrors:     c.saveErrors.Load(),
+		PeerFills:      c.peerFills.Load(),
+		PeerFillMisses: c.peerFillMisses.Load(),
+		PeerFillErrors: c.peerFillErrors.Load(),
+		PeerServes:     c.peerServes.Load(),
 	}
 }
 
@@ -330,6 +361,9 @@ func (c *Cache) LoadID(id string) (*Trace, int64, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
+			if t, size, ok := c.fillID(id); ok {
+				return t, size, nil
+			}
 			return nil, 0, ErrNoTrace
 		}
 		return nil, 0, fmt.Errorf("disptrace: %w", err)
@@ -381,6 +415,9 @@ func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, rec
 			c.loads.Add(1)
 			return cacheOutcome{t: t}, nil
 		}
+		if t := c.fill(k); t != nil {
+			return cacheOutcome{t: t}, nil
+		}
 		t, err := record()
 		if err != nil {
 			return cacheOutcome{}, err
@@ -395,6 +432,95 @@ func (c *Cache) GetOrRecord(k Key, record func() (*Trace, error)) (t *Trace, rec
 		c.joined.Add(1)
 	}
 	return o.t, o.recorded, err
+}
+
+// fill consults the Fill hook on a clean local miss. A usable result
+// is verified against the key, persisted locally (best effort — a
+// store failure costs the next request another fill, not this
+// response), and returned; anything else — hook absent, hook error,
+// empty result, or a payload that fails decode or key verification —
+// returns nil so the caller falls through to simulation. The ladder
+// is strictly local → peer → simulate: fill never makes a miss worse
+// than it already was.
+func (c *Cache) fill(k Key) *Trace {
+	if c.Fill == nil {
+		return nil
+	}
+	b, err := c.Fill(k)
+	if err != nil {
+		c.peerFillErrors.Add(1)
+		return nil
+	}
+	if len(b) == 0 {
+		c.peerFillMisses.Add(1)
+		return nil
+	}
+	t, err := Decode(b)
+	if err != nil || !k.matches(t.Header) {
+		c.peerFillErrors.Add(1)
+		return nil
+	}
+	if err := atomicWrite(c.Path(k), b); err != nil {
+		c.saveErrors.Add(1)
+	}
+	c.peerFills.Add(1)
+	return t
+}
+
+// fillID is fill for by-ID loads: the filled payload is verified
+// against the content address (the decoded header must hash back to
+// id) before being persisted and served.
+func (c *Cache) fillID(id string) (*Trace, int64, bool) {
+	if c.FillID == nil {
+		return nil, 0, false
+	}
+	b, err := c.FillID(id)
+	if err != nil {
+		c.peerFillErrors.Add(1)
+		return nil, 0, false
+	}
+	if len(b) == 0 {
+		c.peerFillMisses.Add(1)
+		return nil, 0, false
+	}
+	t, err := Decode(b)
+	if err != nil {
+		c.peerFillErrors.Add(1)
+		return nil, 0, false
+	}
+	h := t.Header
+	k := Key{Workload: h.Workload, Lang: h.Lang, Variant: h.Variant,
+		Technique: h.Technique, Scale: h.Scale, ScaleDiv: h.ScaleDiv,
+		MaxSteps: h.MaxSteps, ISAHash: h.ISAHash}
+	if k.ID() != id {
+		c.peerFillErrors.Add(1)
+		return nil, 0, false
+	}
+	if err := atomicWrite(filepath.Join(c.Dir, id+".vmdt"), b); err != nil {
+		c.saveErrors.Add(1)
+	}
+	c.peerFills.Add(1)
+	return t, int64(len(b)), true
+}
+
+// ReadRaw returns the raw stored bytes of a resident trace file — the
+// peer-serving side of the fill protocol. It reads the disk directly
+// (no fault injection, no fill recursion: an instance serves only
+// what it actually has), and the requesting peer verifies the payload
+// against the content address, so no decode happens here.
+func (c *Cache) ReadRaw(id string) ([]byte, error) {
+	if !ValidID(id) {
+		return nil, ErrNoTrace
+	}
+	b, err := os.ReadFile(filepath.Join(c.Dir, id+".vmdt"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNoTrace
+		}
+		return nil, fmt.Errorf("disptrace: %w", err)
+	}
+	c.peerServes.Add(1)
+	return b, nil
 }
 
 // ScrubReport summarizes a cache verification pass.

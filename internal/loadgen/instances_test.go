@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// stubInstance serves /v1/stats and /metrics with fixed request
+// counters, the way one replica of a cluster would.
+func stubInstance(t *testing.T, run, sweep uint64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"requests":{"run":%d,"sweep":%d,"diff":1,"traces":2,"rejected":0,"errors":0}}`, run, sweep)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# TYPE vmserved_requests_total counter\n")
+		fmt.Fprintf(w, "vmserved_requests_total{endpoint=\"run\"} %d\n", run)
+		fmt.Fprintf(w, "vmserved_requests_total{endpoint=\"sweep\"} %d\n", sweep)
+		fmt.Fprintf(w, "vmserved_requests_total{endpoint=\"diff\"} 1\n")
+		fmt.Fprintf(w, "vmserved_requests_total{endpoint=\"traces\"} 2\n")
+		fmt.Fprintf(w, "# TYPE vmserved_rejected_total counter\nvmserved_rejected_total 0\n")
+		fmt.Fprintf(w, "# TYPE vmserved_errors_total counter\nvmserved_errors_total 0\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestInstanceViewSumming: with Instances set, both cross-check views
+// are the sum over the fleet, and both renderings agree.
+func TestInstanceViewSumming(t *testing.T) {
+	a := stubInstance(t, 10, 3)
+	b := stubInstance(t, 7, 5)
+	ld := &load{
+		Runner: &Runner{Addr: "http://router.invalid",
+			Instances: []string{a.URL, b.URL}},
+		client: http.DefaultClient,
+	}
+	want := ServerDelta{Run: 17, Sweep: 8, Diff: 2, Traces: 4}
+	sv := ld.serverView()
+	if sv == nil || *sv != want {
+		t.Fatalf("serverView = %+v, want %+v", sv, want)
+	}
+	mv := ld.metricsView()
+	if mv == nil || *mv != want {
+		t.Fatalf("metricsView = %+v, want %+v", mv, want)
+	}
+}
+
+// TestInstanceViewDropsOnUnreachable: one dead replica drops the
+// cross-check entirely — a partial sum would always disagree with the
+// client-side op counts and fail runs spuriously.
+func TestInstanceViewDropsOnUnreachable(t *testing.T) {
+	a := stubInstance(t, 10, 3)
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead.Close()
+	ld := &load{
+		Runner: &Runner{Addr: "http://router.invalid",
+			Instances: []string{a.URL, dead.URL}},
+		client: http.DefaultClient,
+	}
+	if sv := ld.serverView(); sv != nil {
+		t.Fatalf("serverView with a dead instance = %+v, want nil", sv)
+	}
+	if mv := ld.metricsView(); mv != nil {
+		t.Fatalf("metricsView with a dead instance = %+v, want nil", mv)
+	}
+}
+
+// TestInstanceViewUnsetFallsBack: without Instances the views come
+// from Addr alone, as before clustering existed.
+func TestInstanceViewUnsetFallsBack(t *testing.T) {
+	a := stubInstance(t, 4, 2)
+	ld := &load{Runner: &Runner{Addr: a.URL}, client: http.DefaultClient}
+	want := ServerDelta{Run: 4, Sweep: 2, Diff: 1, Traces: 2}
+	if sv := ld.serverView(); sv == nil || *sv != want {
+		t.Fatalf("serverView = %+v, want %+v", sv, want)
+	}
+}

@@ -39,6 +39,14 @@ type Runner struct {
 	// hash into Report.Responses — the byte-identity artifact chaos CI
 	// compares between a fault-free and a fault-injected run.
 	KeepResponses bool
+	// Instances, when set, lists every replica base URL behind a
+	// cluster router at Addr: the server-side cross-check views
+	// (/v1/stats and /metrics) are fetched from each instance and
+	// summed, since the router fans traffic across the fleet and its
+	// own stats count routing, not serving. Any unreachable instance
+	// drops the cross-check (nil views), as a single unreachable
+	// target would.
+	Instances []string
 }
 
 // load is the mutable state of one run.
@@ -545,9 +553,36 @@ func (ld *load) logf(format string, args ...any) {
 
 // serverView fetches the request-count block of /v1/stats,
 // best-effort: targets without a stats endpoint (stub servers in
-// tests) simply produce a report without the server cross-check.
+// tests) simply produce a report without the server cross-check. With
+// Instances set, every replica's view is summed — all must answer, or
+// the cross-check is dropped (a partial sum would always "disagree").
 func (ld *load) serverView() *ServerDelta {
-	resp, err := ld.client.Get(ld.Addr + "/v1/stats")
+	if len(ld.Instances) > 0 {
+		return sumViews(ld.Instances, ld.serverViewAt)
+	}
+	return ld.serverViewAt(ld.Addr)
+}
+
+// sumViews aggregates one per-instance view across the fleet.
+func sumViews(instances []string, view func(addr string) *ServerDelta) *ServerDelta {
+	var sum ServerDelta
+	for _, addr := range instances {
+		d := view(addr)
+		if d == nil {
+			return nil
+		}
+		sum.Run += d.Run
+		sum.Sweep += d.Sweep
+		sum.Diff += d.Diff
+		sum.Traces += d.Traces
+		sum.Rejected += d.Rejected
+		sum.Errors += d.Errors
+	}
+	return &sum
+}
+
+func (ld *load) serverViewAt(addr string) *ServerDelta {
+	resp, err := ld.client.Get(addr + "/v1/stats")
 	if err != nil {
 		return nil
 	}
@@ -580,9 +615,17 @@ func (ld *load) serverView() *ServerDelta {
 // exposition — the independent second rendering of the server's
 // registry the report cross-checks /v1/stats against. Best-effort
 // like serverView: targets without /metrics produce a report without
-// the cross-check.
+// the cross-check. With Instances set, per-replica expositions are
+// summed, mirroring serverView.
 func (ld *load) metricsView() *ServerDelta {
-	series, err := ScrapeMetrics(ld.client, ld.Addr)
+	if len(ld.Instances) > 0 {
+		return sumViews(ld.Instances, ld.metricsViewAt)
+	}
+	return ld.metricsViewAt(ld.Addr)
+}
+
+func (ld *load) metricsViewAt(addr string) *ServerDelta {
+	series, err := ScrapeMetrics(ld.client, addr)
 	if err != nil {
 		return nil
 	}

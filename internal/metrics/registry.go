@@ -180,6 +180,22 @@ func (v *CounterVec) With(labelVal string) *Counter {
 	return s.counter
 }
 
+// GaugeVec is a gauge family partitioned by one label — what info
+// metrics (vmserved_instance_info{instance="..."} 1) are built from.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, kindGauge, label)}
+}
+
+// With returns the child gauge for a label value, creating it on
+// first use.
+func (v *GaugeVec) With(labelVal string) *Gauge {
+	s := v.fam.child(labelVal, func() *series { return &series{gauge: &Gauge{}} })
+	return s.gauge
+}
+
 // HistogramVec is a histogram family partitioned by one label.
 type HistogramVec struct{ fam *family }
 

@@ -265,12 +265,11 @@ func resolveSweep(req SweepRequest, scaleDiv int) ([]group, error) {
 // the deterministic group-key sequence. Cursors embed it so a token
 // can only resume the sweep it was issued for.
 func gridHash(groups []group) string {
-	h := sha256.New()
-	for _, g := range groups {
-		io.WriteString(h, g.key)
-		h.Write([]byte{0})
+	keys := make([]string, len(groups))
+	for i, g := range groups {
+		keys[i] = g.key
 	}
-	return hex.EncodeToString(h.Sum(nil)[:8])
+	return SweepGridHash(keys)
 }
 
 // sweepCursor is the decoded form of a resume token: which groups of
@@ -317,6 +316,79 @@ func decodeCursor(token, grid string, n int) ([]int, error) {
 		}
 	}
 	return c.Done, nil
+}
+
+// SweepGroup is the routing view of one sweep execution group: the
+// (workload, variant, scalediv) whose cells share a dispatch trace,
+// plus the resolved machine names in request order. The cluster
+// router decomposes a sweep into these, forwards each to the owner of
+// its cell key, and stitches the streams back together; Key is the
+// same canonical coalescing key the serving tier's group flight uses,
+// so router-side cursors and server-side cursors hash the same grid.
+type SweepGroup struct {
+	Key      string
+	Workload string
+	Variant  string
+	ScaleDiv int
+	Machines []string
+}
+
+// ResolveSweepGroups expands a SweepRequest exactly as POST /v1/sweep
+// does — same workload dedup, per-language variant defaulting and
+// validation errors — but returns the routing view instead of
+// executing anything.
+func ResolveSweepGroups(req SweepRequest, defaultScaleDiv int) ([]SweepGroup, error) {
+	scaleDiv := req.ScaleDiv
+	if scaleDiv <= 0 {
+		scaleDiv = defaultScaleDiv
+	}
+	if scaleDiv <= 0 {
+		scaleDiv = 1
+	}
+	groups, err := resolveSweep(req, scaleDiv)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepGroup, len(groups))
+	for i, g := range groups {
+		sg := SweepGroup{Key: g.key, ScaleDiv: scaleDiv}
+		if len(g.cells) > 0 {
+			sg.Workload = g.cells[0].cell.workload
+			sg.Variant = g.cells[0].cell.variant
+		}
+		sg.Machines = make([]string, len(g.cells))
+		for j, rc := range g.cells {
+			sg.Machines[j] = rc.cell.machine
+		}
+		out[i] = sg
+	}
+	return out, nil
+}
+
+// SweepGridHash fingerprints a grid from its canonical group-key
+// sequence — the exported form of what sweep cursors bind to, so the
+// router issues and validates cursors over the same fingerprint space
+// as a single instance.
+func SweepGridHash(keys []string) string {
+	h := sha256.New()
+	for _, k := range keys {
+		io.WriteString(h, k)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// EncodeSweepCursor renders a resume token for the groups marked
+// done, and DecodeSweepCursor validates one against a grid — the
+// exported cursor codec the router shares with the sweep handler.
+func EncodeSweepCursor(grid string, done []bool) string {
+	return encodeCursor(grid, done)
+}
+
+// DecodeSweepCursor validates a resume token against the grid
+// fingerprint and group count, returning the done group indices.
+func DecodeSweepCursor(token, grid string, n int) ([]int, error) {
+	return decodeCursor(token, grid, n)
 }
 
 // groupKey canonicalizes a group for coalescing: identical concurrent

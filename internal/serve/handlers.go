@@ -29,14 +29,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/diff", s.instrument("diff", st.reqDiff, st.latDiff, false, s.handleDiff))
 	mux.HandleFunc("GET /v1/traces", s.instrument("traces", st.reqTraces, st.latTraces, false, s.handleTraceList))
 	mux.HandleFunc("GET /v1/traces/{id}", s.instrument("traces", st.reqTraces, st.latTraces, false, s.handleTraceInfo))
+	// The raw-bytes endpoint is the peer-serving side of the cluster's
+	// cache-fill protocol. Like /metrics it is uninstrumented: peers
+	// fetching fills must not perturb the request counters vmload
+	// cross-checks against client-side op counts.
+	mux.HandleFunc("GET /v1/traces/{id}/raw", s.handleTraceRaw)
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", st.reqStats, st.latStats, false, s.handleStats))
 	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.Handle("GET /debug/requests", s.recorder.Handler())
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.InstanceID == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Served-By", s.cfg.InstanceID)
+		mux.ServeHTTP(w, r)
 	})
-	return mux
+}
+
+// handleHealthz is liveness: 200 as long as the process can answer
+// HTTP at all. Readiness (handleReadyz) is the probe that flips
+// during drain; liveness never does — restarting an instance because
+// it is draining would defeat the drain.
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}
+
+// handleReadyz is readiness: 200 while the instance accepts work, 503
+// once drain has begun (SetReady(false) at SIGTERM, before listeners
+// close), so routers and load balancers steer traffic away instead of
+// eating connection resets.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false}`)
+		return
+	}
+	fmt.Fprintln(w, `{"ready":true}`)
 }
 
 // MetricsHandler serves the registry in Prometheus text exposition
@@ -61,6 +94,8 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/requests", s.recorder.Handler())
 	mux.Handle("/metrics", s.MetricsHandler())
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -459,6 +494,31 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 		info.RawBytes += seg.RawLen()
 	}
 	writeJSON(w, r.Context(), info)
+}
+
+// handleTraceRaw serves the stored bytes of one cached trace file —
+// what a peer instance fetches to fill its own miss. It reads only
+// what is locally resident (ReadRaw never recurses into the fill
+// hooks, so two instances missing the same key cannot chase each
+// other) and the requesting peer verifies the payload against the
+// content address.
+func (s *Server) handleTraceRaw(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Traces == nil {
+		errorBody(w, http.StatusNotFound, "no trace cache configured")
+		return
+	}
+	id := r.PathValue("id")
+	b, err := s.cfg.Traces.ReadRaw(id)
+	if errors.Is(err, disptrace.ErrNoTrace) {
+		errorBody(w, http.StatusNotFound, "no trace %s", id)
+		return
+	} else if err != nil {
+		s.stats.errors.Add(1)
+		errorBody(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(b)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

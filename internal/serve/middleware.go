@@ -66,6 +66,11 @@ func (s *Server) instrument(endpoint string, reqs *metrics.Counter, lat *metrics
 		if a := r.Header.Get("X-Retry-Attempt"); a != "" && a != "0" {
 			s.stats.retriedRequests.Add(1)
 		}
+		// X-Cluster-Hop marks a request forwarded by the cluster router
+		// (the value is the router's attempt number for this request).
+		if r.Header.Get("X-Cluster-Hop") != "" {
+			s.stats.forwardedRequests.Add(1)
+		}
 		id := obs.RequestID(r.Header.Get("X-Request-ID"))
 		ctx, tr := obs.NewTrace(r.Context(), endpoint, id)
 		w.Header().Set("X-Request-ID", id)

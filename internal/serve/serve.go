@@ -43,6 +43,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmopt/internal/disptrace"
@@ -106,6 +107,10 @@ type Config struct {
 	// instrumented request: request ID, endpoint, status, cache
 	// outcome and latency.
 	AccessLog *slog.Logger
+	// InstanceID names this instance in a cluster: echoed on every
+	// response as X-Served-By, reported in /v1/stats, and exported as
+	// the vmserved_instance_info gauge. Empty disables all three.
+	InstanceID string
 	// DebugRecent and DebugSlowest size the /debug/requests trace
 	// recorder (<= 0 picks obs defaults).
 	DebugRecent  int
@@ -199,7 +204,21 @@ type Server struct {
 
 	// recorder retains finished request traces for /debug/requests.
 	recorder *obs.Recorder
+
+	// notReady flips at the start of graceful shutdown (before
+	// listeners close), turning GET /readyz into 503 so a router or LB
+	// drains this instance instead of eating connection resets. The
+	// zero value is ready — inverted so a fresh Server needs no
+	// initialization to pass its first probe.
+	notReady atomic.Bool
 }
+
+// SetReady flips the /readyz probe. cmd/vmserved calls SetReady(false)
+// on SIGTERM, then waits the drain grace before closing listeners.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {

@@ -33,9 +33,10 @@ type stats struct {
 	canceledRetries                                *metrics.Counter
 	resultsDropped                                 *metrics.Counter
 
-	deadlineTimeouts *metrics.Counter
-	retriedRequests  *metrics.Counter
-	sweepResumes     *metrics.Counter
+	deadlineTimeouts  *metrics.Counter
+	retriedRequests   *metrics.Counter
+	sweepResumes      *metrics.Counter
+	forwardedRequests *metrics.Counter
 
 	latRun, latSweep, latDiff, latTraces, latStats *metrics.Histogram
 }
@@ -108,6 +109,49 @@ func (st *stats) init(s *Server) {
 		"Injected faults fired across every configured fault site.",
 		func() uint64 { return s.cfg.Faults.Total() })
 
+	st.forwardedRequests = r.Counter("vmserved_forwarded_requests_total",
+		"Requests arriving via the cluster router (X-Cluster-Hop set).")
+	traceStat := func(read func(disptrace.CacheStats) uint64) func() uint64 {
+		return func() uint64 {
+			if s.cfg.Traces == nil {
+				return 0
+			}
+			return read(s.cfg.Traces.Stats())
+		}
+	}
+	r.CounterFunc("vmserved_trace_records_total",
+		"Dispatch traces recorded by simulation on this instance — the fleet-wide sum bounds duplicate work.",
+		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.Records }))
+	r.CounterFunc("vmserved_trace_loads_total",
+		"Dispatch traces loaded from the local disk cache.",
+		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.Loads }))
+	r.CounterFunc("vmserved_peer_fill_hits_total",
+		"Local trace-cache misses satisfied by fetching from the owning peer instead of re-simulating.",
+		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.PeerFills }))
+	r.CounterFunc("vmserved_peer_fill_misses_total",
+		"Peer-fill attempts that came back empty and fell through to simulation.",
+		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.PeerFillMisses }))
+	r.CounterFunc("vmserved_peer_fill_errors_total",
+		"Peer-fill attempts that failed or returned a payload rejected by verification.",
+		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.PeerFillErrors }))
+	r.CounterFunc("vmserved_peer_serves_total",
+		"Raw trace files this instance served to filling peers.",
+		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.PeerServes }))
+
+	if s.cfg.InstanceID != "" {
+		r.GaugeVec("vmserved_instance_info",
+			"Instance identity; the label carries the -instance-id, the value is always 1.",
+			"instance").With(s.cfg.InstanceID).Set(1)
+	}
+	r.GaugeFunc("vmserved_ready",
+		"Readiness: 1 while /readyz answers 200, 0 once drain has begun.",
+		func() float64 {
+			if s.Ready() {
+				return 1
+			}
+			return 0
+		})
+
 	r.GaugeFunc("vmserved_in_flight",
 		"Admitted requests currently executing.",
 		func() float64 { return float64(st.inFlight.Load()) })
@@ -131,6 +175,13 @@ func (st *stats) init(s *Server) {
 type StatsResponse struct {
 	UptimeS float64      `json:"uptime_s"`
 	Host    *runner.Host `json:"host"`
+
+	// InstanceID is this instance's identity in a cluster (the
+	// -instance-id flag; absent when unset).
+	InstanceID string `json:"instance_id,omitempty"`
+
+	// Ready mirrors the /readyz probe: false once drain has begun.
+	Ready bool `json:"ready"`
 
 	// InFlight is the number of admitted /v1/run and /v1/sweep
 	// requests currently executing.
@@ -190,6 +241,9 @@ type RequestStats struct {
 	Retried uint64 `json:"retried"`
 	// SweepResumes counts sweeps resumed from a cursor.
 	SweepResumes uint64 `json:"sweep_resumes"`
+	// Forwarded counts requests that arrived through the cluster
+	// router (X-Cluster-Hop set) rather than directly from a client.
+	Forwarded uint64 `json:"forwarded"`
 }
 
 // CacheTier describes the in-memory result LRU.
@@ -236,9 +290,11 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	resp := StatsResponse{
-		UptimeS:  time.Since(st.start).Seconds(),
-		Host:     runner.CurrentHost(),
-		InFlight: st.inFlight.Load(),
+		UptimeS:    time.Since(st.start).Seconds(),
+		Host:       runner.CurrentHost(),
+		InstanceID: s.cfg.InstanceID,
+		Ready:      s.Ready(),
+		InFlight:   st.inFlight.Load(),
 		Requests: RequestStats{
 			Run:              st.reqRun.Load(),
 			Sweep:            st.reqSweep.Load(),
@@ -250,6 +306,7 @@ func (st *stats) snapshot(s *Server) StatsResponse {
 			DeadlineTimeouts: st.deadlineTimeouts.Load(),
 			Retried:          st.retriedRequests.Load(),
 			SweepResumes:     st.sweepResumes.Load(),
+			Forwarded:        st.forwardedRequests.Load(),
 		},
 		Cache: CacheTier{
 			Size:      s.lru.Len(),
