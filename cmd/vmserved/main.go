@@ -28,6 +28,11 @@
 // port. -access-log writes one JSON record per request (request ID,
 // endpoint, status, cache outcome, latency) to stderr.
 //
+// -compiled-budget bounds the in-memory compiled-replay tier: a trace
+// loaded from the cache -compile-after times is specialized into a
+// pre-decoded op arena and served from memory with zero decode work
+// (see the README "Compiled replay" section; 0 disables the tier).
+//
 // Cluster mode (see internal/cluster and the README "Cluster"
 // section):
 //
@@ -83,6 +88,8 @@ func main() {
 	inflight := flag.Int("inflight", serve.DefaultMaxInFlight, "max concurrently executing run/sweep requests (backpressure; 503 beyond)")
 	maxCells := flag.Int("max-cells", serve.DefaultMaxCells, "max cells one sweep may resolve to")
 	scaleDiv := flag.Int("scalediv", 1, "default scale divisor for requests that omit scalediv")
+	compiledBudget := flag.Int64("compiled-budget", serve.DefaultCompiledBudget, "byte budget for the in-memory compiled-replay arena tier (0 disables)")
+	compileAfter := flag.Int("compile-after", disptrace.DefaultCompileAfter, "disk loads of the same trace before it is compiled into an arena")
 	runDeadline := flag.Duration("run-deadline", 0, "server-side deadline for one /v1/run request (504 beyond; 0 = none)")
 	sweepDeadline := flag.Duration("sweep-deadline", 0, "server-side deadline for one /v1/sweep request (0 = none)")
 	diffDeadline := flag.Duration("diff-deadline", 0, "server-side deadline for one /v1/diff request (0 = none)")
@@ -142,6 +149,12 @@ func main() {
 		SweepDeadline:   *sweepDeadline,
 		DiffDeadline:    *diffDeadline,
 		InstanceID:      *instanceID,
+		CompiledBudget:  *compiledBudget,
+		CompileAfter:    *compileAfter,
+	}
+	if *compiledBudget == 0 {
+		// The flag's 0 means "off"; Config's 0 means "default budget".
+		cfg.CompiledBudget = -1
 	}
 	if cfg.InstanceID == "" {
 		cfg.InstanceID = defaultInstanceID(*addr)

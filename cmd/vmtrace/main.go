@@ -34,7 +34,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"vmopt/internal/cpu"
 	"vmopt/internal/disptrace"
@@ -51,12 +53,13 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: vmtrace <record|replay|info|diff> [flags]\n" +
+	return fmt.Errorf("usage: vmtrace <record|replay|info|diff|compile> [flags]\n" +
 		"  record -bench NAME -variant NAME [-scalediv N] [-maxsteps N] [-machine NAME] [-codec raw|flate] -o FILE\n" +
 		"  replay [-machine NAME] [-jobs N] [-verify] FILE\n" +
 		"  info [-segments] FILE\n" +
 		"  diff [-n N] FILE_A FILE_B\n" +
-		"  diff [-n N] -bench NAME -a VARIANT -b VARIANT [-scalediv N] [-maxsteps N] [-trace-cache DIR]")
+		"  diff [-n N] -bench NAME -a VARIANT -b VARIANT [-scalediv N] [-maxsteps N] [-trace-cache DIR]\n" +
+		"  compile [-verify] [-machine NAME] FILE... | -cache DIR")
 }
 
 func run(stdout io.Writer, args []string) error {
@@ -72,6 +75,8 @@ func run(stdout io.Writer, args []string) error {
 		return infoMain(stdout, args[1:])
 	case "diff":
 		return diffMain(stdout, args[1:])
+	case "compile":
+		return compileMain(stdout, args[1:])
 	default:
 		return usage()
 	}
@@ -308,6 +313,91 @@ func formatStep(d disptrace.StepDiff) string {
 	return s + ", no dispatch"
 }
 
+// compileMain builds the compiled-replay arena of each trace exactly
+// as vmserved's hot tier would — offline warming and, mostly, budget
+// sizing: the per-trace and total arena footprints it prints are what
+// the traces will cost against -compiled-budget once hot.
+func compileMain(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
+	cacheDir := fs.String("cache", "", "compile every trace in this cache directory instead of FILE arguments")
+	verify := fs.Bool("verify", false, "replay each trace compiled and decoded and require byte-identical counters")
+	machine := fs.String("machine", cpu.Celeron800.Name, "machine model -verify replays on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := cpu.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	var paths []string
+	switch {
+	case *cacheDir != "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("compile: unexpected argument %q alongside -cache", fs.Arg(0))
+		}
+		entries, err := disptrace.NewCache(*cacheDir).List()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			paths = append(paths, filepath.Join(*cacheDir, e.ID+".vmdt"))
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("compile: no traces in cache %s", *cacheDir)
+		}
+	case fs.NArg() > 0:
+		paths = fs.Args()
+	default:
+		return fmt.Errorf("compile: want trace files or -cache DIR")
+	}
+
+	var total int64
+	skipped := 0
+	for _, p := range paths {
+		tr, err := disptrace.Load(p)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		a, err := tr.Compile()
+		if err == disptrace.ErrNotIndexed {
+			fmt.Fprintf(stdout, "%s: not compilable (no instruction index; format < v3)\n", p)
+			skipped++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		fmt.Fprintf(stdout, "%s: %s/%s, %d ops over %d VM instructions, %d-byte arena, built in %s\n",
+			p, tr.Header.Workload, tr.Header.Variant, a.Ops(), a.Insts(), a.Bytes(),
+			time.Since(start).Round(time.Millisecond))
+		total += a.Bytes()
+		if *verify {
+			dec, err := disptrace.Load(p)
+			if err != nil {
+				return err
+			}
+			want, err := disptrace.ReplayMachine(dec, m, 0)
+			if err != nil {
+				return err
+			}
+			got, err := disptrace.ReplayMachine(tr, m, 0)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("%s: verify FAILED: compiled replay diverged from decode path\n  decode   %+v\n  compiled %+v", p, want, got)
+			}
+			fmt.Fprintf(stdout, "  verify OK: compiled replay byte-identical to decode path on %s\n", m.Name)
+		}
+	}
+	if len(paths) > 1 {
+		fmt.Fprintf(stdout, "total: %d arena(s), %d bytes resident when hot (size -compiled-budget accordingly), %d skipped\n",
+			len(paths)-skipped, total, skipped)
+	}
+	return nil
+}
+
 func infoMain(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
 	segments := fs.Bool("segments", false, "list every segment (codec, stored -> raw bytes, records, VM-instruction range)")
@@ -365,6 +455,14 @@ func printStreamStats(w io.Writer, tr *disptrace.Trace, listSegments bool) {
 	}
 	fmt.Fprintf(w, "totals:     %d VM instructions%s, %d generated code bytes, isa %#016x\n",
 		h.VMInstructions, indexed, h.CodeBytes, h.ISAHash)
+	// Compiled-replay state: what the trace costs once vmserved's hot
+	// tier specializes it (see `vmtrace compile` for offline warming).
+	if a, err := tr.Compile(); err == nil {
+		fmt.Fprintf(w, "compiled:   %d ops -> %d-byte arena when hot (%.1fx the stored payload)\n",
+			a.Ops(), a.Bytes(), float64(a.Bytes())/float64(max(stored, 1)))
+	} else {
+		fmt.Fprintf(w, "compiled:   not compilable (no instruction index; format < v3)\n")
+	}
 	if listSegments {
 		insts := uint64(0)
 		for i, s := range tr.Segs {

@@ -204,3 +204,40 @@ func TestReplayRejectsCorrupt(t *testing.T) {
 		t.Error("corrupt trace must error in info too")
 	}
 }
+
+// TestCompileSubcommand records a trace, compiles it with -verify
+// (byte-identity between arena and decode replays), and checks the
+// info surface reports the arena footprint.
+func TestCompileSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gray.vmdt")
+	if err := run(io.Discard, []string{"record", "-bench", "gray", "-variant", "plain",
+		"-scalediv", "40", "-o", path}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := run(&out, []string{"compile", "-verify", path}); err != nil {
+		t.Fatalf("compile -verify: %v", err)
+	}
+	for _, want := range []string{"ops over", "-byte arena", "verify OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compile output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	var info bytes.Buffer
+	if err := run(&info, []string{"info", path}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if !strings.Contains(info.String(), "compiled:   ") || !strings.Contains(info.String(), "arena when hot") {
+		t.Errorf("info lacks the compiled line:\n%s", info.String())
+	}
+
+	// Usage errors: no input, and files alongside -cache.
+	if err := run(io.Discard, []string{"compile"}); err == nil {
+		t.Error("compile with no input did not fail")
+	}
+	if err := run(io.Discard, []string{"compile", "-cache", t.TempDir(), path}); err == nil {
+		t.Error("compile -cache with a file argument did not fail")
+	}
+}

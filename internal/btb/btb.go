@@ -26,8 +26,15 @@ func (b *Ideal) Access(branch, _, target uint64) bool {
 	return seen && prev == target
 }
 
-// Reset implements Predictor.
-func (b *Ideal) Reset() { b.entries = make(map[uint64]uint64) }
+// Reset implements Predictor. It reuses the table's storage so a
+// pooled or arena-replayed simulator resets without allocating.
+func (b *Ideal) Reset() {
+	if b.entries == nil {
+		b.entries = make(map[uint64]uint64)
+		return
+	}
+	clear(b.entries)
+}
 
 // Lookup returns the current prediction for a branch, if any. It does
 // not modify predictor state; tests and the trace tool use it.
@@ -110,11 +117,18 @@ func (b *SetAssoc) Access(branch, _, target uint64) bool {
 	return false
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor. It reuses the table's storage so a
+// pooled or arena-replayed simulator resets without allocating.
 func (b *SetAssoc) Reset() {
-	b.data = make([][]entry, b.sets)
+	if b.data == nil {
+		b.data = make([][]entry, b.sets)
+		for i := range b.data {
+			b.data[i] = make([]entry, b.ways)
+		}
+		return
+	}
 	for i := range b.data {
-		b.data[i] = make([]entry, b.ways)
+		clear(b.data[i])
 	}
 }
 

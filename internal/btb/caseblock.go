@@ -46,5 +46,12 @@ func (b *CaseBlock) Access(branch, hint, target uint64) bool {
 	return correct
 }
 
-// Reset implements Predictor.
-func (b *CaseBlock) Reset() { b.data = make([]caseEntry, b.sets) }
+// Reset implements Predictor. It reuses the table's storage so a
+// pooled or arena-replayed simulator resets without allocating.
+func (b *CaseBlock) Reset() {
+	if b.data == nil {
+		b.data = make([]caseEntry, b.sets)
+		return
+	}
+	clear(b.data)
+}

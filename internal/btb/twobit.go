@@ -70,10 +70,17 @@ func (b *TwoBit) Access(branch, _, target uint64) bool {
 	return false
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor. It reuses the table's storage so a
+// pooled or arena-replayed simulator resets without allocating.
 func (b *TwoBit) Reset() {
-	b.data = make([][]twoBitEntry, b.sets)
+	if b.data == nil {
+		b.data = make([][]twoBitEntry, b.sets)
+		for i := range b.data {
+			b.data[i] = make([]twoBitEntry, b.ways)
+		}
+		return
+	}
 	for i := range b.data {
-		b.data[i] = make([]twoBitEntry, b.ways)
+		clear(b.data[i])
 	}
 }

@@ -55,9 +55,16 @@ func (b *TwoLevel) Access(branch, _, target uint64) bool {
 	return correct
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor. It reuses the table's storage so a
+// pooled or arena-replayed simulator resets without allocating.
 func (b *TwoLevel) Reset() {
-	b.table = make([]uint64, 1<<b.tableBits)
-	b.tagged = make([]bool, 1<<b.tableBits)
+	if b.table == nil {
+		b.table = make([]uint64, 1<<b.tableBits)
+		b.tagged = make([]bool, 1<<b.tableBits)
+		b.history = 0
+		return
+	}
+	clear(b.table)
+	clear(b.tagged)
 	b.history = 0
 }

@@ -20,13 +20,14 @@ import (
 //	go test -run '^$' -bench . -benchmem ./internal/disptrace/
 
 var benchState struct {
-	once sync.Once
-	tr   *disptrace.Trace // writer-produced (raw segments)
-	wire *disptrace.Trace // decoded from v2 bytes (flate segments)
-	v2   []byte
-	v1   []byte
-	ops  []cpu.Op // fully decoded stream, one batch
-	err  error
+	once     sync.Once
+	tr       *disptrace.Trace // writer-produced (raw segments)
+	wire     *disptrace.Trace // decoded from v2 bytes (flate segments)
+	compiled *disptrace.Trace // decoded then compiled (arena attached)
+	v2       []byte
+	v1       []byte
+	ops      []cpu.Op // fully decoded stream, one batch
+	err      error
 }
 
 func benchSetup(b *testing.B) {
@@ -52,6 +53,14 @@ func benchSetup(b *testing.B) {
 		benchState.v2 = tr.Encode()
 		benchState.v1 = disptrace.EncodeV1(tr)
 		if benchState.wire, err = disptrace.Decode(benchState.v2); err != nil {
+			benchState.err = err
+			return
+		}
+		if benchState.compiled, err = disptrace.Decode(benchState.v2); err != nil {
+			benchState.err = err
+			return
+		}
+		if _, err = benchState.compiled.Compile(); err != nil {
 			benchState.err = err
 			return
 		}
@@ -137,6 +146,47 @@ func BenchmarkReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkCompile is the compiled tier's one-time cost per trace:
+// wire bytes to attached arena (container parse, inflate, full decode,
+// instruction-index build). The tier pays it on the Nth load and
+// amortizes it over every replay after.
+func BenchmarkCompile(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.SetBytes(int64(len(benchState.v1)))
+	b.ReportAllocs()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		tr, err := disptrace.Decode(benchState.v2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := tr.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = a.Bytes()
+	}
+	b.ReportMetric(float64(bytes), "arena-bytes")
+}
+
+// BenchmarkReplayCompiled is the compiled-tier serving path: the
+// arena applied by reference into one reused simulator — zero decode,
+// zero allocation. Its counterpart on the decode path is
+// BenchmarkReplay (inflate + decode + apply per replay).
+func BenchmarkReplayCompiled(b *testing.B) {
+	benchSetup(b)
+	sims := []*cpu.Sim{cpu.NewSim(cpu.Celeron800)}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sims[0].Reset()
+		if err := disptrace.ReplayEach(benchState.compiled, sims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchMachines is a 5-machine grid group, the ReplayEach shape the
 // suite's machine sweeps produce.
 func benchMachines() []cpu.Machine {
@@ -161,6 +211,24 @@ func BenchmarkReplayEach5(b *testing.B) {
 			sims = append(sims, cpu.NewSim(m))
 		}
 		if err := disptrace.ReplayEach(benchState.wire, sims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayCompiledEach5 is the grid-group shape on the
+// compiled tier: no decode pipeline at all, each sim's applier walks
+// the same immutable arena independently.
+func BenchmarkReplayCompiledEach5(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sims := make([]*cpu.Sim, 0, 5)
+		for _, m := range benchMachines() {
+			sims = append(sims, cpu.NewSim(m))
+		}
+		if err := disptrace.ReplayEach(benchState.compiled, sims); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -99,6 +99,14 @@ type Cache struct {
 	Fill   func(k Key) ([]byte, error)
 	FillID func(id string) ([]byte, error)
 
+	// Compiled, when non-nil, is the in-memory compiled-replay tier:
+	// every clean disk load is offered to it, hot traces come back
+	// with a pre-decoded op arena attached, and tier hits skip the
+	// disk (and every later decode) entirely. Quarantine and scrub
+	// invalidate tier entries together with their files. nil disables
+	// the tier. Set before the cache serves traffic.
+	Compiled *CompiledTier
+
 	flight runner.Flight[string, cacheOutcome]
 
 	// metas memoizes per-file index metadata for List (id ->
@@ -153,11 +161,15 @@ type CacheStats struct {
 	PeerFillMisses uint64 `json:"peer_fill_misses,omitempty"`
 	PeerFillErrors uint64 `json:"peer_fill_errors,omitempty"`
 	PeerServes     uint64 `json:"peer_serves,omitempty"`
+
+	// Compiled reports the in-memory compiled-replay arena tier
+	// (absent when the cache runs without one).
+	Compiled *CompiledStats `json:"compiled,omitempty"`
 }
 
 // Stats snapshots the cache's activity counters.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{
+	cs := CacheStats{
 		Loads:          c.loads.Load(),
 		Records:        c.records.Load(),
 		Joined:         c.joined.Load(),
@@ -169,7 +181,16 @@ func (c *Cache) Stats() CacheStats {
 		PeerFillErrors: c.peerFillErrors.Load(),
 		PeerServes:     c.peerServes.Load(),
 	}
+	if c.Compiled != nil {
+		s := c.Compiled.Stats()
+		cs.Compiled = &s
+	}
+	return cs
 }
+
+// CompiledStats snapshots the compiled tier's counters (zeroes when
+// the cache runs without one) — the vmserved_compiled_* metrics.
+func (c *Cache) CompiledStats() CompiledStats { return c.Compiled.Stats() }
 
 // Quarantined reports files quarantined since process start (the
 // vmserved_cache_quarantined_total metric).
@@ -200,6 +221,10 @@ const QuarantineDir = "quarantine"
 // instead — a poisoned entry that cannot be set aside must still not
 // wedge every future run on its key.
 func (c *Cache) quarantine(path string) {
+	// The compiled tier must never outlive its file: a quarantined
+	// entry's arena (and hotness count) goes with it, so the healed
+	// replacement re-earns its arena from clean bytes.
+	c.Compiled.Invalidate(strings.TrimSuffix(filepath.Base(path), ".vmdt"))
 	qdir := filepath.Join(c.Dir, QuarantineDir)
 	if err := os.MkdirAll(qdir, 0o755); err == nil {
 		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
@@ -235,7 +260,11 @@ func (c *Cache) readFile(path string) ([]byte, error) {
 // would needlessly discard cache (GetOrRecord absorbs the error by
 // re-simulating instead).
 func (c *Cache) Load(k Key) (*Trace, error) {
-	path := c.Path(k)
+	id := k.ID()
+	if t := c.Compiled.Get(id); t != nil {
+		return t, nil
+	}
+	path := filepath.Join(c.Dir, id+".vmdt")
 	b, err := c.readFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -254,6 +283,7 @@ func (c *Cache) Load(k Key) (*Trace, error) {
 		c.quarantine(path)
 		return nil, nil
 	}
+	c.Compiled.Offer(id, t)
 	return t, nil
 }
 
@@ -368,6 +398,12 @@ func (c *Cache) LoadID(id string) (*Trace, int64, error) {
 		}
 		return nil, 0, fmt.Errorf("disptrace: %w", err)
 	}
+	// The stat above keeps deleted files reporting ErrNoTrace even
+	// when the tier still remembers them; past it, a tier hit skips
+	// the read and decode.
+	if t := c.Compiled.Get(id); t != nil {
+		return t, fi.Size(), nil
+	}
 	b, err := c.readFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -380,6 +416,7 @@ func (c *Cache) LoadID(id string) (*Trace, int64, error) {
 		c.quarantine(path)
 		return nil, 0, ErrNoTrace
 	}
+	c.Compiled.Offer(id, t)
 	return t, fi.Size(), nil
 }
 

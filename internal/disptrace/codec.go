@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Codec identifies the byte-level encoding of one segment payload.
@@ -64,15 +65,31 @@ func knownCodec(c Codec) bool { return c == CodecRaw || c == CodecFlate }
 // the input even for hostile indexes.
 const maxInflateRatio = 1032
 
+// flateWriters pools flate compressors: a fresh flate.Writer carries
+// tens of kilobytes of match tables, and before pooling every encoded
+// segment paid that allocation (EncodeFlate was ~370 allocs per
+// trace). Reset fully reinitializes a pooled writer — including one
+// abandoned mid-stream by an error — so reuse is safe.
+var flateWriters = sync.Pool{
+	New: func() any {
+		zw, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		return zw
+	},
+}
+
+// flateReaders pools flate decompressors; every reader flate.NewReader
+// produces implements flate.Resetter, and Reset restores it to a
+// fresh stream whatever state the previous use left it in.
+var flateReaders sync.Pool
+
 // deflate compresses raw with the default flate level and reports
 // whether the result is strictly smaller (callers keep CodecRaw
 // otherwise).
 func deflate(raw []byte) ([]byte, bool) {
 	var buf bytes.Buffer
-	zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
-	if err != nil {
-		return nil, false // only reachable for invalid levels
-	}
+	zw := flateWriters.Get().(*flate.Writer)
+	defer flateWriters.Put(zw)
+	zw.Reset(&buf)
 	if _, err := zw.Write(raw); err != nil {
 		return nil, false
 	}
@@ -92,8 +109,19 @@ func inflate(data []byte, rawLen int, scratch []byte) ([]byte, error) {
 	if rawLen < 0 || rawLen > maxInflateRatio*len(data)+64 {
 		return nil, fmt.Errorf("disptrace: declared raw size %d impossible for %d compressed bytes", rawLen, len(data))
 	}
-	zr := flate.NewReader(bytes.NewReader(data))
-	defer zr.Close()
+	var zr io.ReadCloser
+	if v := flateReaders.Get(); v != nil {
+		zr = v.(io.ReadCloser)
+		if err := zr.(flate.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+			return nil, fmt.Errorf("disptrace: inflating segment: %w", err)
+		}
+	} else {
+		zr = flate.NewReader(bytes.NewReader(data))
+	}
+	defer func() {
+		zr.Close()
+		flateReaders.Put(zr)
+	}()
 	out := scratch
 	if cap(out) < rawLen {
 		out = make([]byte, rawLen)

@@ -104,11 +104,23 @@ type Cursor struct {
 	stitch  []cpu.Op
 	scratch []byte
 	err     error
+
+	// comp, when non-nil, is the trace's compiled arena: Next, Seek
+	// and NextBatch serve op ranges straight from it (no decode, no
+	// stitching — a step spanning segments is contiguous in the flat
+	// layout). pos is the compiled position as a global op offset;
+	// seg and inst keep their decode-path meanings.
+	comp *Arena
+	pos  int
 }
 
-// NewCursor positions a cursor at the start of the trace.
+// NewCursor positions a cursor at the start of the trace. On a
+// compiled trace the cursor serves from the arena: step and batch
+// slices reference the immutable arena (valid indefinitely, though
+// callers should still treat them as until-next-advance per the Step
+// contract), and iteration performs no decode work at all.
 func NewCursor(t *Trace) *Cursor {
-	return &Cursor{t: t, indexed: t.Indexed()}
+	return &Cursor{t: t, indexed: t.Indexed(), comp: t.arena}
 }
 
 // index returns the cumulative-instruction index, building it on
@@ -244,11 +256,33 @@ func (c *Cursor) stitchContinues(j int) bool {
 	return c.prefixOpen
 }
 
+// compSeg advances seg so it names the segment a forward-moving
+// compiled cursor at op offset pos is in: the first segment whose end
+// reaches pos. At an exact boundary the cursor stays in the segment
+// that just ended (its NextBatch delivers the empty remainder and
+// advances), mirroring the decode path's deferred segment advance.
+func (c *Cursor) compSeg() {
+	for c.seg < len(c.comp.segEnds) && c.comp.segEnds[c.seg] < c.pos {
+		c.seg++
+	}
+}
+
 // Next returns the next step and advances. It returns false at the
 // end of the trace or on a decode error (see Err).
 func (c *Cursor) Next() (Step, bool) {
 	if c.err != nil {
 		return Step{}, false
+	}
+	if a := c.comp; a != nil {
+		if c.inst >= uint64(len(a.instEnds)) {
+			return Step{}, false
+		}
+		lo, hi := a.instStart(int(c.inst)), a.instEnds[c.inst]
+		st := Step{Index: c.inst, Ops: a.ops[lo:hi]}
+		c.inst++
+		c.pos = hi
+		c.compSeg()
+		return st, true
 	}
 	for {
 		if !c.loaded {
@@ -317,6 +351,22 @@ func (c *Cursor) Seek(inst uint64) error {
 	if c.err != nil {
 		return c.err
 	}
+	if a := c.comp; a != nil {
+		if inst >= uint64(len(a.instEnds)) {
+			c.seg, c.pos, c.inst = len(a.segEnds), len(a.ops), inst
+			return nil
+		}
+		cum := c.index()
+		// Position in the segment the instruction *begins* in (not
+		// merely the one containing its start offset): a step starting
+		// exactly at a seal belongs to the new segment, and NextBatch
+		// after Seek must deliver from there — the decode path's
+		// behavior.
+		c.seg = sort.Search(len(c.t.Segs), func(s int) bool { return cum[s+1] > inst })
+		c.pos = a.instStart(int(inst))
+		c.inst = inst
+		return nil
+	}
 	if c.indexed {
 		cum := c.index()
 		if inst >= cum[len(cum)-1] {
@@ -360,6 +410,13 @@ func (c *Cursor) Seek(inst uint64) error {
 func (c *Cursor) NextBatch(dst []cpu.Op) ([]cpu.Op, bool) {
 	if c.err != nil || c.seg >= len(c.t.Segs) {
 		return dst, false
+	}
+	if a := c.comp; a != nil {
+		dst = append(dst, a.ops[c.pos:a.segEnds[c.seg]]...)
+		c.seg++
+		c.pos = a.segEnds[c.seg-1]
+		c.inst = c.index()[c.seg]
+		return dst, true
 	}
 	if c.loaded {
 		dst = append(dst, c.ops[c.opOff(c.recOff):]...)

@@ -306,6 +306,12 @@ func (s Segment) payloadScratch(scratch []byte) (raw, newScratch []byte, err err
 type Trace struct {
 	Header Header
 	Segs   []Segment
+
+	// arena, when non-nil, is the trace's compiled form (see
+	// compiled.go): the fully decoded op stream replay and cursors
+	// serve from instead of decoding Segs. Attached by Compile; the
+	// arena is immutable and must describe exactly this trace.
+	arena *Arena
 }
 
 // maxStringLen bounds length-prefixed strings during decoding so a

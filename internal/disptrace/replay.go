@@ -138,6 +138,29 @@ func replayEach(ctx context.Context, t *Trace, sims []*cpu.Sim, decodeJobs int) 
 	if decodeJobs <= 0 {
 		decodeJobs = defaultDecodeJobs()
 	}
+	if a := t.arena; a != nil {
+		// Compiled fast path: the trace's arena already holds the
+		// fully decoded stream, so replay is pure apply — no inflate,
+		// no varint expansion, no batch pool, and no allocation at
+		// all for a single sim (Apply never consults the Sink, and
+		// the code-bytes credit below is the same accounting
+		// AddCodeBytes performs, minus the sink it must not drive).
+		// The op sequence is identical to a decode-path replay — the
+		// arena is built by the same decoder — so counters stay
+		// byte-identical, float cycle order included.
+		start := time.Now()
+		for _, sim := range sims {
+			sim.C.CodeBytes += t.Header.CodeBytes
+		}
+		a.replay(sims)
+		for _, sim := range sims {
+			sim.C.VMInstructions += t.Header.VMInstructions
+		}
+		if obs.FromContext(ctx) != nil {
+			obs.Observe(ctx, "compiled", time.Since(start))
+		}
+		return nil
+	}
 	saved := make([]cpu.Sink, len(sims))
 	for i, sim := range sims {
 		saved[i], sim.Sink = sim.Sink, nil

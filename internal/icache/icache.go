@@ -121,9 +121,17 @@ func (c *Cache) MissRate() float64 {
 
 // Reset clears cache contents and counters.
 func (c *Cache) Reset() {
-	c.data = make([][]line, c.sets)
-	for i := range c.data {
-		c.data[i] = make([]line, c.ways)
+	if c.data == nil {
+		c.data = make([][]line, c.sets)
+		for i := range c.data {
+			c.data[i] = make([]line, c.ways)
+		}
+	} else {
+		// Reuse the line storage so a pooled or arena-replayed
+		// simulator resets without allocating.
+		for i := range c.data {
+			clear(c.data[i])
+		}
 	}
 	c.Accesses = 0
 	c.Misses = 0

@@ -31,17 +31,23 @@ import (
 const (
 	outcomeNone = iota
 	outcomeHit
+	outcomeCompiled
 	outcomeCoalesced
 	outcomeComputed
 	outcomeError
 	outcomeTimeout
 )
 
-var outcomeNames = [...]string{"", "hit", "coalesced", "computed", "error", "timeout"}
+var outcomeNames = [...]string{"", "hit", "compiled", "coalesced", "computed", "error", "timeout"}
 
 // Outcome labels for Trace.SetOutcome.
 const (
-	OutcomeHit       = "hit"
+	OutcomeHit = "hit"
+	// OutcomeCompiled marks a request served from the compiled-replay
+	// arena tier: a cache hit that also skipped decode entirely. It
+	// outranks a plain hit (it says more about how the request was
+	// served) but loses to any outcome that did real work.
+	OutcomeCompiled  = "compiled"
 	OutcomeCoalesced = "coalesced"
 	OutcomeComputed  = "computed"
 	OutcomeError     = "error"
@@ -201,6 +207,25 @@ func (tr *Trace) Outcome() string {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	return outcomeNames[tr.outcome]
+}
+
+// StageDur reports the total duration attributed to a named stage so
+// far. The serving tier uses it to detect, after a replay, whether the
+// compiled fast path ran (the replay attributes a "compiled" stage)
+// without threading a flag through the replay API. Nil-safe.
+func (tr *Trace) StageDur(name string) time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var d time.Duration
+	for _, sp := range tr.spans {
+		if sp.Name == name {
+			d += sp.Dur
+		}
+	}
+	return d
 }
 
 // Finish seals the trace with the response status and total handler

@@ -138,6 +138,32 @@ func (st *stats) init(s *Server) {
 		"Raw trace files this instance served to filling peers.",
 		traceStat(func(cs disptrace.CacheStats) uint64 { return cs.PeerServes }))
 
+	compiledStat := func(read func(disptrace.CompiledStats) uint64) func() uint64 {
+		return func() uint64 {
+			if s.cfg.Traces == nil {
+				return 0
+			}
+			return read(s.cfg.Traces.CompiledStats())
+		}
+	}
+	r.CounterFunc("vmserved_compiled_builds_total",
+		"Hot traces compiled into pre-decoded op arenas.",
+		compiledStat(func(cs disptrace.CompiledStats) uint64 { return cs.Builds }))
+	r.CounterFunc("vmserved_compiled_hits_total",
+		"Trace loads served straight from a compiled arena — no disk read, no decode.",
+		compiledStat(func(cs disptrace.CompiledStats) uint64 { return cs.Hits }))
+	r.CounterFunc("vmserved_compiled_evictions_total",
+		"Compiled arenas displaced by the tier's byte budget.",
+		compiledStat(func(cs disptrace.CompiledStats) uint64 { return cs.Evictions }))
+	r.GaugeFunc("vmserved_compiled_bytes",
+		"Resident bytes in the compiled-arena tier, bounded by -compiled-budget.",
+		func() float64 {
+			if s.cfg.Traces == nil {
+				return 0
+			}
+			return float64(s.cfg.Traces.CompiledStats().Bytes)
+		})
+
 	if s.cfg.InstanceID != "" {
 		r.GaugeVec("vmserved_instance_info",
 			"Instance identity; the label carries the -instance-id, the value is always 1.",
